@@ -1,0 +1,136 @@
+// Command evalbench regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	evalbench -exp table1|table2|fig1|fig5|fig6|all [-quick] [-items N]
+//	          [-samples N] [-seed N]
+//
+// -quick selects the scaled-down setup (one model, one data size, few
+// samples); the default is the full harness described in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig1, fig5, fig6 or all")
+	quick := flag.Bool("quick", false, "scaled-down setup (fast smoke run)")
+	items := flag.Int("items", 0, "override corpus item count")
+	samples := flag.Int("samples", 0, "override samples per prompt per temperature")
+	seed := flag.Int64("seed", 1, "corpus and sampling seed")
+	temps := flag.String("temps", "", "override temperatures, comma-separated (e.g. 0.2,0.6)")
+	sizes := flag.String("sizes", "", "override data-size numerators over 4 (e.g. 2,4)")
+	speedPrompts := flag.Int("speedprompts", 0, "override Table II prompt count")
+	flag.Parse()
+
+	setup := experiments.Default()
+	if *quick {
+		setup = experiments.Quick()
+	}
+	if *items > 0 {
+		setup.CorpusItems = *items
+	}
+	if *samples > 0 {
+		setup.Samples = *samples
+	}
+	setup.Seed = *seed
+	if *temps != "" {
+		setup.Temps = nil
+		for _, t := range strings.Split(*temps, ",") {
+			var v float64
+			fmt.Sscanf(t, "%g", &v)
+			setup.Temps = append(setup.Temps, v)
+		}
+	}
+	if *sizes != "" {
+		setup.SizeNumerators = nil
+		for _, t := range strings.Split(*sizes, ",") {
+			var v int
+			fmt.Sscanf(t, "%d", &v)
+			setup.SizeNumerators = append(setup.SizeNumerators, v)
+		}
+	}
+	if *speedPrompts > 0 {
+		setup.SpeedPrompts = *speedPrompts
+	}
+
+	t0 := time.Now()
+	fmt.Printf("# building corpus (%d items) and tokenizers...\n", setup.CorpusItems)
+	runner := experiments.NewRunner(setup)
+	fmt.Printf("# corpus ready in %v: %s\n\n", time.Since(t0).Round(time.Millisecond), runner.Stats())
+
+	var t1 []experiments.QualityCell
+	var t2 []experiments.SpeedRow
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") || want("fig1") || want("fig6") {
+		fmt.Println("## Table I — quality of generated Verilog (percent)")
+		t1 = runner.RunTable1()
+		printTable1(t1)
+	}
+	if want("table2") || want("fig1") {
+		fmt.Println("## Table II — generation speed")
+		t2 = runner.RunTable2()
+		printTable2(t2)
+	}
+	if want("fig1") && t1 != nil && t2 != nil {
+		fmt.Println("## Fig. 1 — speed vs pass@10 (RTLLM, first model)")
+		for _, pt := range experiments.Fig1(t1, t2, setup.Models[0].Name) {
+			fmt.Printf("  %-8s speed=%8.2f tok/s  funcPass@10=%6.2f%%\n", pt.Method, pt.TokensPerSec, pt.FuncPass10)
+		}
+		fmt.Println()
+	}
+	if want("fig5") {
+		fmt.Println("## Fig. 5 — decoding steps for the data_register example")
+		for _, row := range runner.RunFig5() {
+			fmt.Printf("  %-8s steps=%4d  cleanTokens=%4d\n", row.Method, row.Steps, row.Tokens)
+		}
+		fmt.Println()
+	}
+	if want("fig6") && t1 != nil {
+		name := setup.Models[len(setup.Models)-1].Name
+		fmt.Printf("## Fig. 6 — pass@5 slice (%s)\n", name)
+		for _, c := range experiments.Fig6(t1, name) {
+			fmt.Printf("  %-7s %-6s size=%-6s funcPass@5=%6.2f%%  synPass@5=%6.2f%%\n",
+				c.Method, c.Benchmark, experiments.SizeLabel(c.DataSize), c.FuncPass5, c.SynPass5)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("# total %v\n", time.Since(t0).Round(time.Second))
+	if *exp != "all" && !want("table1") && !want("table2") && !want("fig1") && !want("fig5") && !want("fig6") {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func printTable1(cells []experiments.QualityCell) {
+	fmt.Printf("%-14s %-8s %-7s %-7s | %7s %7s %7s %7s | %7s %7s %7s %7s\n",
+		"model", "size", "bench", "method",
+		"f@1", "f@5", "f@10", "fRate", "s@1", "s@5", "s@10", "sRate")
+	fmt.Println(strings.Repeat("-", 118))
+	for _, c := range cells {
+		fmt.Printf("%-14s %-8s %-7s %-7s | %7.2f %7.2f %7.2f %7.2f | %7.2f %7.2f %7.2f %7.2f\n",
+			c.Model, experiments.SizeLabel(c.DataSize), c.Benchmark, c.Method,
+			c.FuncPass1, c.FuncPass5, c.FuncPass10, c.FuncRate,
+			c.SynPass1, c.SynPass5, c.SynPass10, c.SynRate)
+	}
+	fmt.Println()
+}
+
+func printTable2(rows []experiments.SpeedRow) {
+	fmt.Printf("%-14s %-8s %14s %9s\n", "model", "method", "speed (tok/s)", "speedup")
+	fmt.Println(strings.Repeat("-", 50))
+	for _, r := range rows {
+		fmt.Printf("%-14s %-8s %14.2f %9.2f\n", r.Model, r.Method, r.TokensPerSec, r.Speedup)
+	}
+	fmt.Println()
+}

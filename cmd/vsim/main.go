@@ -1,0 +1,50 @@
+// Command vsim runs the event-driven simulator (the iverilog
+// substitute) on one or more Verilog files. The top module is
+// auto-detected (the module nobody instantiates) unless -top is given.
+//
+// Usage: vsim [-top tb] [-maxtime N] file.v...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/verilog"
+	"repro/internal/verilog/sim"
+)
+
+func main() {
+	top := flag.String("top", "", "top module (default: auto-detect)")
+	maxTime := flag.Uint64("maxtime", 0, "simulated time limit")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: vsim [-top tb] file.v...")
+		os.Exit(2)
+	}
+	var sb strings.Builder
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		sb.Write(data)
+		sb.WriteString("\n")
+	}
+	f, err := verilog.Parse(sb.String())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parse: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := sim.Run([]*verilog.SourceFile{f}, *top, sim.Options{MaxTime: *maxTime})
+	if res != nil {
+		fmt.Print(res.Output)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("-- finished at time %d (finish=%v)\n", res.Time, res.Finished)
+}

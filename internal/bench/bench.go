@@ -1,0 +1,78 @@
+// Package bench defines the evaluation benchmarks: an RTLLM-like suite
+// of 29 design problems and a VGen-like suite of 17 low-level prompts,
+// matching the sizes (and therefore the pass-rate granularity) of the
+// benchmarks used in the paper. Each problem carries a prompt, a
+// reference implementation and a self-checking testbench; a generated
+// design is syntactically correct when it parses (iverilog-compile
+// analogue) and functionally correct when its testbench simulation
+// prints TEST PASSED (iverilog-run analogue).
+package bench
+
+import (
+	"strings"
+
+	"repro/internal/verilog"
+	"repro/internal/verilog/sim"
+)
+
+// Problem is one benchmark entry.
+type Problem struct {
+	// ID is "suite/name", e.g. "rtllm/adder_8bit".
+	ID string
+	// Suite is "RTLLM" or "VGen".
+	Suite string
+	// Prompt is the natural-language task given to the model.
+	Prompt string
+	// Module is the required DUT module name (the testbench
+	// instantiates it by this name).
+	Module string
+	// Ref is a reference implementation; the test suite asserts that
+	// every reference passes its own testbench.
+	Ref string
+	// Testbench is a self-checking bench printing TEST PASSED/FAILED.
+	Testbench string
+}
+
+// ExtractFirstModule trims generated text to its first complete
+// module...endmodule block (models often keep generating after the
+// design; the paper's pipeline performs the same cleanup).
+func ExtractFirstModule(text string) string {
+	start := strings.Index(text, "module")
+	if start < 0 {
+		return text
+	}
+	end := strings.Index(text[start:], "endmodule")
+	if end < 0 {
+		return text[start:]
+	}
+	return text[start : start+end+len("endmodule")]
+}
+
+// CheckSyntax reports whether the generated design parses — the
+// paper's syntactic-correctness criterion (design compiles).
+func CheckSyntax(design string) bool {
+	return verilog.Check(ExtractFirstModule(design)) == nil
+}
+
+// CheckFunction reports whether the generated design passes the
+// problem's testbench — the paper's functional-correctness criterion.
+func CheckFunction(design string, p Problem) bool {
+	src := ExtractFirstModule(design) + "\n" + p.Testbench
+	f, err := verilog.Parse(src)
+	if err != nil {
+		return false
+	}
+	r, err := sim.Run([]*verilog.SourceFile{f}, "tb", sim.Options{
+		MaxTime:  2_000_000,
+		MaxSteps: 2_000_000,
+	})
+	if err != nil {
+		return false
+	}
+	return r.Passed()
+}
+
+// All returns both suites concatenated (RTLLM first).
+func All() []Problem {
+	return append(append([]Problem{}, RTLLM()...), VGen()...)
+}

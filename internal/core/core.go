@@ -1,0 +1,399 @@
+// Package core implements the paper's primary contribution: a
+// Medusa-style speculative decoder for Verilog whose decoding stops are
+// aligned with syntactically significant tokens.
+//
+// One decoding step is one simulated forward pass (base model + heads).
+// The base model's next token is always kept (lossless floor); head
+// proposals for offsets t+2..t+n+1 are screened by the typical
+// acceptance rule (paper eq. 1)
+//
+//	p_base(x) > min(ε, δ·exp(−H(p_base)))
+//
+// evaluated against the base model's distribution with all previously
+// accepted tokens in context — the analogue of Medusa's verification
+// pass. In "Ours" mode an integrity check then truncates the accepted
+// run at the last [FRAG] marker so every decoding step ends on a
+// complete syntactic fragment (paper §III-B).
+//
+// A latency cost model (per-forward-pass milliseconds, calibrated so
+// the NTP baselines match the paper's tokens/s) converts step counts
+// into the simulated generation speeds reported by the benchmark
+// harness; wall-clock throughput of the engine itself is measured
+// separately by testing.B benchmarks.
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+)
+
+// Mode selects the decoding strategy.
+type Mode int
+
+// Decoding modes compared in the paper.
+const (
+	// ModeNTP decodes one token per step (conventional decoding).
+	ModeNTP Mode = iota
+	// ModeMedusa is vanilla Medusa speculative decoding: heads draft,
+	// typical acceptance screens, no fragment alignment.
+	ModeMedusa
+	// ModeOurs is Medusa plus the paper's integrity check: accepted
+	// runs are truncated at the last [FRAG] so decoding stops align
+	// with syntactically significant tokens.
+	ModeOurs
+)
+
+// String names the mode as in the paper's tables.
+func (m Mode) String() string {
+	switch m {
+	case ModeNTP:
+		return "NTP"
+	case ModeMedusa:
+		return "Medusa"
+	case ModeOurs:
+		return "Ours"
+	}
+	return "?"
+}
+
+// ModeForScheme returns the natural decoding mode for a training scheme.
+func ModeForScheme(s model.Scheme) Mode {
+	switch s {
+	case model.SchemeNTP:
+		return ModeNTP
+	case model.SchemeMedusa:
+		return ModeMedusa
+	default:
+		return ModeOurs
+	}
+}
+
+// Options controls one decode call. Zero values select defaults.
+type Options struct {
+	// Mode selects NTP / Medusa / Ours decoding.
+	Mode Mode
+	// Temperature 0 decodes greedily; >0 samples the base token.
+	Temperature float64
+	// MaxNewTokens bounds generated tokens (default: model MaxTokens).
+	MaxNewTokens int
+	// TopK is the number of candidate tokens considered per head
+	// position (the paper "maintains several candidates comprising the
+	// top-k predictions"). Default 3.
+	TopK int
+	// Epsilon and Delta are the typical-acceptance hyper-parameters of
+	// eq. 1 (threshold = min(ε, δ·exp(−H))). Defaults ε=0.3, δ=1.2 are
+	// calibrated for the statistical backbone: δ well above Medusa's
+	// GPU value keeps the entropy-dependent branch from rubber-stamping
+	// drafts in mid-entropy contexts, where an n-gram's backoff mass
+	// (unlike an LLM's posterior) inflates junk-token probabilities.
+	Epsilon, Delta float64
+	// DisableIntegrity ablates the [FRAG] integrity check in ModeOurs
+	// (used by the ablation benchmarks).
+	DisableIntegrity bool
+	// Seed drives the sampling RNG; decodes are fully deterministic
+	// given (model, prompt, options).
+	Seed int64
+}
+
+func (o Options) withDefaults(m *model.Model) Options {
+	if o.MaxNewTokens == 0 {
+		o.MaxNewTokens = m.Config().MaxTokens
+	}
+	if o.TopK == 0 {
+		o.TopK = 3
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.3
+	}
+	if o.Delta == 0 {
+		o.Delta = 1.2
+	}
+	return o
+}
+
+// Result describes one completed generation.
+type Result struct {
+	// Tokens is the raw generated sequence (may contain [FRAG]).
+	Tokens []int
+	// CleanTokens is Tokens with special markers removed — the paper's
+	// "cleaned code", and the length used in the speed formula (eq. 3).
+	CleanTokens []int
+	// Text is the decoded cleaned code.
+	Text string
+	// Steps is the number of forward passes (decoding steps).
+	Steps int
+	// SimulatedMS is the cost-model inference time.
+	SimulatedMS float64
+	// AcceptedPerStep records how many tokens each step emitted
+	// (including the base token), before integrity truncation is
+	// reported separately via TruncatedTokens.
+	AcceptedPerStep []int
+	// TruncatedTokens counts draft tokens discarded by the integrity
+	// check over the whole decode.
+	TruncatedTokens int
+}
+
+// TokensPerSecond returns the simulated generation speed for this
+// result (eq. 3 numerator/denominator for a single output).
+func (r *Result) TokensPerSecond() float64 {
+	if r.SimulatedMS <= 0 {
+		return 0
+	}
+	return float64(len(r.CleanTokens)) / (r.SimulatedMS / 1000)
+}
+
+// MeanAccepted returns the average tokens emitted per decoding step.
+func (r *Result) MeanAccepted() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(len(r.Tokens)) / float64(r.Steps)
+}
+
+// noRepeatN is the no-repeat-ngram window (in clean tokens): a token
+// that would complete a clean n-gram already present in the generated
+// region is demoted. RTL legitimately repeats long runs (case arms,
+// port lists), so the window is wide; it exists to break exact line
+// cycles, the canonical degeneracy of footgun samplers.
+const noRepeatN = 10
+
+// Decoder generates Verilog from a trained model.
+type Decoder struct {
+	m *model.Model
+}
+
+// repState tracks generated clean-token n-grams for the no-repeat rule.
+type repState struct {
+	clean []int
+	seen  map[uint64]bool
+}
+
+func (r *repState) key(last []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, id := range last {
+		h ^= uint64(id)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// wouldRepeat reports whether appending id creates a duplicate n-gram.
+func (r *repState) wouldRepeat(id int) bool {
+	if len(r.clean) < noRepeatN-1 {
+		return false
+	}
+	gram := append(append([]int{}, r.clean[len(r.clean)-(noRepeatN-1):]...), id)
+	return r.seen[r.key(gram)]
+}
+
+// push records a clean token.
+func (r *repState) push(id int) {
+	r.clean = append(r.clean, id)
+	if len(r.clean) >= noRepeatN {
+		r.seen[r.key(r.clean[len(r.clean)-noRepeatN:])] = true
+	}
+}
+
+// NewDecoder wraps a model for decoding.
+func NewDecoder(m *model.Model) *Decoder { return &Decoder{m: m} }
+
+// Generate produces a completion for a natural-language description.
+// The prompt is wrapped in the same Alpaca-style template used in
+// training.
+func (d *Decoder) Generate(desc string, opts Options) *Result {
+	tk := d.m.Tokenizer()
+	promptIDs := append([]int{tokenizer.BosID}, tk.Encode(model.FormatPrompt(desc))...)
+	return d.GenerateFrom(promptIDs, opts)
+}
+
+// GenerateFrom decodes starting from explicit prompt token ids.
+func (d *Decoder) GenerateFrom(promptIDs []int, opts Options) *Result {
+	opts = opts.withDefaults(d.m)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	tk := d.m.Tokenizer()
+	gen := d.m.NewGen(promptIDs)
+
+	seq := append([]int(nil), promptIDs...)
+	res := &Result{}
+	stepCost := d.stepCostMS(opts.Mode)
+	maxLen := len(promptIDs) + opts.MaxNewTokens
+	if cfgMax := d.m.Config().MaxTokens; maxLen > cfgMax+len(promptIDs) {
+		maxLen = cfgMax + len(promptIDs)
+	}
+
+	done := false
+	tail := ""
+	rep := &repState{seen: map[uint64]bool{}}
+	for !done && len(seq) < maxLen && len(res.Tokens) < opts.MaxNewTokens {
+		fw := gen.Forward(seq)
+		res.Steps++
+		res.SimulatedMS += stepCost
+
+		// The base model's own prediction is always kept.
+		base := d.sampleBase(fw.Base, opts, rng, rep)
+		accepted := []int{base}
+
+		if opts.Mode != ModeNTP && d.m.NumHeads() > 0 && base != tokenizer.EosID {
+			accepted = append(accepted, d.acceptDrafts(gen, seq, accepted, fw, opts)...)
+		}
+		// Drafts that would extend a repeated n-gram are cut too.
+		cleanProbe := append([]int(nil), rep.clean...)
+		for i, id := range accepted {
+			if tokenizer.IsSpecial(id) {
+				continue
+			}
+			probe := &repState{clean: cleanProbe, seen: rep.seen}
+			if i > 0 && probe.wouldRepeat(id) {
+				accepted = accepted[:i]
+				break
+			}
+			cleanProbe = append(cleanProbe, id)
+		}
+
+		// Integrity check (paper §III-B): truncate the accepted run at
+		// the last complete fragment boundary.
+		if opts.Mode == ModeOurs && !opts.DisableIntegrity {
+			kept := integrityTruncate(accepted)
+			res.TruncatedTokens += len(accepted) - len(kept)
+			accepted = kept
+		}
+
+		for _, id := range accepted {
+			if id == tokenizer.EosID {
+				done = true
+				break
+			}
+			seq = append(seq, id)
+			res.Tokens = append(res.Tokens, id)
+			if !tokenizer.IsSpecial(id) {
+				rep.push(id)
+				tail += tk.Token(id)
+				if len(tail) > 32 {
+					tail = tail[len(tail)-32:]
+				}
+				// Generation is one module per prompt: stop after
+				// endmodule (the trained <eos> usually follows, but a
+				// derailed tail must not burn the token budget).
+				if strings.Contains(tail, "endmodule") {
+					done = true
+					break
+				}
+			}
+			if len(res.Tokens) >= opts.MaxNewTokens {
+				break
+			}
+		}
+		res.AcceptedPerStep = append(res.AcceptedPerStep, len(accepted))
+	}
+
+	res.CleanTokens = stripSpecials(res.Tokens)
+	res.Text = tk.DecodeClean(res.Tokens)
+	return res
+}
+
+// sampleBase draws the base token (greedy at temperature 0), demoting
+// candidates that would complete a repeated n-gram.
+func (d *Decoder) sampleBase(dist model.Dist, opts Options, rng *rand.Rand, rep *repState) int {
+	pick := func() int {
+		if opts.Temperature <= 0 {
+			return dist.Argmax()
+		}
+		return dist.Sample(opts.Temperature, rng.Float64())
+	}
+	id := pick()
+	if tokenizer.IsSpecial(id) || !rep.wouldRepeat(id) {
+		return id
+	}
+	// Walk the top candidates for the best non-repeating choice.
+	for _, c := range dist.TopK(8) {
+		if c == id {
+			continue
+		}
+		if tokenizer.IsSpecial(c) || !rep.wouldRepeat(c) {
+			return c
+		}
+	}
+	return id // everything repeats: let it through rather than deadlock
+}
+
+// acceptDrafts screens head proposals with the typical-acceptance rule,
+// returning the accepted continuation (not including the base token).
+// For each head position the top-k candidates are tried best-first and
+// the first one passing the test extends the prefix; the prefix ends at
+// the first position where every candidate fails — the "longest
+// accepted prefix among all candidates".
+func (d *Decoder) acceptDrafts(gen *model.Gen, seq, prefix []int, fw model.Forward, opts Options) []int {
+	var out []int
+	// ctx is the hypothetical sequence including accepted tokens.
+	ctx := append(append([]int(nil), seq...), prefix...)
+	for i := 0; i < len(fw.Heads); i++ {
+		cands := fw.Heads[i].TopK(opts.TopK)
+		if len(cands) == 0 {
+			break
+		}
+		// Verification distribution: the base model's posterior at
+		// this position given everything accepted so far.
+		ver := gen.BaseDist(ctx)
+		threshold := math.Min(opts.Epsilon, opts.Delta*math.Exp(-ver.Entropy()))
+		choice := -1
+		for _, c := range cands {
+			if ver.Prob(c) > threshold {
+				choice = c
+				break
+			}
+		}
+		if choice == -1 {
+			break
+		}
+		out = append(out, choice)
+		ctx = append(ctx, choice)
+		if choice == tokenizer.EosID {
+			break
+		}
+	}
+	return out
+}
+
+// integrityTruncate keeps the accepted run through its last [FRAG]
+// marker; with no marker in the run only the base token survives, so
+// every decoding step leaves the sequence on a complete syntactic
+// fragment (or extends by the minimal lossless amount).
+func integrityTruncate(accepted []int) []int {
+	last := -1
+	for i, id := range accepted {
+		if id == tokenizer.FragID {
+			last = i
+		}
+	}
+	if last == -1 {
+		return accepted[:1]
+	}
+	return accepted[:last+1]
+}
+
+// stepCostMS is the simulated cost of one forward pass in the given
+// mode: the backbone plus, for speculative modes, all heads.
+func (d *Decoder) stepCostMS(mode Mode) float64 {
+	cfg := d.m.Config()
+	cost := cfg.StepLatencyMS
+	if mode != ModeNTP {
+		cost += float64(d.m.NumHeads()) * cfg.HeadLatencyMS
+	}
+	return cost
+}
+
+// stripSpecials removes all reserved special tokens from ids.
+func stripSpecials(ids []int) []int {
+	out := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if tokenizer.IsSpecial(id) {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+	"repro/internal/verilog"
+)
+
+var trainExamples = []model.Example{
+	{
+		Prompt: "Create a 4-bit data register with clock clk.",
+		Code: `module data_register (
+    input clk,
+    input [3:0] data_in,
+    output reg [3:0] data_out
+);
+    always @(posedge clk) begin
+        data_out <= data_in;
+    end
+endmodule
+`,
+	},
+	{
+		Prompt: "Create an 8-bit counter with synchronous reset.",
+		Code: `module counter (
+    input clk,
+    input rst,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 8'd0;
+        else q <= q + 8'd1;
+    end
+endmodule
+`,
+	},
+	{
+		Prompt: "Create a 2-to-1 multiplexer.",
+		Code: `module mux2to1 (
+    input a,
+    input b,
+    input sel,
+    output y
+);
+    assign y = sel ? b : a;
+endmodule
+`,
+	},
+}
+
+func corpusText() []string {
+	var out []string
+	for _, ex := range trainExamples {
+		out = append(out, model.FormatPrompt(ex.Prompt)+ex.Code)
+	}
+	return out
+}
+
+func smallCfg() model.Config {
+	cfg := model.CodeLlamaSim()
+	cfg.VocabSize = 500
+	return cfg
+}
+
+func trained(t *testing.T, scheme model.Scheme) *model.Model {
+	t.Helper()
+	tk := tokenizer.Train(corpusText(), 500)
+	return model.Train(tk, smallCfg(), scheme, trainExamples)
+}
+
+func TestNTPOneTokenPerStep(t *testing.T) {
+	m := trained(t, model.SchemeNTP)
+	d := NewDecoder(m)
+	res := d.Generate(trainExamples[0].Prompt, Options{Mode: ModeNTP})
+	if res.Steps != len(res.Tokens) && res.Steps != len(res.Tokens)+1 {
+		// +1 allows the final step that produced only <eos>.
+		t.Fatalf("NTP steps=%d tokens=%d", res.Steps, len(res.Tokens))
+	}
+	for _, n := range res.AcceptedPerStep {
+		if n != 1 {
+			t.Fatalf("NTP accepted %d tokens in one step", n)
+		}
+	}
+}
+
+func TestGreedyReproducesMemorizedExample(t *testing.T) {
+	// A model trained to saturation on one mapping should reproduce it
+	// greedily — the sanity floor for all three schemes.
+	for _, scheme := range []model.Scheme{model.SchemeNTP, model.SchemeMedusa, model.SchemeOurs} {
+		m := trained(t, scheme)
+		d := NewDecoder(m)
+		res := d.Generate(trainExamples[0].Prompt, Options{Mode: ModeForScheme(scheme)})
+		if !strings.Contains(res.Text, "module data_register") {
+			t.Errorf("%v: output does not start the right module:\n%s", scheme, res.Text)
+		}
+		if err := verilog.Check(res.Text); err != nil {
+			t.Errorf("%v: greedy output does not parse: %v\n%s", scheme, err, res.Text)
+		}
+	}
+}
+
+func TestSpeculativeFewerSteps(t *testing.T) {
+	ntp := NewDecoder(trained(t, model.SchemeNTP))
+	ours := NewDecoder(trained(t, model.SchemeOurs))
+	medusa := NewDecoder(trained(t, model.SchemeMedusa))
+
+	prompt := trainExamples[1].Prompt
+	rNTP := ntp.Generate(prompt, Options{Mode: ModeNTP})
+	rOurs := ours.Generate(prompt, Options{Mode: ModeOurs})
+	rMedusa := medusa.Generate(prompt, Options{Mode: ModeMedusa})
+
+	if rOurs.Steps >= rNTP.Steps {
+		t.Fatalf("Ours should need fewer steps: ours=%d ntp=%d", rOurs.Steps, rNTP.Steps)
+	}
+	if rMedusa.Steps >= rNTP.Steps {
+		t.Fatalf("Medusa should need fewer steps: medusa=%d ntp=%d", rMedusa.Steps, rNTP.Steps)
+	}
+	if rOurs.MeanAccepted() <= 1.0 {
+		t.Fatalf("Ours mean accepted = %f, want > 1", rOurs.MeanAccepted())
+	}
+}
+
+func TestSpeculativeModesBeatNTPSpeed(t *testing.T) {
+	// Both speculative modes must beat conventional decoding on the
+	// simulated-latency speed metric. (The full Table II ordering —
+	// Ours > Medusa > NTP — emerges on the diverse synthetic corpus
+	// where Medusa's unmasked heads degrade; on a tiny memorized corpus
+	// all heads are perfect, so only the NTP floor is asserted here.
+	// The corpus-level ordering is asserted in internal/experiments.)
+	ntp := NewDecoder(trained(t, model.SchemeNTP))
+	ours := NewDecoder(trained(t, model.SchemeOurs))
+	medusa := NewDecoder(trained(t, model.SchemeMedusa))
+
+	speed := func(d *Decoder, mode Mode) float64 {
+		total, ms := 0, 0.0
+		for _, ex := range trainExamples {
+			r := d.Generate(ex.Prompt, Options{Mode: mode})
+			total += len(r.CleanTokens)
+			ms += r.SimulatedMS
+		}
+		return float64(total) / (ms / 1000)
+	}
+	sNTP := speed(ntp, ModeNTP)
+	sMedusa := speed(medusa, ModeMedusa)
+	sOurs := speed(ours, ModeOurs)
+	if sOurs <= sNTP {
+		t.Fatalf("Ours not faster than NTP: %.1f vs %.1f tok/s", sOurs, sNTP)
+	}
+	if sMedusa <= sNTP {
+		t.Fatalf("Medusa not faster than NTP: %.1f vs %.1f tok/s", sMedusa, sNTP)
+	}
+}
+
+func TestIntegrityTruncate(t *testing.T) {
+	F := tokenizer.FragID
+	cases := []struct {
+		in, want []int
+	}{
+		{[]int{42}, []int{42}},                         // lone base token, no FRAG
+		{[]int{42, 43, 44}, []int{42}},                 // no FRAG: base only
+		{[]int{F, 42, 43}, []int{F}},                   // FRAG first
+		{[]int{42, F, 43, F, 44}, []int{42, F, 43, F}}, // keep through last FRAG
+		{[]int{42, 43, F}, []int{42, 43, F}},           // ends on FRAG: keep all
+	}
+	for _, c := range cases {
+		got := integrityTruncate(append([]int(nil), c.in...))
+		if len(got) != len(c.want) {
+			t.Errorf("truncate(%v) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("truncate(%v) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestIntegrityKeepsFragmentsComplete(t *testing.T) {
+	// In ModeOurs every step's emission either ends at a [FRAG] marker
+	// or is the single lossless base token.
+	m := trained(t, model.SchemeOurs)
+	d := NewDecoder(m)
+	res := d.Generate(trainExamples[2].Prompt, Options{Mode: ModeOurs})
+	pos := 0
+	for _, n := range res.AcceptedPerStep {
+		if n > 1 {
+			endIdx := pos + n - 1
+			if endIdx < len(res.Tokens) && res.Tokens[endIdx] != tokenizer.FragID {
+				// The final step may have been cut by <eos>; allow it.
+				if endIdx != len(res.Tokens)-1 {
+					t.Fatalf("multi-token step does not end on FRAG at %d", endIdx)
+				}
+			}
+		}
+		pos += n
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := trained(t, model.SchemeOurs)
+	d := NewDecoder(m)
+	opts := Options{Mode: ModeOurs, Temperature: 0.8, Seed: 42}
+	a := d.Generate(trainExamples[0].Prompt, opts)
+	b := d.Generate(trainExamples[0].Prompt, opts)
+	if a.Text != b.Text || a.Steps != b.Steps {
+		t.Fatal("same seed produced different generations")
+	}
+	c := d.Generate(trainExamples[0].Prompt, Options{Mode: ModeOurs, Temperature: 0.8, Seed: 43})
+	_ = c // different seed may or may not differ; just ensure no panic
+}
+
+func TestMaxNewTokensRespected(t *testing.T) {
+	m := trained(t, model.SchemeOurs)
+	d := NewDecoder(m)
+	res := d.Generate(trainExamples[0].Prompt, Options{Mode: ModeOurs, MaxNewTokens: 7})
+	if len(res.Tokens) > 7 {
+		t.Fatalf("generated %d tokens, cap 7", len(res.Tokens))
+	}
+}
+
+func TestCleanTokensHaveNoSpecials(t *testing.T) {
+	m := trained(t, model.SchemeOurs)
+	d := NewDecoder(m)
+	res := d.Generate(trainExamples[1].Prompt, Options{Mode: ModeOurs})
+	for _, id := range res.CleanTokens {
+		if tokenizer.IsSpecial(id) {
+			t.Fatalf("special token %d in CleanTokens", id)
+		}
+	}
+	if strings.Contains(res.Text, "[FRAG]") {
+		t.Fatal("FRAG marker leaked into text")
+	}
+}
+
+func TestAblationDisableIntegrity(t *testing.T) {
+	m := trained(t, model.SchemeOurs)
+	d := NewDecoder(m)
+	with := d.Generate(trainExamples[0].Prompt, Options{Mode: ModeOurs})
+	without := d.Generate(trainExamples[0].Prompt, Options{Mode: ModeOurs, DisableIntegrity: true})
+	if without.TruncatedTokens != 0 {
+		t.Fatalf("integrity disabled but truncated %d tokens", without.TruncatedTokens)
+	}
+	if with.Steps > without.Steps+5 {
+		t.Fatalf("integrity check should not slow decoding drastically: %d vs %d", with.Steps, without.Steps)
+	}
+}
+
+func TestStepCostModel(t *testing.T) {
+	m := trained(t, model.SchemeOurs)
+	d := NewDecoder(m)
+	cfg := m.Config()
+	wantNTP := cfg.StepLatencyMS
+	wantSpec := cfg.StepLatencyMS + float64(m.NumHeads())*cfg.HeadLatencyMS
+	if got := d.stepCostMS(ModeNTP); got != wantNTP {
+		t.Fatalf("NTP step cost = %f, want %f", got, wantNTP)
+	}
+	if got := d.stepCostMS(ModeOurs); got != wantSpec {
+		t.Fatalf("Ours step cost = %f, want %f", got, wantSpec)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeNTP.String() != "NTP" || ModeMedusa.String() != "Medusa" || ModeOurs.String() != "Ours" {
+		t.Fatal("mode names wrong")
+	}
+	if ModeForScheme(model.SchemeOurs) != ModeOurs || ModeForScheme(model.SchemeNTP) != ModeNTP {
+		t.Fatal("ModeForScheme mapping wrong")
+	}
+}
+
+func TestNoRepeatGuardBreaksCycles(t *testing.T) {
+	// Even at temperature 0 the decoder must not emit unbounded exact
+	// line cycles (the canonical n-gram degeneracy): every generation
+	// over the training prompts terminates within the token budget
+	// with far fewer tokens than the cap.
+	m := trained(t, model.SchemeOurs)
+	d := NewDecoder(m)
+	for i, ex := range trainExamples {
+		res := d.Generate(ex.Prompt, Options{Mode: ModeOurs, MaxNewTokens: 600, Seed: int64(i)})
+		if len(res.Tokens) >= 600 {
+			t.Fatalf("prompt %d: generation hit the cap (%d tokens) — repetition guard failed", i, len(res.Tokens))
+		}
+	}
+}
+
+func TestGenerateFromMatchesGenerate(t *testing.T) {
+	m := trained(t, model.SchemeNTP)
+	d := NewDecoder(m)
+	tk := m.Tokenizer()
+	desc := trainExamples[2].Prompt
+	a := d.Generate(desc, Options{Mode: ModeNTP})
+	ids := append([]int{tokenizer.BosID}, tk.Encode(model.FormatPrompt(desc))...)
+	b := d.GenerateFrom(ids, Options{Mode: ModeNTP})
+	if a.Text != b.Text {
+		t.Fatal("Generate and GenerateFrom disagree")
+	}
+}

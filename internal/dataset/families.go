@@ -1,0 +1,816 @@
+// Package dataset builds the training corpus and implements the paper's
+// data-refinement pipeline (§III-A, Fig. 2 left panel).
+//
+// The paper scrapes 136k Verilog items from GitHub, MG-Verilog and
+// RTLCoder; offline we substitute a parameterised synthetic generator
+// with ~two dozen RTL module families (registers, counters, muxes,
+// ALUs, FSMs, FIFOs, ...) producing randomized identifiers, widths and
+// coding styles. The refinement pipeline itself — module splitting,
+// MinHash/Jaccard deduplication, comment/completeness filtering, parser
+// syntax gating and description generation — is implemented in full and
+// runs over the synthetic raw files exactly as it would over scraped
+// ones.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Item is one corpus entry: a Verilog module with its natural-language
+// description and the family that produced it (for diagnostics).
+type Item struct {
+	Desc   string
+	Code   string
+	Family string
+}
+
+// family is a named generator of random corpus items.
+type family struct {
+	name string
+	gen  func(r *rand.Rand) Item
+}
+
+// identity pools used across families.
+var (
+	namePrefixes = []string{"", "", "", "my_", "u_", "top_", "core_"}
+	nameSuffixes = []string{"", "", "", "0", "1", "2", "_unit", "_mod", "_blk"}
+	clkNames     = []string{"clk", "clk", "clk", "clock", "clk_in"}
+	rstNames     = []string{"rst", "reset", "rst_n", "arst"}
+	dataInNames  = []string{"data_in", "din", "d", "in_data", "a_in"}
+	dataOutNames = []string{"data_out", "dout", "q", "out_data", "y_out"}
+	widths       = []int{1, 2, 4, 4, 8, 8, 8, 16, 16, 32}
+)
+
+func pick(r *rand.Rand, pool []string) string { return pool[r.Intn(len(pool))] }
+
+func pickW(r *rand.Rand) int { return widths[r.Intn(len(widths))] }
+
+func modName(r *rand.Rand, base string) string {
+	return pick(r, namePrefixes) + base + pick(r, nameSuffixes)
+}
+
+// modNameW sometimes appends width-style suffixes (adder_8bit,
+// counter_16, mux4) — the naming convention ubiquitous in scraped RTL,
+// and the reason benchmark names like adder_8bit are assemblable.
+func modNameW(r *rand.Rand, base string, w int) string {
+	switch r.Intn(5) {
+	case 0:
+		return pick(r, namePrefixes) + base + fmt.Sprintf("_%dbit", w)
+	case 1:
+		return base + fmt.Sprintf("_%dbit", w)
+	case 2:
+		return base + fmt.Sprintf("_%d", w)
+	default:
+		return modName(r, base)
+	}
+}
+
+// rng returns "[w-1:0] " for w>1, "" otherwise.
+func rng(w int) string {
+	if w <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("[%d:0] ", w-1)
+}
+
+// phrase picks a description template and fills it.
+func phrase(r *rand.Rand, options []string, args ...any) string {
+	return fmt.Sprintf(options[r.Intn(len(options))], args...)
+}
+
+// commentWords feed the random header comments that give scraped-code
+// texture (and keep legitimate same-family variants below the MinHash
+// duplicate threshold).
+var commentWords = []string{
+	"synthesizable", "tested", "simple", "basic", "parameterless",
+	"behavioral", "rtl", "fpga", "asic", "verified", "draft", "core",
+	"block", "logic", "design", "unit", "component", "stage",
+}
+
+// withHeader optionally prefixes code with a randomized comment banner.
+func withHeader(r *rand.Rand, code, famName string) string {
+	if r.Intn(3) != 0 {
+		return code
+	}
+	w1 := commentWords[r.Intn(len(commentWords))]
+	w2 := commentWords[r.Intn(len(commentWords))]
+	return fmt.Sprintf("// %s %s %s\n%s", w1, w2, famName, code)
+}
+
+// Families returns the full set of module-family generators, each
+// wrapped with the randomized header decorator.
+func Families() []family {
+	out := make([]family, len(allFamilies))
+	for i, f := range allFamilies {
+		f := f
+		out[i] = family{name: f.name, gen: func(r *rand.Rand) Item {
+			it := f.gen(r)
+			it.Code = withHeader(r, it.Code, f.name)
+			return it
+		}}
+	}
+	return out
+}
+
+var allFamilies = []family{
+	{"register", genRegister},
+	{"counter", genCounter},
+	{"mux2", genMux2},
+	{"mux4", genMux4},
+	{"decoder", genDecoder},
+	{"priority_encoder", genPriorityEncoder},
+	{"adder", genAdder},
+	{"subtractor", genSubtractor},
+	{"comparator", genComparator},
+	{"alu", genALU},
+	{"shift_register", genShiftRegister},
+	{"gray_converter", genGray},
+	{"parity", genParity},
+	{"edge_detector", genEdgeDetector},
+	{"clock_divider", genClockDivider},
+	{"fsm_detector", genFSMDetector},
+	{"register_file", genRegisterFile},
+	{"fifo", genFIFO},
+	{"logic_unit", genLogicUnit},
+	{"seven_segment", genSevenSegment},
+	{"pwm", genPWM},
+	{"saturating_counter", genSatCounter},
+	{"barrel_shifter", genBarrelShifter},
+	{"minmax", genMinMax},
+	{"abs_value", genAbs},
+	{"accumulator", genAccumulator},
+	{"gate", genGate},
+	{"gate2", genGate},
+	{"buffer", genBuffer},
+	{"half_adder", genHalfAdder},
+	{"full_adder", genFullAdder},
+	{"dff", genDFFVariants},
+	{"dff2", genDFFVariants},
+	{"d_latch", genDLatch},
+	{"multiplier", genMultiplier},
+	{"mod_counter", genModCounter},
+	{"en_register", genEnableRegister},
+}
+
+func genRegister(r *rand.Rand) Item {
+	w := pickW(r)
+	name := modNameW(r, "data_register", w)
+	clk := pick(r, clkNames)
+	din := pick(r, dataInNames)
+	dout := pick(r, dataOutNames)
+	hasRst := r.Intn(2) == 0
+	rst := pick(r, rstNames[:2])
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input %s,\n", name, clk)
+	if hasRst {
+		fmt.Fprintf(&b, "    input %s,\n", rst)
+	}
+	fmt.Fprintf(&b, "    input %s%s,\n    output reg %s%s\n);\n", rng(w), din, rng(w), dout)
+	if hasRst {
+		fmt.Fprintf(&b, "    always @(posedge %s) begin\n        if (%s) %s <= %d'd0;\n        else %s <= %s;\n    end\nendmodule\n",
+			clk, rst, dout, w, dout, din)
+	} else {
+		fmt.Fprintf(&b, "    always @(posedge %s) begin\n        %s <= %s;\n    end\nendmodule\n", clk, dout, din)
+	}
+	desc := phrase(r, []string{
+		"Create a %d-bit data register named %s that captures %s into %s on the rising edge of %s.",
+		"Write a %d-bit register module %s storing input %s to output %s at each positive edge of %s.",
+		"Design a simple %d-bit register called %s. Input %s is transferred to output %s on every rising clock edge of %s.",
+	}, w, name, din, dout, clk)
+	if hasRst {
+		desc += fmt.Sprintf(" It has a synchronous reset %s that clears the output.", rst)
+	}
+	return Item{Desc: desc, Code: b.String(), Family: "register"}
+}
+
+func genCounter(r *rand.Rand) Item {
+	w := pickW(r)
+	if w == 1 {
+		w = 4
+	}
+	clk := pick(r, clkNames)
+	rst := pick(r, rstNames[:2])
+	down := r.Intn(4) == 0
+	base := "counter"
+	if down || r.Intn(4) == 0 {
+		base = pick(r, []string{"counter", "updown_counter", "updown_counter"})
+	}
+	name := modNameW(r, base, w)
+	hasEn := r.Intn(2) == 0
+	q := pick(r, []string{"q", "count", "cnt", "value"})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input %s,\n    input %s,\n", name, clk, rst)
+	if hasEn {
+		b.WriteString("    input en,\n")
+	}
+	fmt.Fprintf(&b, "    output reg %s%s\n);\n", rng(w), q)
+	op := "+"
+	if down {
+		op = "-"
+	}
+	fmt.Fprintf(&b, "    always @(posedge %s) begin\n        if (%s) %s <= %d'd0;\n", clk, rst, q, w)
+	if hasEn {
+		fmt.Fprintf(&b, "        else if (en) %s <= %s %s %d'd1;\n", q, q, op, w)
+	} else {
+		fmt.Fprintf(&b, "        else %s <= %s %s %d'd1;\n", q, q, op, w)
+	}
+	b.WriteString("    end\nendmodule\n")
+
+	dir := "up"
+	if down {
+		dir = "down"
+	}
+	desc := fmt.Sprintf("Design a %d-bit %s-counter named %s with clock %s and synchronous reset %s. The count value is output on %s.", w, dir, name, clk, rst, q)
+	if hasEn {
+		desc += " Counting advances only while the enable input en is high."
+	}
+	return Item{Desc: desc, Code: b.String(), Family: "counter"}
+}
+
+func genMux2(r *rand.Rand) Item {
+	w := pickW(r)
+	name := modNameW(r, "mux2to1", w)
+	y := pick(r, []string{"y", "out", "mux_out"})
+	style := r.Intn(2)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input %sa,\n    input %sb,\n    input sel,\n    output %s%s%s\n);\n",
+		name, rng(w), rng(w), map[int]string{0: "", 1: "reg "}[style], rng(w), y)
+	if style == 0 {
+		fmt.Fprintf(&b, "    assign %s = sel ? b : a;\nendmodule\n", y)
+	} else {
+		fmt.Fprintf(&b, "    always @(*) begin\n        if (sel) %s = b;\n        else %s = a;\n    end\nendmodule\n", y, y)
+	}
+	desc := phrase(r, []string{
+		"Create a %d-bit 2-to-1 multiplexer named %s selecting between inputs a and b with sel; the result drives %s.",
+		"Implement module %s, a %[1]d-bit wide two to one mux. When sel is high output %[3]s equals b, otherwise a.",
+	}, w, name, y)
+	return Item{Desc: desc, Code: b.String(), Family: "mux2"}
+}
+
+func genMux4(r *rand.Rand) Item {
+	w := pickW(r)
+	name := modNameW(r, "mux4to1", w)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input %sd0,\n    input %sd1,\n    input %sd2,\n    input %sd3,\n    input [1:0] sel,\n    output reg %sy\n);\n",
+		name, rng(w), rng(w), rng(w), rng(w), rng(w))
+	b.WriteString("    always @(*) begin\n        case (sel)\n")
+	b.WriteString("            2'b00: y = d0;\n            2'b01: y = d1;\n            2'b10: y = d2;\n            default: y = d3;\n")
+	b.WriteString("        endcase\n    end\nendmodule\n")
+	desc := fmt.Sprintf("Design a %d-bit 4-to-1 multiplexer called %s. A 2-bit select sel chooses one of d0, d1, d2, d3 to drive output y.", w, name)
+	return Item{Desc: desc, Code: b.String(), Family: "mux4"}
+}
+
+func genDecoder(r *rand.Rand) Item {
+	n := 2 + r.Intn(2) // 2-to-4 or 3-to-8
+	out := 1 << n
+	name := modName(r, pick(r, []string{fmt.Sprintf("decoder%dto%d", n, out), fmt.Sprintf("decoder_%dto%d", n, out)}))
+	hasEn := r.Intn(2) == 0
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input [%d:0] sel,\n", name, n-1)
+	if hasEn {
+		b.WriteString("    input en,\n")
+	}
+	fmt.Fprintf(&b, "    output reg [%d:0] y\n);\n", out-1)
+	b.WriteString("    always @(*) begin\n")
+	if hasEn {
+		fmt.Fprintf(&b, "        if (!en) y = %d'd0;\n        else y = %d'd1 << sel;\n", out, out)
+	} else {
+		fmt.Fprintf(&b, "        y = %d'd1 << sel;\n", out)
+	}
+	b.WriteString("    end\nendmodule\n")
+	desc := fmt.Sprintf("Implement a %d-to-%d one-hot decoder named %s: output bit sel of y goes high.", n, out, name)
+	if hasEn {
+		desc += " All outputs are low when the enable en is deasserted."
+	}
+	return Item{Desc: desc, Code: b.String(), Family: "decoder"}
+}
+
+func genPriorityEncoder(r *rand.Rand) Item {
+	name := modNameW(r, "priority_encoder", 4)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input [3:0] req,\n    output reg [1:0] grant,\n    output reg valid\n);\n", name)
+	b.WriteString(`    always @(*) begin
+        valid = 1'b1;
+        casez (req)
+            4'b1zzz: grant = 2'd3;
+            4'b01zz: grant = 2'd2;
+            4'b001z: grant = 2'd1;
+            4'b0001: grant = 2'd0;
+            default: begin grant = 2'd0; valid = 1'b0; end
+        endcase
+    end
+endmodule
+`)
+	desc := fmt.Sprintf("Create a 4-bit priority encoder named %s. The highest set bit of req is encoded on grant, and valid indicates any request.", name)
+	return Item{Desc: desc, Code: b.String(), Family: "priority_encoder"}
+}
+
+func genAdder(r *rand.Rand) Item {
+	w := pickW(r)
+	if w == 1 {
+		w = 8
+	}
+	name := modNameW(r, "adder", w)
+	hasCarry := r.Intn(2) == 0
+	var b strings.Builder
+	if hasCarry {
+		fmt.Fprintf(&b, "module %s (\n    input %sa,\n    input %sb,\n    input cin,\n    output %ssum,\n    output cout\n);\n",
+			name, rng(w), rng(w), rng(w))
+		fmt.Fprintf(&b, "    assign {cout, sum} = a + b + cin;\nendmodule\n")
+	} else {
+		fmt.Fprintf(&b, "module %s (\n    input %sa,\n    input %sb,\n    output %ssum\n);\n", name, rng(w), rng(w), rng(w))
+		b.WriteString("    assign sum = a + b;\nendmodule\n")
+	}
+	desc := fmt.Sprintf("Design a %d-bit adder module named %s computing sum = a + b.", w, name)
+	if hasCarry {
+		desc = fmt.Sprintf("Design a %d-bit adder with carry named %s: it adds a, b and carry-in cin, producing sum and carry-out cout.", w, name)
+	}
+	return Item{Desc: desc, Code: b.String(), Family: "adder"}
+}
+
+func genSubtractor(r *rand.Rand) Item {
+	w := pickW(r)
+	if w == 1 {
+		w = 8
+	}
+	name := modNameW(r, pick(r, []string{"subtractor", "sub", "sub"}), w)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input %sa,\n    input %sb,\n    output %sdiff,\n    output borrow\n);\n",
+		name, rng(w), rng(w), rng(w))
+	b.WriteString("    assign diff = a - b;\n    assign borrow = (a < b);\nendmodule\n")
+	desc := fmt.Sprintf("Implement a %d-bit subtractor named %s producing diff = a - b and a borrow flag when a is less than b.", w, name)
+	return Item{Desc: desc, Code: b.String(), Family: "subtractor"}
+}
+
+func genComparator(r *rand.Rand) Item {
+	w := pickW(r)
+	name := modNameW(r, "comparator", w)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input %sa,\n    input %sb,\n    output eq,\n    output gt,\n    output lt\n);\n",
+		name, rng(w), rng(w))
+	b.WriteString("    assign eq = (a == b);\n    assign gt = (a > b);\n    assign lt = (a < b);\nendmodule\n")
+	desc := fmt.Sprintf("Create a %d-bit comparator named %s with equality output eq, greater-than output gt and less-than output lt for inputs a and b.", w, name)
+	return Item{Desc: desc, Code: b.String(), Family: "comparator"}
+}
+
+func genALU(r *rand.Rand) Item {
+	w := pickW(r)
+	if w < 4 {
+		w = 8
+	}
+	name := modNameW(r, "alu", w)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input [1:0] op,\n    input %sa,\n    input %sb,\n    output reg %sy\n);\n",
+		name, rng(w), rng(w), rng(w))
+	b.WriteString(`    always @(*) begin
+        case (op)
+            2'b00: y = a + b;
+            2'b01: y = a - b;
+            2'b10: y = a & b;
+            default: y = a | b;
+        endcase
+    end
+endmodule
+`)
+	desc := fmt.Sprintf("Implement a %d-bit ALU named %s. Opcode op selects add (00), subtract (01), bitwise and (10) or bitwise or (11) of a and b onto y.", w, name)
+	return Item{Desc: desc, Code: b.String(), Family: "alu"}
+}
+
+func genShiftRegister(r *rand.Rand) Item {
+	w := pickW(r)
+	if w < 4 {
+		w = 4
+	}
+	name := modNameW(r, pick(r, []string{"shift_register", "shift_reg", "shift_reg"}), w)
+	clk := pick(r, clkNames)
+	left := r.Intn(2) == 0
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input %s,\n    input din,\n    output reg %sq\n);\n", name, clk, rng(w))
+	if left {
+		fmt.Fprintf(&b, "    always @(posedge %s) q <= {q[%d:0], din};\nendmodule\n", clk, w-2)
+	} else {
+		fmt.Fprintf(&b, "    always @(posedge %s) q <= {din, q[%d:1]};\nendmodule\n", clk, w-1)
+	}
+	dir := "left"
+	if !left {
+		dir = "right"
+	}
+	desc := fmt.Sprintf("Design a %d-bit %s-shifting shift register named %s. Serial input din enters on each rising edge of %s; the parallel state appears on q.", w, dir, name, clk)
+	return Item{Desc: desc, Code: b.String(), Family: "shift_register"}
+}
+
+func genGray(r *rand.Rand) Item {
+	w := pickW(r)
+	if w < 4 {
+		w = 4
+	}
+	name := modNameW(r, "bin2gray", w)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input %sbin,\n    output %sgray\n);\n", name, rng(w), rng(w))
+	b.WriteString("    assign gray = bin ^ (bin >> 1);\nendmodule\n")
+	desc := fmt.Sprintf("Create a %d-bit binary to Gray code converter named %s: gray equals bin xor bin shifted right by one.", w, name)
+	return Item{Desc: desc, Code: b.String(), Family: "gray_converter"}
+}
+
+func genParity(r *rand.Rand) Item {
+	w := pickW(r)
+	if w < 4 {
+		w = 8
+	}
+	name := modNameW(r, pick(r, []string{"parity_gen", "parity", "parity"}), w)
+	odd := r.Intn(2) == 0
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input %sdata,\n    output parity\n);\n", name, rng(w))
+	if odd {
+		b.WriteString("    assign parity = ~(^data);\nendmodule\n")
+	} else {
+		b.WriteString("    assign parity = ^data;\nendmodule\n")
+	}
+	kind := "even"
+	if odd {
+		kind = "odd"
+	}
+	desc := fmt.Sprintf("Implement a %d-bit %s parity generator named %s computing the parity of the data input.", w, kind, name)
+	return Item{Desc: desc, Code: b.String(), Family: "parity"}
+}
+
+func genEdgeDetector(r *rand.Rand) Item {
+	name := modName(r, "edge_detector")
+	clk := pick(r, clkNames)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input %s,\n    input sig,\n    output pulse\n);\n    reg sig_d;\n", name, clk)
+	fmt.Fprintf(&b, "    always @(posedge %s) sig_d <= sig;\n    assign pulse = sig & ~sig_d;\nendmodule\n", clk)
+	desc := fmt.Sprintf("Design a rising-edge detector named %s: output pulse is high for one cycle of %s whenever input sig transitions from low to high.", name, clk)
+	return Item{Desc: desc, Code: b.String(), Family: "edge_detector"}
+}
+
+func genClockDivider(r *rand.Rand) Item {
+	n := []int{2, 4, 8, 16}[r.Intn(4)]
+	name := pick(r, []string{modName(r, "clk_div"), fmt.Sprintf("clk_div%d", n)})
+	var b strings.Builder
+	bits := 1
+	for (1 << bits) < n {
+		bits++
+	}
+	fmt.Fprintf(&b, "module %s (\n    input clk,\n    input rst,\n    output clk_out\n);\n    reg [%d:0] cnt;\n", name, bits-1)
+	fmt.Fprintf(&b, "    always @(posedge clk) begin\n        if (rst) cnt <= %d'd0;\n        else cnt <= cnt + %d'd1;\n    end\n", bits, bits)
+	fmt.Fprintf(&b, "    assign clk_out = cnt[%d];\nendmodule\n", bits-1)
+	desc := fmt.Sprintf("Create a divide-by-%d clock divider named %s with synchronous reset rst; clk_out toggles at 1/%d of the clk frequency.", n, name, n)
+	return Item{Desc: desc, Code: b.String(), Family: "clock_divider"}
+}
+
+func genFSMDetector(r *rand.Rand) Item {
+	pattern := []string{"101", "110", "011"}[r.Intn(3)]
+	name := pick(r, []string{modName(r, "seq_detector"), "seq_det_" + pattern, "seq_detector_" + pattern})
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input clk,\n    input rst,\n    input din,\n    output seen\n);\n", name)
+	b.WriteString("    reg [1:0] state;\n    localparam S0 = 2'd0, S1 = 2'd1, S2 = 2'd2, S3 = 2'd3;\n")
+	b.WriteString("    always @(posedge clk) begin\n        if (rst) state <= S0;\n        else begin\n            case (state)\n")
+	// Build transitions for the chosen 3-bit overlapping detector.
+	p0 := pattern[0] == '1'
+	p1 := pattern[1] == '1'
+	p2 := pattern[2] == '1'
+	t := func(cond bool, yes, no string) string {
+		if cond {
+			return fmt.Sprintf("din ? %s : %s", yes, no)
+		}
+		return fmt.Sprintf("din ? %s : %s", no, yes)
+	}
+	// S0: nothing matched; S1: first symbol matched; S2: two matched;
+	// S3: full match (output state).
+	b.WriteString(fmt.Sprintf("                S0: state <= %s;\n", t(p0, "S1", "S0")))
+	b.WriteString(fmt.Sprintf("                S1: state <= %s;\n", t(p1, "S2", restart(p0, p1))))
+	b.WriteString(fmt.Sprintf("                S2: state <= %s;\n", t(p2, "S3", restart2(p0, p1, p2))))
+	b.WriteString(fmt.Sprintf("                S3: state <= %s;\n", t(p0, "S1", "S0")))
+	b.WriteString("            endcase\n        end\n    end\n")
+	b.WriteString("    assign seen = (state == S3);\nendmodule\n")
+	desc := fmt.Sprintf("Design a Moore sequence detector named %s that raises seen for one cycle after observing the bit pattern %s on din (with synchronous reset rst).", name, pattern)
+	return Item{Desc: desc, Code: b.String(), Family: "fsm_detector"}
+}
+
+// restart computes the fallback state after a mismatch at position 1.
+func restart(p0, p1 bool) string {
+	// The mismatching symbol is !p1; if it could restart the pattern
+	// (equals p0), fall to S1, else to S0.
+	if p0 == !p1 {
+		return "S1"
+	}
+	return "S0"
+}
+
+// restart2 computes the fallback state after a mismatch at position 2.
+func restart2(p0, p1, p2 bool) string {
+	// Mismatching symbol is !p2; check overlap with prefix.
+	if p1 == p0 && !p2 == p1 {
+		return "S2"
+	}
+	if !p2 == p0 {
+		return "S1"
+	}
+	return "S0"
+}
+
+func genRegisterFile(r *rand.Rand) Item {
+	w := []int{8, 16, 32}[r.Intn(3)]
+	depth := []int{8, 16}[r.Intn(2)]
+	abits := 3
+	if depth == 16 {
+		abits = 4
+	}
+	name := pick(r, []string{modName(r, "register_file"), fmt.Sprintf("regfile_%dx%d", depth, w), modName(r, "regfile")})
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input clk,\n    input we,\n    input [%d:0] waddr,\n    input [%d:0] raddr,\n    input %swdata,\n    output %srdata\n);\n",
+		name, abits-1, abits-1, rng(w), rng(w))
+	fmt.Fprintf(&b, "    reg %smem [0:%d];\n", rng(w), depth-1)
+	b.WriteString("    always @(posedge clk) begin\n        if (we) mem[waddr] <= wdata;\n    end\n")
+	b.WriteString("    assign rdata = mem[raddr];\nendmodule\n")
+	desc := fmt.Sprintf("Implement a %d-entry register file named %s with %d-bit words, write port (we, waddr, wdata) clocked on clk and combinational read port (raddr, rdata).", depth, name, w)
+	return Item{Desc: desc, Code: b.String(), Family: "register_file"}
+}
+
+func genFIFO(r *rand.Rand) Item {
+	w := []int{8, 16}[r.Intn(2)]
+	name := pick(r, []string{modName(r, "sync_fifo"), fmt.Sprintf("fifo_8x%d", w), modName(r, "fifo")})
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input clk,\n    input rst,\n    input push,\n    input pop,\n    input %sdin,\n    output %sdout,\n    output empty,\n    output full\n);\n",
+		name, rng(w), rng(w))
+	fmt.Fprintf(&b, "    reg %smem [0:7];\n    reg [3:0] count;\n    reg [2:0] rptr, wptr;\n", rng(w))
+	b.WriteString(`    always @(posedge clk) begin
+        if (rst) begin
+            count <= 4'd0;
+            rptr <= 3'd0;
+            wptr <= 3'd0;
+        end else begin
+            if (push && !full) begin
+                mem[wptr] <= din;
+                wptr <= wptr + 3'd1;
+                if (!(pop && !empty)) count <= count + 4'd1;
+            end
+            if (pop && !empty) begin
+                rptr <= rptr + 3'd1;
+                if (!(push && !full)) count <= count - 4'd1;
+            end
+        end
+    end
+    assign dout = mem[rptr];
+    assign empty = (count == 4'd0);
+    assign full = (count == 4'd8);
+endmodule
+`)
+	desc := fmt.Sprintf("Design an 8-deep synchronous FIFO named %s with %d-bit data, push/pop handshakes, empty and full flags, and synchronous reset rst.", name, w)
+	return Item{Desc: desc, Code: b.String(), Family: "fifo"}
+}
+
+func genLogicUnit(r *rand.Rand) Item {
+	w := pickW(r)
+	name := modNameW(r, "logic_unit", w)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input %sa,\n    input %sb,\n    output %sand_o,\n    output %sor_o,\n    output %sxor_o,\n    output %snot_a\n);\n",
+		name, rng(w), rng(w), rng(w), rng(w), rng(w), rng(w))
+	b.WriteString("    assign and_o = a & b;\n    assign or_o = a | b;\n    assign xor_o = a ^ b;\n    assign not_a = ~a;\nendmodule\n")
+	desc := fmt.Sprintf("Create a %d-bit combinational logic unit named %s producing and_o, or_o, xor_o of a and b plus not_a.", w, name)
+	return Item{Desc: desc, Code: b.String(), Family: "logic_unit"}
+}
+
+func genSevenSegment(r *rand.Rand) Item {
+	name := modName(r, "seven_seg")
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input [3:0] digit,\n    output reg [6:0] seg\n);\n", name)
+	b.WriteString(`    always @(*) begin
+        case (digit)
+            4'd0: seg = 7'b1111110;
+            4'd1: seg = 7'b0110000;
+            4'd2: seg = 7'b1101101;
+            4'd3: seg = 7'b1111001;
+            4'd4: seg = 7'b0110011;
+            4'd5: seg = 7'b1011011;
+            4'd6: seg = 7'b1011111;
+            4'd7: seg = 7'b1110000;
+            4'd8: seg = 7'b1111111;
+            4'd9: seg = 7'b1111011;
+            default: seg = 7'b0000000;
+        endcase
+    end
+endmodule
+`)
+	desc := fmt.Sprintf("Implement a BCD seven-segment decoder named %s mapping the 4-bit digit to segment pattern seg (active high, blank for values above 9).", name)
+	return Item{Desc: desc, Code: b.String(), Family: "seven_segment"}
+}
+
+func genPWM(r *rand.Rand) Item {
+	w := []int{4, 8}[r.Intn(2)]
+	name := modNameW(r, "pwm", w)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input clk,\n    input rst,\n    input %sduty,\n    output pwm_out\n);\n    reg %scnt;\n", name, rng(w), rng(w))
+	fmt.Fprintf(&b, "    always @(posedge clk) begin\n        if (rst) cnt <= %d'd0;\n        else cnt <= cnt + %d'd1;\n    end\n", w, w)
+	b.WriteString("    assign pwm_out = (cnt < duty);\nendmodule\n")
+	desc := fmt.Sprintf("Create a %d-bit PWM generator named %s: a free-running counter compares against duty, and pwm_out is high while the counter is below it.", w, name)
+	return Item{Desc: desc, Code: b.String(), Family: "pwm"}
+}
+
+func genSatCounter(r *rand.Rand) Item {
+	w := []int{2, 3, 4}[r.Intn(3)]
+	maxV := (1 << w) - 1
+	name := modNameW(r, "sat_counter", w)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input clk,\n    input rst,\n    input inc,\n    input dec,\n    output reg %scnt\n);\n", name, rng(w))
+	fmt.Fprintf(&b, `    always @(posedge clk) begin
+        if (rst) cnt <= %d'd0;
+        else if (inc && !dec && cnt != %d'd%d) cnt <= cnt + %d'd1;
+        else if (dec && !inc && cnt != %d'd0) cnt <= cnt - %d'd1;
+    end
+endmodule
+`, w, w, maxV, w, w, w)
+	desc := fmt.Sprintf("Design a %d-bit saturating up/down counter named %s: inc increments up to %d, dec decrements down to 0, and simultaneous requests hold the value.", w, name, maxV)
+	return Item{Desc: desc, Code: b.String(), Family: "saturating_counter"}
+}
+
+func genBarrelShifter(r *rand.Rand) Item {
+	w := []int{8, 16}[r.Intn(2)]
+	sh := 3
+	if w == 16 {
+		sh = 4
+	}
+	name := modNameW(r, "barrel_shifter", w)
+	left := r.Intn(2) == 0
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input %sdata,\n    input [%d:0] amount,\n    output %sresult\n);\n", name, rng(w), sh-1, rng(w))
+	if left {
+		b.WriteString("    assign result = data << amount;\nendmodule\n")
+	} else {
+		b.WriteString("    assign result = data >> amount;\nendmodule\n")
+	}
+	dir := "left"
+	if !left {
+		dir = "right"
+	}
+	desc := fmt.Sprintf("Implement a %d-bit %s barrel shifter named %s shifting data by amount positions.", w, dir, name)
+	return Item{Desc: desc, Code: b.String(), Family: "barrel_shifter"}
+}
+
+func genMinMax(r *rand.Rand) Item {
+	w := pickW(r)
+	name := modNameW(r, "minmax", w)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input %sa,\n    input %sb,\n    output %smin_o,\n    output %smax_o\n);\n",
+		name, rng(w), rng(w), rng(w), rng(w))
+	b.WriteString("    assign min_o = (a < b) ? a : b;\n    assign max_o = (a > b) ? a : b;\nendmodule\n")
+	desc := fmt.Sprintf("Create a %d-bit min/max unit named %s producing the smaller input on min_o and the larger on max_o.", w, name)
+	return Item{Desc: desc, Code: b.String(), Family: "minmax"}
+}
+
+func genAbs(r *rand.Rand) Item {
+	w := []int{8, 16}[r.Intn(2)]
+	name := modNameW(r, pick(r, []string{"abs_value", "abs", "abs"}), w)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input signed %sx,\n    output %sy\n);\n", name, rng(w), rng(w))
+	fmt.Fprintf(&b, "    assign y = (x < 0) ? -x : x;\nendmodule\n")
+	desc := fmt.Sprintf("Implement an absolute-value unit named %s for a signed %d-bit input x, producing the magnitude on y.", name, w)
+	return Item{Desc: desc, Code: b.String(), Family: "abs_value"}
+}
+
+func genAccumulator(r *rand.Rand) Item {
+	w := []int{8, 16, 32}[r.Intn(3)]
+	name := modNameW(r, "accumulator", w)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input clk,\n    input rst,\n    input en,\n    input %sdin,\n    output reg %sacc\n);\n", name, rng(w), rng(w))
+	fmt.Fprintf(&b, "    always @(posedge clk) begin\n        if (rst) acc <= %d'd0;\n        else if (en) acc <= acc + din;\n    end\nendmodule\n", w)
+	desc := fmt.Sprintf("Design a %d-bit accumulator named %s that adds din into acc on each enabled rising clock edge, with synchronous reset rst.", w, name)
+	return Item{Desc: desc, Code: b.String(), Family: "accumulator"}
+}
+
+// gateSpecs drive the basic-gate family shared by teaching repositories
+// everywhere (and by VGen-style benchmarks).
+var gateSpecs = []struct {
+	kind string
+	expr string
+	desc string
+}{
+	{"and", "a & b", "2-input and gate"},
+	{"or", "a | b", "2-input or gate"},
+	{"xor", "a ^ b", "2-input xor gate"},
+	{"nand", "~(a & b)", "2-input nand gate"},
+	{"nor", "~(a | b)", "2-input nor gate"},
+	{"xnor", "~(a ^ b)", "2-input xnor gate"},
+}
+
+func genGate(r *rand.Rand) Item {
+	g := gateSpecs[r.Intn(len(gateSpecs))]
+	name := modName(r, g.kind+"_gate")
+	out := pick(r, []string{"out", "y", "out"})
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s(input a, input b, output %s);\n    assign %s = %s;\nendmodule\n",
+		name, out, out, strings.ReplaceAll(g.expr, "out", out))
+	desc := phrase(r, []string{
+		"Implement a %s named %s driving output %s from inputs a and b.",
+		"Write a %s module called %s with inputs a, b and output %s.",
+	}, g.desc, name, out)
+	return Item{Desc: desc, Code: b.String(), Family: "gate"}
+}
+
+func genBuffer(r *rand.Rand) Item {
+	name := modName(r, pick(r, []string{"buffer", "simple_wire", "inverter"}))
+	invert := strings.Contains(name, "inv") || r.Intn(3) == 0
+	in := pick(r, []string{"in_a", "a", "din", "sig_in"})
+	out := pick(r, []string{"out_a", "y", "dout", "sig_out"})
+	var b strings.Builder
+	expr := in
+	kind := "wire that connects"
+	if invert {
+		expr = "~" + in
+		kind = "inverter that drives the complement of"
+	}
+	fmt.Fprintf(&b, "module %s(input %s, output %s);\n    assign %s = %s;\nendmodule\n",
+		name, in, out, out, expr)
+	desc := fmt.Sprintf("Implement a simple %s input %s to output %s, as module %s.", kind, in, out, name)
+	return Item{Desc: desc, Code: b.String(), Family: "buffer"}
+}
+
+func genHalfAdder(r *rand.Rand) Item {
+	name := modName(r, "half_adder")
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s(input a, input b, output s, output c);\n    assign s = a ^ b;\n    assign c = a & b;\nendmodule\n", name)
+	desc := fmt.Sprintf("Implement a half adder named %s: sum s is a xor b, carry c is a and b.", name)
+	return Item{Desc: desc, Code: b.String(), Family: "half_adder"}
+}
+
+func genFullAdder(r *rand.Rand) Item {
+	name := modName(r, "full_adder")
+	var b strings.Builder
+	style := r.Intn(2)
+	if style == 0 {
+		fmt.Fprintf(&b, "module %s(input a, input b, input cin, output s, output cout);\n    assign s = a ^ b ^ cin;\n    assign cout = (a & b) | (a & cin) | (b & cin);\nendmodule\n", name)
+	} else {
+		fmt.Fprintf(&b, "module %s(input a, input b, input cin, output s, output cout);\n    assign {cout, s} = a + b + cin;\nendmodule\n", name)
+	}
+	desc := fmt.Sprintf("Implement a one-bit full adder named %s with inputs a, b, cin and outputs s (sum) and cout (carry out).", name)
+	return Item{Desc: desc, Code: b.String(), Family: "full_adder"}
+}
+
+func genDFFVariants(r *rand.Rand) Item {
+	name := modName(r, pick(r, []string{"dff", "d_flip_flop", "dff_rst", "t_ff"}))
+	clk := pick(r, clkNames[:3])
+	var b strings.Builder
+	var desc string
+	switch {
+	case strings.Contains(name, "t_ff"):
+		fmt.Fprintf(&b, "module %s(input %s, input rst, input t, output reg q);\n    always @(posedge %s) begin\n        if (rst) q <= 1'b0;\n        else if (t) q <= ~q;\n    end\nendmodule\n", name, clk, clk)
+		desc = fmt.Sprintf("Implement a T flip-flop named %s with synchronous reset rst: q toggles on the rising edge of %s when t is high.", name, clk)
+	case strings.Contains(name, "rst"):
+		fmt.Fprintf(&b, "module %s(input %s, input rst, input d, output reg q);\n    always @(posedge %s) begin\n        if (rst) q <= 1'b0;\n        else q <= d;\n    end\nendmodule\n", name, clk, clk)
+		desc = fmt.Sprintf("Implement a D flip-flop with synchronous reset named %s: on the rising edge of %s, q clears when rst is high, else captures d.", name, clk)
+	default:
+		fmt.Fprintf(&b, "module %s(input %s, input d, output reg q);\n    always @(posedge %s) q <= d;\nendmodule\n", name, clk, clk)
+		desc = fmt.Sprintf("Implement a D flip-flop named %s capturing d into q on the rising edge of %s.", name, clk)
+	}
+	return Item{Desc: desc, Code: b.String(), Family: "dff"}
+}
+
+func genDLatch(r *rand.Rand) Item {
+	name := modName(r, "d_latch")
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s(input d, input en, output reg q);\n    always @(*) begin\n        if (en) q = d;\n    end\nendmodule\n", name)
+	desc := fmt.Sprintf("Implement a level-sensitive D latch named %s: while en is high q follows d, otherwise q holds.", name)
+	return Item{Desc: desc, Code: b.String(), Family: "d_latch"}
+}
+
+func genMultiplier(r *rand.Rand) Item {
+	w := []int{2, 4, 4, 8}[r.Intn(4)]
+	name := modNameW(r, pick(r, []string{"mult", "multiplier", "mult"}), w)
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input %sa,\n    input %sb,\n    output %sp\n);\n    assign p = a * b;\nendmodule\n",
+		name, rng(w), rng(w), rng(2*w))
+	desc := fmt.Sprintf("Implement a combinational %d-bit multiplier named %s producing the %d-bit product p of a and b.", w, name, 2*w)
+	return Item{Desc: desc, Code: b.String(), Family: "multiplier"}
+}
+
+func genModCounter(r *rand.Rand) Item {
+	modN := []int{10, 10, 12, 6, 100}[r.Intn(5)]
+	w := 4
+	if modN > 16 {
+		w = 7
+	}
+	name := pick(r, []string{fmt.Sprintf("counter_mod%d", modN), modName(r, "mod_counter"), fmt.Sprintf("mod%d_counter", modN)})
+	q := pick(r, []string{"q", "count", "cnt"})
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input clk,\n    input rst,\n    output reg %s%s\n);\n", name, rng(w), q)
+	fmt.Fprintf(&b, "    always @(posedge clk) begin\n        if (rst) %s <= %d'd0;\n        else if (%s == %d'd%d) %s <= %d'd0;\n        else %s <= %s + %d'd1;\n    end\nendmodule\n",
+		q, w, q, w, modN-1, q, w, q, q, w)
+	desc := fmt.Sprintf("Design a modulo-%d (BCD-style) counter named %s: %s increments each rising clock edge and wraps from %d back to 0, with synchronous reset rst.", modN, name, q, modN-1)
+	return Item{Desc: desc, Code: b.String(), Family: "mod_counter"}
+}
+
+func genEnableRegister(r *rand.Rand) Item {
+	w := pickW(r)
+	name := pick(r, []string{fmt.Sprintf("register_%dbit_en", w), modNameW(r, "register", w), modName(r, "en_register")})
+	clk := pick(r, clkNames[:3])
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s (\n    input %s,\n    input en,\n    input %sd,\n    output reg %sq\n);\n", name, clk, rng(w), rng(w))
+	fmt.Fprintf(&b, "    always @(posedge %s) begin\n        if (en) q <= d;\n    end\nendmodule\n", clk)
+	desc := fmt.Sprintf("Implement an %d-bit register with enable named %s: on each rising edge of %s, q captures d only while en is high, otherwise it holds.", w, name, clk)
+	return Item{Desc: desc, Code: b.String(), Family: "en_register"}
+}

@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"hash/fnv"
+)
+
+// minhashSize is the signature length (number of hash permutations).
+const minhashSize = 64
+
+// lshBands × lshRows must equal minhashSize; documents sharing any band
+// become dedup candidates.
+const (
+	lshBands = 16
+	lshRows  = 4
+)
+
+// shingleSize is the word-shingle width used for Jaccard similarity.
+const shingleSize = 3
+
+// jaccardThreshold marks a candidate pair as duplicate (§III-A uses
+// MinHash + Jaccard; 0.85 is the conventional near-duplicate cut).
+const jaccardThreshold = 0.92
+
+// shingles returns the set of hashed word 3-grams of a document.
+func shingles(text string) map[uint64]bool {
+	words := fields(text)
+	out := map[uint64]bool{}
+	for i := 0; i+shingleSize <= len(words); i++ {
+		h := fnv.New64a()
+		for j := 0; j < shingleSize; j++ {
+			h.Write([]byte(words[i+j]))
+			h.Write([]byte{0})
+		}
+		out[h.Sum64()] = true
+	}
+	return out
+}
+
+// fields splits on whitespace without allocating per-rune.
+func fields(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// signature computes the MinHash signature of a shingle set using
+// minhashSize cheap xorshift-derived permutations.
+func signature(sh map[uint64]bool) [minhashSize]uint64 {
+	var sig [minhashSize]uint64
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for s := range sh {
+		x := s
+		for i := 0; i < minhashSize; i++ {
+			// Per-permutation mixing: multiply-xorshift with distinct
+			// odd constants.
+			v := (x ^ uint64(i)*0x9E3779B97F4A7C15) * 0xBF58476D1CE4E5B9
+			v ^= v >> 27
+			v *= 0x94D049BB133111EB
+			v ^= v >> 31
+			if v < sig[i] {
+				sig[i] = v
+			}
+		}
+	}
+	return sig
+}
+
+// estJaccard estimates Jaccard similarity from two signatures.
+func estJaccard(a, b [minhashSize]uint64) float64 {
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(minhashSize)
+}
+
+// Deduplicate removes near-duplicate documents (Jaccard ≥ threshold on
+// MinHash signatures, candidates found via LSH banding), keeping the
+// first occurrence. It returns the surviving indices in input order.
+func Deduplicate(docs []string) []int {
+	sigs := make([][minhashSize]uint64, len(docs))
+	for i, d := range docs {
+		sigs[i] = signature(shingles(d))
+	}
+	buckets := map[uint64][]int{}
+	dropped := make([]bool, len(docs))
+	for i := range docs {
+		if dropped[i] {
+			continue
+		}
+		for b := 0; b < lshBands; b++ {
+			h := fnv.New64a()
+			for r := 0; r < lshRows; r++ {
+				v := sigs[i][b*lshRows+r]
+				var buf [8]byte
+				for k := 0; k < 8; k++ {
+					buf[k] = byte(v >> uint(8*k))
+				}
+				h.Write(buf[:])
+			}
+			key := h.Sum64() ^ uint64(b)<<56
+			for _, j := range buckets[key] {
+				if !dropped[i] && !dropped[j] && estJaccard(sigs[i], sigs[j]) >= jaccardThreshold {
+					dropped[i] = true
+				}
+			}
+			buckets[key] = append(buckets[key], i)
+		}
+	}
+	var keep []int
+	for i := range docs {
+		if !dropped[i] {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// quickSetup is small enough for CI but large enough that the trained
+// models behave (the corpus still covers every family).
+func quickSetup() Setup {
+	s := Quick()
+	s.CorpusItems = 900
+	s.Samples = 2
+	s.Temps = []float64{0.4}
+	s.SpeedPrompts = 10
+	return s
+}
+
+func TestRunnerBuildsCorpus(t *testing.T) {
+	r := NewRunner(quickSetup())
+	if len(r.Examples()) == 0 {
+		t.Fatal("no examples after refinement")
+	}
+	if r.Stats().SyntaxClean != len(r.Examples()) {
+		t.Fatalf("stats inconsistent: %+v vs %d", r.Stats(), len(r.Examples()))
+	}
+	if r.Tokenizer(model.CodeLlamaSim()) == nil {
+		t.Fatal("tokenizer missing")
+	}
+}
+
+func TestTable2SpeedOrderingAndCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	r := NewRunner(quickSetup())
+	rows := r.RunTable2()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (one model in Quick setup)", len(rows))
+	}
+	byMethod := map[string]SpeedRow{}
+	for _, row := range rows {
+		byMethod[row.Method] = row
+	}
+	// NTP must sit at its calibrated baseline (eq. 3 with the
+	// CodeLlama cost model: 1000/12.03 ≈ 83 tok/s).
+	ntp := byMethod["NTP"].TokensPerSec
+	if ntp < 80 || ntp > 86 {
+		t.Fatalf("NTP speed %f outside calibration band", ntp)
+	}
+	// Both speculative methods must beat NTP (Table II's headline).
+	if byMethod["Ours"].Speedup <= 1.5 {
+		t.Fatalf("Ours speedup %f, want > 1.5", byMethod["Ours"].Speedup)
+	}
+	if byMethod["Medusa"].Speedup <= 1.5 {
+		t.Fatalf("Medusa speedup %f, want > 1.5", byMethod["Medusa"].Speedup)
+	}
+}
+
+func TestFig5StepOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	r := NewRunner(quickSetup())
+	rows := r.RunFig5()
+	steps := map[string]int{}
+	for _, row := range rows {
+		steps[row.Method] = row.Steps
+	}
+	// The paper's Fig. 5 ordering: both speculative methods need far
+	// fewer decoding steps than NTP.
+	if steps["Ours"] >= steps["NTP"] || steps["Medusa"] >= steps["NTP"] {
+		t.Fatalf("step ordering violated: %v", steps)
+	}
+}
+
+func TestTable1SmokeAndFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	s := quickSetup()
+	s.SizeNumerators = []int{4}
+	r := NewRunner(s)
+	cells := r.RunTable1()
+	// 1 model × 1 size × 3 methods × 2 benchmarks.
+	if len(cells) != 6 {
+		t.Fatalf("cells = %d, want 6", len(cells))
+	}
+	for _, c := range cells {
+		if c.SynPass1 < 0 || c.SynPass1 > 100 || c.FuncPass10 < c.FuncPass1 {
+			t.Fatalf("implausible cell: %+v", c)
+		}
+	}
+	slice := Fig6(cells, model.CodeLlamaSim().Name)
+	if len(slice) != 6 {
+		t.Fatalf("Fig6 slice = %d", len(slice))
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int]string{500: "500", 3400: "3.4K", 34000: "34K", 136000: "136K"}
+	for n, want := range cases {
+		if got := SizeLabel(n); got != want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

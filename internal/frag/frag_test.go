@@ -1,0 +1,244 @@
+package frag
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tokenizer"
+)
+
+const dataRegisterSrc = `module data_register (
+    input clk,
+    input [3:0] data_in,
+    output reg [3:0] data_out
+);
+    always @(posedge clk) begin
+        data_out <= data_in;
+    end
+endmodule
+`
+
+func TestSignificantTokens(t *testing.T) {
+	set, err := SignificantTokens(dataRegisterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"data_register", "clk", "data_in", "data_out", // AST identifiers
+		"module", "endmodule", "reg", "posedge", "begin", "end", // extra keywords
+		"<=", "(", ")", ";", // operators/punct
+	} {
+		if !set[want] {
+			t.Errorf("significant set missing %q", want)
+		}
+	}
+	if set[","] || set["["] || set["@"] {
+		t.Error("',', '[' and '@' should not be significant (Fig. 3)")
+	}
+}
+
+func TestInsertFragsShape(t *testing.T) {
+	out, err := InsertFrags(dataRegisterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"[FRAG]module[FRAG]",
+		"[FRAG]data_register[FRAG]",
+		"[FRAG]([FRAG]",
+		"[FRAG]posedge[FRAG]",
+		"[FRAG]<=[FRAG]",
+		"[FRAG]endmodule[FRAG]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("InsertFrags output missing %q\n%s", want, out)
+		}
+	}
+	// Removing markers must reproduce the original source.
+	if got := strings.ReplaceAll(out, "[FRAG]", ""); got != dataRegisterSrc {
+		t.Errorf("stripping [FRAG] does not reproduce source:\n%q", got)
+	}
+}
+
+func TestSegmentReconstructs(t *testing.T) {
+	sig, err := SignificantTokens(dataRegisterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, p := range Segment(dataRegisterSrc, sig) {
+		sb.WriteString(p.Text)
+	}
+	if sb.String() != dataRegisterSrc {
+		t.Fatal("segment concatenation differs from source")
+	}
+}
+
+func TestSegmentReconstructsProperty(t *testing.T) {
+	sig := ExtraKeywords()
+	f := func(s string) bool {
+		var sb strings.Builder
+		for _, p := range Segment(s, sig) {
+			sb.WriteString(p.Text)
+		}
+		return sb.String() == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeWithFragsRoundtrip(t *testing.T) {
+	tk := tokenizer.Train([]string{dataRegisterSrc}, 400)
+	ids, err := EncodeWithFrags(tk, dataRegisterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nFrags := 0
+	for _, id := range ids {
+		if id == tokenizer.FragID {
+			nFrags++
+		}
+	}
+	if nFrags == 0 || nFrags%2 != 0 {
+		t.Fatalf("expected an even, positive number of FRAG markers, got %d", nFrags)
+	}
+	if got := tk.DecodeClean(ids); got != dataRegisterSrc {
+		t.Fatalf("DecodeClean mismatch:\n%q", got)
+	}
+	if got := tk.Decode(StripFrags(ids)); got != dataRegisterSrc {
+		t.Fatalf("StripFrags mismatch:\n%q", got)
+	}
+}
+
+func TestBuildLabelsShiftAndPad(t *testing.T) {
+	l0 := []int{10, 11, 12, 13, 14}
+	labels := BuildLabels(l0, 3)
+	if len(labels) != 4 {
+		t.Fatalf("rows = %d, want 4", len(labels))
+	}
+	if !reflect.DeepEqual(labels[0], l0) {
+		t.Fatalf("base row changed: %v", labels[0])
+	}
+	wantRow2 := []int{12, 13, 14, tokenizer.PadID, tokenizer.PadID}
+	if !reflect.DeepEqual(labels[2], wantRow2) {
+		t.Fatalf("row 2 = %v, want %v", labels[2], wantRow2)
+	}
+	// Input slice must not be aliased.
+	labels[0][0] = 99
+	if l0[0] != 10 {
+		t.Fatal("BuildLabels aliases its input")
+	}
+}
+
+func TestMaskLabelsKnownExample(t *testing.T) {
+	F := tokenizer.FragID
+	// Sequence: F a b F c  (token ids 100,101,102 arbitrary)
+	l0 := []int{F, 100, 101, F, 102}
+	labels := BuildLabels(l0, 3)
+	MaskLabelsSequential(labels)
+	// Column 0: head rows were [100,101,F] -> last FRAG at head 3: keep all.
+	if labels[3][0] != F {
+		t.Errorf("col0 head3 = %d, want FRAG", labels[3][0])
+	}
+	// Column 2: head rows were [F,102,PAD] -> last FRAG at head 1; heads 2,3 masked.
+	if labels[1][2] != F {
+		t.Errorf("col2 head1 = %d, want FRAG", labels[1][2])
+	}
+	if labels[2][2] != tokenizer.IgnoreID || labels[3][2] != tokenizer.IgnoreID {
+		t.Errorf("col2 heads 2,3 = %d,%d, want IGNORE", labels[2][2], labels[3][2])
+	}
+	// Column 4 (last): head rows were [PAD,PAD,PAD] -> no FRAG: untouched.
+	if labels[1][4] != tokenizer.PadID {
+		t.Errorf("col4 head1 = %d, want PAD", labels[1][4])
+	}
+}
+
+func cloneMatrix(m [][]int) [][]int {
+	out := make([][]int, len(m))
+	for i, r := range m {
+		out[i] = append([]int(nil), r...)
+	}
+	return out
+}
+
+func TestParallelMatchesSequentialProperty(t *testing.T) {
+	// The paper's vectorized algorithm must agree with the obvious
+	// per-column reference on random sequences with random FRAGs.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		s := 1 + rng.Intn(120)
+		heads := 1 + rng.Intn(12)
+		l0 := make([]int, s)
+		for i := range l0 {
+			if rng.Float64() < 0.25 {
+				l0[i] = tokenizer.FragID
+			} else {
+				l0[i] = tokenizer.NumSpecial + rng.Intn(100)
+			}
+		}
+		a := BuildLabels(l0, heads)
+		b := cloneMatrix(a)
+		MaskLabelsSequential(a)
+		MaskLabelsParallel(b)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: sequential and parallel disagree\nseq: %v\npar: %v\nl0: %v heads=%d",
+				trial, a, b, l0, heads)
+		}
+	}
+}
+
+func TestIgnoredFractionMonotone(t *testing.T) {
+	tk := tokenizer.Train([]string{dataRegisterSrc}, 400)
+	ids, err := EncodeWithFrags(tk, dataRegisterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := BuildSyntaxEnrichedLabels(ids, 10)
+	fr := IgnoredFraction(labels)
+	if fr[0] != 0 {
+		t.Fatalf("base row must never be masked, got %f", fr[0])
+	}
+	for i := 2; i < len(fr); i++ {
+		if fr[i] < fr[i-1] {
+			t.Fatalf("ignored fraction not monotone at head %d: %v", i, fr)
+		}
+	}
+	if fr[len(fr)-1] == 0 {
+		t.Fatal("expected some masking on the last head")
+	}
+}
+
+func TestMaskNoFragsNoChange(t *testing.T) {
+	l0 := []int{100, 101, 102, 103}
+	a := BuildLabels(l0, 4)
+	b := cloneMatrix(a)
+	MaskLabelsParallel(b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("masking changed a FRAG-free matrix")
+	}
+}
+
+func TestMaskEmptyAndTiny(t *testing.T) {
+	MaskLabelsParallel(nil)
+	MaskLabelsSequential(nil)
+	labels := BuildLabels([]int{}, 3)
+	MaskLabelsParallel(labels) // must not panic
+	one := BuildLabels([]int{tokenizer.FragID}, 0)
+	MaskLabelsParallel(one)
+	if one[0][0] != tokenizer.FragID {
+		t.Fatal("zero-head matrix altered")
+	}
+}
+
+func TestExtraKeywordsCopied(t *testing.T) {
+	a := ExtraKeywords()
+	a["module"] = false
+	b := ExtraKeywords()
+	if !b["module"] {
+		t.Fatal("ExtraKeywords returns shared state")
+	}
+}

@@ -1,0 +1,89 @@
+// Package metrics implements the paper's evaluation metrics: the
+// unbiased pass@k estimator (eq. 5, from VerilogEval), Pass Rate
+// (eq. 6), generation speed (eq. 3) and speedup (eq. 4).
+package metrics
+
+// PassAtK returns the probability that at least one of k samples drawn
+// without replacement from n generations (of which c are correct)
+// passes: 1 - C(n-c, k)/C(n, k). Results are exact and numerically
+// stable (computed as a running product).
+func PassAtK(n, c, k int) float64 {
+	if k > n {
+		k = n
+	}
+	if c <= 0 || n <= 0 || k <= 0 {
+		return 0
+	}
+	if n-c < k {
+		return 1
+	}
+	// prod_{i=0}^{k-1} (n-c-i)/(n-i)
+	fail := 1.0
+	for i := 0; i < k; i++ {
+		fail *= float64(n-c-i) / float64(n-i)
+	}
+	return 1 - fail
+}
+
+// PromptResult is the per-prompt sample outcome used by the aggregate
+// metrics: n generated samples, c of them passing.
+type PromptResult struct {
+	N, C int
+}
+
+// MeanPassAtK averages pass@k over prompts (the expectation in eq. 5).
+func MeanPassAtK(results []PromptResult, k int) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, r := range results {
+		total += PassAtK(r.N, r.C, k)
+	}
+	return total / float64(len(results))
+}
+
+// PassRate is eq. 6: the fraction of prompts with at least one passing
+// sample.
+func PassRate(results []PromptResult) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	m := 0
+	for _, r := range results {
+		if r.C > 0 {
+			m++
+		}
+	}
+	return float64(m) / float64(len(results))
+}
+
+// Speed is eq. 3: the mean of per-output tokens/second ratios.
+// tokens[i] is the output token length and seconds[i] the inference
+// time of output i.
+func Speed(tokens []int, seconds []float64) float64 {
+	if len(tokens) == 0 || len(tokens) != len(seconds) {
+		return 0
+	}
+	total := 0.0
+	n := 0
+	for i := range tokens {
+		if seconds[i] <= 0 {
+			continue
+		}
+		total += float64(tokens[i]) / seconds[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// Speedup is eq. 4: the ratio of a method's speed to the NTP baseline.
+func Speedup(speed, ntpSpeed float64) float64 {
+	if ntpSpeed <= 0 {
+		return 0
+	}
+	return speed / ntpSpeed
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestPassAtKExactValues(t *testing.T) {
+	// c = n: always passes.
+	if !almost(PassAtK(20, 20, 1), 1) {
+		t.Fatal("all-correct should be 1")
+	}
+	// c = 0: never passes.
+	if !almost(PassAtK(20, 0, 10), 0) {
+		t.Fatal("none-correct should be 0")
+	}
+	// n=2, c=1, k=1 -> 0.5
+	if !almost(PassAtK(2, 1, 1), 0.5) {
+		t.Fatalf("PassAtK(2,1,1) = %f", PassAtK(2, 1, 1))
+	}
+	// n=20, c=1, k=20 -> 1 (k covers everything)
+	if !almost(PassAtK(20, 1, 20), 1) {
+		t.Fatal("k=n with one correct must be 1")
+	}
+	// Hand-computed: n=4, c=2, k=2 -> 1 - C(2,2)/C(4,2) = 1 - 1/6
+	if !almost(PassAtK(4, 2, 2), 1-1.0/6) {
+		t.Fatalf("PassAtK(4,2,2) = %f", PassAtK(4, 2, 2))
+	}
+}
+
+func TestPassAtKMonotonicityProperties(t *testing.T) {
+	f := func(n8, c8, k8 uint8) bool {
+		n := int(n8%30) + 1
+		c := int(c8) % (n + 1)
+		k := int(k8%uint8(n)) + 1
+		p := PassAtK(n, c, k)
+		if p < 0 || p > 1 {
+			return false
+		}
+		// More correct samples never lowers pass@k.
+		if c < n && PassAtK(n, c+1, k) < p {
+			return false
+		}
+		// Larger k never lowers pass@k.
+		if k < n && PassAtK(n, c, k+1) < p {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanPassAtK(t *testing.T) {
+	results := []PromptResult{{N: 20, C: 20}, {N: 20, C: 0}}
+	if !almost(MeanPassAtK(results, 5), 0.5) {
+		t.Fatalf("mean = %f", MeanPassAtK(results, 5))
+	}
+	if MeanPassAtK(nil, 5) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestPassRate(t *testing.T) {
+	results := []PromptResult{{20, 3}, {20, 0}, {20, 20}, {20, 0}}
+	if !almost(PassRate(results), 0.5) {
+		t.Fatalf("pass rate = %f", PassRate(results))
+	}
+}
+
+func TestSpeedAndSpeedup(t *testing.T) {
+	// Two outputs: 100 tokens in 1s and 300 tokens in 2s -> mean of
+	// 100 and 150 = 125 tokens/s.
+	s := Speed([]int{100, 300}, []float64{1, 2})
+	if !almost(s, 125) {
+		t.Fatalf("speed = %f", s)
+	}
+	if !almost(Speedup(250, 125), 2) {
+		t.Fatalf("speedup = %f", Speedup(250, 125))
+	}
+	if Speedup(1, 0) != 0 {
+		t.Fatal("zero baseline should give 0")
+	}
+	if Speed(nil, nil) != 0 || Speed([]int{1}, []float64{0}) != 0 {
+		t.Fatal("degenerate speeds should be 0")
+	}
+}

@@ -1,0 +1,86 @@
+package model
+
+import (
+	"strings"
+)
+
+// stopwords are prompt words carrying no task-discriminating content.
+// Everything else in a prompt (module names, widths, operation words)
+// becomes a conditioning keyword.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "and": true, "or": true,
+	"of": true, "to": true, "in": true, "on": true, "for": true,
+	"with": true, "that": true, "this": true, "is": true, "are": true,
+	"as": true, "by": true, "it": true, "its": true, "be": true,
+	"should": true, "uses": true, "use": true, "using": true,
+	"module": true, "verilog": true, "code": true, "design": true,
+	"implement": true, "implements": true, "implementation": true,
+	"create": true, "creates": true, "write": true, "given": true,
+	"input": true, "inputs": true, "output": true, "outputs": true,
+	"signal": true, "signals": true, "please": true, "act": true,
+	"professional": true, "designer": true, "named": true, "name": true,
+	"called": true, "which": true, "each": true, "all": true,
+	"when": true, "where": true, "must": true, "will": true,
+	"can": true, "bit": true, "bits": true, "wide": true,
+	"has": true, "have": true, "takes": true, "assigns": true,
+	"simple": true, "following": true, "instruction": true,
+	"response": true, "reg": true, "wire": true,
+}
+
+// maxKeywords caps conditioning keywords per prompt.
+const maxKeywords = 12
+
+// Keywords extracts the content words of a natural-language prompt —
+// the conditioning signal of the keyword-mixture mechanism (the n-gram
+// analogue of prompt attention). Words are lowercased alphanumeric
+// runs; stopwords and single letters are dropped, digits are kept
+// (widths such as "8" in "8-bit" discriminate tasks).
+func Keywords(prompt string) []string {
+	var out []string
+	seen := map[string]bool{}
+	lower := strings.ToLower(prompt)
+	i := 0
+	for i < len(lower) && len(out) < maxKeywords {
+		c := lower[i]
+		isAl := c >= 'a' && c <= 'z'
+		isNum := c >= '0' && c <= '9'
+		if !isAl && !isNum && c != '_' {
+			i++
+			continue
+		}
+		j := i
+		for j < len(lower) {
+			c := lower[j]
+			if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' {
+				j++
+				continue
+			}
+			break
+		}
+		w := lower[i:j]
+		i = j
+		if stopwords[w] || seen[w] {
+			continue
+		}
+		if len(w) < 2 && !(w[0] >= '0' && w[0] <= '9') {
+			continue
+		}
+		seen[w] = true
+		out = append(out, w)
+	}
+	return out
+}
+
+// kwSeed hashes a keyword into the seed space of the conditioned tables.
+func kwSeed(w string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(w); i++ {
+		h ^= uint64(w[i])
+		h *= 1099511628211
+	}
+	// Avoid the zero seed reserved for the unconditioned tables.
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

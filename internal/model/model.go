@@ -1,0 +1,765 @@
+package model
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/frag"
+	"repro/internal/tokenizer"
+)
+
+// Scheme selects the training strategy compared in the paper.
+type Scheme int
+
+// Training schemes (paper §IV-A).
+const (
+	// SchemeNTP is conventional next-token-prediction fine-tuning:
+	// base model only, no decoding heads.
+	SchemeNTP Scheme = iota
+	// SchemeMedusa is the original Medusa-2 method: joint fine-tuning
+	// of base and heads on plain shifted labels.
+	SchemeMedusa
+	// SchemeOurs is the paper's method: joint fine-tuning on
+	// [FRAG]-enriched sequences with [IGNORE]-masked labels.
+	SchemeOurs
+	// SchemeOursNoMask is an ablation: [FRAG]-enriched sequences but
+	// vanilla (unmasked) Medusa labels. It isolates the contribution
+	// of the [IGNORE] masking to head quality and backbone cleanliness.
+	SchemeOursNoMask
+)
+
+// String names the scheme as in the paper's tables.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeNTP:
+		return "NTP"
+	case SchemeMedusa:
+		return "Medusa"
+	case SchemeOurs:
+		return "Ours"
+	case SchemeOursNoMask:
+		return "Ours-nomask"
+	}
+	return "?"
+}
+
+// UsesFrags reports whether the scheme trains on [FRAG]-enriched code.
+func (s Scheme) UsesFrags() bool { return s == SchemeOurs || s == SchemeOursNoMask }
+
+// Config describes a simulated backbone model. The two presets mirror
+// the paper's CodeLlama-7b and CodeT5p-220m in relative capacity and
+// per-step cost.
+type Config struct {
+	// Name appears in reports ("CodeLlama-sim", "CodeT5p-sim").
+	Name string
+	// Order is the base model's maximum context length in tokens
+	// (n-gram order minus one).
+	Order int
+	// HeadCtx is the context length available to decoding heads
+	// (heads are small MLPs in Medusa; shorter context models that).
+	HeadCtx int
+	// NumHeads is the number of decoding heads appended (paper: 10).
+	NumHeads int
+	// VocabSize is the BPE vocabulary target for this model.
+	VocabSize int
+	// Lambda is the effective average of the paper's sine-growth
+	// joint-loss weight λ (0→0.2 ⇒ mean ≈ 0.2·2/π ≈ 0.127).
+	Lambda float64
+	// Gamma is the per-head loss decay γ (paper: 0.8).
+	Gamma float64
+	// CopyStrength scales the induction-copy mechanism (how strongly
+	// the model echoes identifiers from its prompt/context).
+	CopyStrength float64
+	// PromptBlend is the exponent of the keyword-conditioned expert in
+	// the product-of-experts combination with the base table — the
+	// model's prompt-attention analogue (0 disables, 1 full strength).
+	// The base table contributes positional structure, the keyword
+	// expert contributes task identity; multiplying them keeps both.
+	PromptBlend float64
+	// PromptCopyBoost multiplies the probability of content tokens that
+	// appear in the prompt (identifier copying — fine-tuned LLMs
+	// strongly prefer echoing the names their prompt spelled out).
+	PromptCopyBoost float64
+	// KwCtx is the context length of the keyword-conditioned tables.
+	KwCtx int
+	// StepLatencyMS is the simulated cost of one forward pass of the
+	// backbone — the GPU cost model. Calibrated so the NTP baseline
+	// reproduces the paper's tokens/s (83.13 for CodeLlama ⇒ 12.03 ms).
+	StepLatencyMS float64
+	// HeadLatencyMS is the additional per-head cost of a forward pass.
+	HeadLatencyMS float64
+	// MaxTokens bounds generation length (8192 / 2048 in the paper).
+	MaxTokens int
+}
+
+// CodeLlamaSim mirrors CodeLlama-7b-Instruct: larger context, larger
+// vocabulary, higher per-step cost.
+func CodeLlamaSim() Config {
+	return Config{
+		Name: "CodeLlama-sim", Order: 12, HeadCtx: 3, NumHeads: 10,
+		VocabSize: 2048, Lambda: 0.127, Gamma: 0.8, CopyStrength: 0.55,
+		PromptBlend: 0.6, KwCtx: 2, PromptCopyBoost: 4.0,
+		StepLatencyMS: 12.03, HeadLatencyMS: 0.07, MaxTokens: 2000,
+	}
+}
+
+// CodeT5pSim mirrors CodeT5p-220m-bimodal: shorter context, smaller
+// vocabulary, lower per-step cost, weaker heads.
+func CodeT5pSim() Config {
+	return Config{
+		Name: "CodeT5p-sim", Order: 4, HeadCtx: 2, NumHeads: 10,
+		VocabSize: 1024, Lambda: 0.127, Gamma: 0.8, CopyStrength: 0.35,
+		PromptBlend: 0.4, KwCtx: 2, PromptCopyBoost: 2.2,
+		StepLatencyMS: 10.91, HeadLatencyMS: 0.06, MaxTokens: 1200,
+	}
+}
+
+// Example is one Alpaca-style training sample: a natural-language
+// description and its Verilog implementation.
+type Example struct {
+	Prompt string
+	Code   string
+}
+
+// FormatPrompt renders the instruction wrapper shared by training and
+// inference (the Alpaca style of §IV-A1).
+func FormatPrompt(desc string) string {
+	return "### Instruction:\n" + desc + "\n### Response:\n"
+}
+
+// Model is a trained simulated LM: a base table, per-head tables and a
+// keyword-conditioned table for prompt attention.
+type Model struct {
+	cfg    Config
+	scheme Scheme
+	tok    *tokenizer.Tokenizer
+	base   *ngramTable
+	heads  []*ngramTable
+	kw     *ngramTable // seeded by prompt-keyword hashes
+	// kwDF counts, per keyword, the number of training examples whose
+	// prompt contained it (document frequency for inference-time IDF
+	// filtering of uninformative keywords such as clk or rst).
+	kwDF map[string]int
+	// trained counts examples consumed (diagnostics).
+	trained int
+}
+
+// New creates an empty model bound to a tokenizer; use Train / TrainMore
+// to feed it examples.
+func New(tk *tokenizer.Tokenizer, cfg Config, scheme Scheme) *Model {
+	if cfg.KwCtx <= 0 {
+		cfg.KwCtx = 2
+	}
+	m := &Model{cfg: cfg, scheme: scheme, tok: tk,
+		base: newNgramTable(cfg.Order), kw: newNgramTable(cfg.KwCtx),
+		kwDF: map[string]int{}}
+	if scheme != SchemeNTP {
+		m.heads = make([]*ngramTable, cfg.NumHeads)
+		for i := range m.heads {
+			m.heads[i] = newNgramTable(cfg.HeadCtx)
+		}
+	}
+	return m
+}
+
+// Train builds a model from scratch over the examples.
+func Train(tk *tokenizer.Tokenizer, cfg Config, scheme Scheme, examples []Example) *Model {
+	m := New(tk, cfg, scheme)
+	m.TrainMore(examples)
+	return m
+}
+
+// Config returns the model configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Scheme returns the training scheme the model was built with.
+func (m *Model) Scheme() Scheme { return m.scheme }
+
+// Tokenizer returns the model's tokenizer.
+func (m *Model) Tokenizer() *tokenizer.Tokenizer { return m.tok }
+
+// NumHeads returns the number of decoding heads (0 for NTP models).
+func (m *Model) NumHeads() int { return len(m.heads) }
+
+// TrainedExamples returns how many examples the model has consumed.
+func (m *Model) TrainedExamples() int { return m.trained }
+
+// TrainMore ingests additional examples incrementally — the data-size
+// sweep of Table I trains once per subset boundary and keeps going.
+func (m *Model) TrainMore(examples []Example) {
+	for _, ex := range examples {
+		m.trainOne(ex)
+	}
+}
+
+// trainOne updates the count tables for a single example according to
+// the model's scheme.
+func (m *Model) trainOne(ex Example) {
+	promptIDs := append([]int{tokenizer.BosID}, m.tok.Encode(FormatPrompt(ex.Prompt))...)
+
+	var codeIDs []int
+	if m.scheme.UsesFrags() {
+		ids, err := frag.EncodeWithFrags(m.tok, ex.Code)
+		if err != nil {
+			return // unparsable example: dataset pipeline should have filtered it
+		}
+		codeIDs = ids
+	} else {
+		codeIDs = m.tok.Encode(ex.Code)
+	}
+	codeIDs = append(codeIDs, tokenizer.EosID)
+
+	full := append(append([]int{}, promptIDs...), codeIDs...)
+	codeStart := len(promptIDs)
+	m.trained++
+
+	// Contexts are hashed over the FRAG-FILTERED view of the sequence:
+	// [FRAG] markers are positional decorations a transformer would
+	// attend through, and keeping them in the window would halve the
+	// enriched model's effective context reach. Markers remain
+	// first-class PREDICTION TARGETS. flen[p] is the filtered length
+	// of full[:p], so filtAll[:flen[p]] is the context before p.
+	filtAll := make([]int, 0, len(full))
+	flen := make([]int, len(full)+1)
+	for p, id := range full {
+		flen[p] = len(filtAll)
+		if id != tokenizer.FragID {
+			filtAll = append(filtAll, id)
+		}
+	}
+	flen[len(full)] = len(filtAll)
+
+	// Keyword-conditioned tables: the prompt's content words each
+	// learn their own successor statistics, giving the model real
+	// prompt conditioning (its attention analogue).
+	seeds := make([]uint64, 0, maxKeywords)
+	for _, w := range Keywords(ex.Prompt) {
+		seeds = append(seeds, kwSeed(w))
+		m.kwDF[w]++
+	}
+
+	// ctxAt builds the filtered context before position p, with the
+	// trailing run of FRAG markers (capped at 2) retained: the tables
+	// must distinguish "just opened/closed a fragment" states, or a
+	// generated marker would not change the context and decoding could
+	// loop on markers forever. Contexts are clipped to the code region
+	// plus a short constant anchor ("### Response:\n") — deeper prompt
+	// prose is example-specific and long context levels would latch
+	// onto coincidental phrase overlaps across prompts.
+	clip := flen[codeStart] - promptAnchor
+	if clip < 0 {
+		clip = 0
+	}
+	ctxBuf := make([]int, 0, len(full)+2)
+	ctxAt := func(p int) []int {
+		lo := clip
+		ctxBuf = append(ctxBuf[:0], filtAll[lo:flen[p]]...)
+		trail := 0
+		for j := p - 1; j >= 0 && full[j] == tokenizer.FragID && trail < 2; j-- {
+			trail++
+			ctxBuf = append(ctxBuf, tokenizer.FragID)
+		}
+		return ctxBuf
+	}
+
+	// Targets are code-region only — the Alpaca format masks loss on
+	// the instruction, so the model never learns to produce prompt
+	// prose (contexts may still reach back into the prompt tail, which
+	// anchors the response start).
+	for p := codeStart; p < len(full); p++ {
+		ctx := ctxAt(p)
+		m.base.add(ctx, full[p], 1)
+		// The keyword tables use the content-only view (a trailing
+		// [FRAG] would collapse every fragment boundary into the same
+		// two-token context) and learn content targets only — they are
+		// the task-identity expert, agnostic about marker machinery.
+		if full[p] != tokenizer.FragID {
+			kwCtx := filtAll[clip:flen[p]]
+			for _, seed := range seeds {
+				m.kw.addSeeded(kwCtx, full[p], 1, seed)
+			}
+		}
+	}
+	if m.scheme == SchemeNTP {
+		return
+	}
+
+	// Heads: label matrix over the code region (paper Fig. 4).
+	labels := frag.BuildLabels(codeIDs, m.cfg.NumHeads)
+	if m.scheme == SchemeOurs { // SchemeOursNoMask ablates exactly this line
+		frag.MaskLabelsParallel(labels)
+	}
+	loK := m.cfg.Order - 2
+	if loK < 1 {
+		loK = 1
+	}
+	pollution := make([]float64, m.cfg.NumHeads+1)
+	trainHead := make([]bool, m.cfg.NumHeads+1)
+	for i := 1; i <= m.cfg.NumHeads; i++ {
+		pollution[i] = m.cfg.Lambda * math.Pow(m.cfg.Gamma, float64(i))
+		// The γ^i loss decay (eq. 2) barely trains deep heads; the
+		// count-based analogue is per-head example subsampling: head i
+		// sees a γ^(i-1) fraction of the data. The syntax-enriched
+		// scheme tolerates this (its [IGNORE]-masked deep-head task is
+		// small and easy — the paper's "more robust heads" claim);
+		// vanilla Medusa's deep heads stay underfit and noisy.
+		h := uint64(m.trained)*2654435761 + uint64(i)*97
+		trainHead[i] = float64(h%1000) < 1000*math.Pow(m.cfg.Gamma, float64(i-1))
+	}
+	for s := 0; s < len(codeIDs); s++ {
+		ctx := ctxAt(codeStart + s)
+		for i := 1; i <= m.cfg.NumHeads; i++ {
+			target := labels[i][s]
+			if target == tokenizer.PadID || target == tokenizer.IgnoreID {
+				continue
+			}
+			if !trainHead[i] {
+				continue
+			}
+			m.heads[i-1].add(ctx, target, 1)
+			// Medusa-2 joint training: the head loss also moves the
+			// backbone (weight λ·γ^i, eq. 2). For the syntax-enriched
+			// scheme the [IGNORE] mask removes most of this
+			// cross-fragment interference — exactly the paper's
+			// explanation of its quality advantage. Interference lands
+			// on the longest context orders only: it perturbs specific
+			// contexts rather than global token statistics.
+			m.base.addRange(ctx, target, pollution[i], loK, 0)
+		}
+	}
+}
+
+// maxInduction is the longest suffix the induction-copy mechanism
+// attempts to match in the prompt region.
+const maxInduction = 8
+
+// minInduction is the shortest suffix worth matching; shorter matches
+// fire on purely structural patterns and derail generation.
+const minInduction = 3
+
+// Gen is a generation session: the model plus the prompt-derived
+// conditioning state (keyword seeds, the prompt token set for copy
+// boosting, and the prompt region boundary for induction copying).
+// Create one per decode with NewGen.
+type Gen struct {
+	m         *Model
+	promptLen int
+	seeds     []uint64
+	// promptToks are content tokens present in the prompt, eligible
+	// for the copy boost.
+	promptToks map[int]bool
+	// codePos marks prompt token positions that lie on code-like lines
+	// (verbatim module headers in VGen-style prompts). Induction
+	// proposals from these positions may bypass the support gate.
+	codePos []bool
+	// clipOff disables prompt clipping (session-free diagnostic use
+	// where the whole sequence is context).
+	clipOff bool
+}
+
+// NewGen prepares a generation session for a prompt (token ids). The
+// prompt text is recovered via the tokenizer to extract conditioning
+// keywords.
+func (m *Model) NewGen(promptIDs []int) *Gen {
+	g := &Gen{m: m, promptLen: len(promptIDs), promptToks: map[int]bool{}}
+	// IDF filter: keywords present in a large fraction of training
+	// prompts (clk, rst, q, widths) retrieve a soup of every family
+	// and only dilute the informative keywords.
+	for _, w := range Keywords(m.tok.DecodeClean(promptIDs)) {
+		if m.trained >= 50 && float64(m.kwDF[w]) > 0.15*float64(m.trained) {
+			continue
+		}
+		g.seeds = append(g.seeds, kwSeed(w))
+	}
+	for _, id := range promptIDs {
+		if tokenizer.IsSpecial(id) {
+			continue
+		}
+		if isContentToken(m.tok.Token(id)) {
+			g.promptToks[id] = true
+		}
+	}
+	g.codePos = markCodeLines(m.tok, promptIDs)
+	return g
+}
+
+// markCodeLines flags prompt positions on lines that look like verbatim
+// Verilog (a lowercase port keyword next to a parenthesis, or an
+// assign/endmodule statement). Natural-language spec lines — which
+// capitalize "Inputs:" and never contain lowercase header syntax — stay
+// unflagged, so prompt echoing cannot parrot prose.
+func markCodeLines(tok *tokenizer.Tokenizer, promptIDs []int) []bool {
+	out := make([]bool, len(promptIDs))
+	lineStart := 0
+	var line strings.Builder
+	flush := func(end int) {
+		t := strings.TrimSpace(line.String())
+		// Verbatim code lines are short and start with header syntax;
+		// prose spec sentences (which may mention "module" and contain
+		// parentheses) are long or start with capitalized words.
+		starts := strings.HasPrefix(t, "module ") || strings.HasPrefix(t, "input ") ||
+			strings.HasPrefix(t, "output ") || strings.HasPrefix(t, "assign ") ||
+			strings.HasPrefix(t, "endmodule") || strings.HasPrefix(t, "wire ") ||
+			strings.HasPrefix(t, "reg ")
+		codey := len(t) < 120 && starts &&
+			(strings.Contains(t, "(") || strings.Contains(t, ";") || t == "endmodule")
+		if codey {
+			for i := lineStart; i < end; i++ {
+				out[i] = true
+			}
+		}
+		line.Reset()
+		lineStart = end
+	}
+	for i, id := range promptIDs {
+		text := ""
+		if !tokenizer.IsSpecial(id) {
+			text = tok.Token(id)
+		}
+		line.WriteString(text)
+		if strings.Contains(text, "\n") {
+			flush(i + 1)
+		}
+	}
+	flush(len(promptIDs))
+	return out
+}
+
+// isContentOrCodePunct accepts identifier-like pieces plus the
+// punctuation that appears inside module headers. Whitespace is
+// excluded deliberately: indentation tokenizes differently in prompt
+// text than in code bodies, so echoed whitespace derails decoding —
+// the table owns all whitespace decisions.
+func isContentOrCodePunct(text string) bool {
+	if isContentToken(text) {
+		return true
+	}
+	switch strings.TrimSpace(text) {
+	case "(", ")", ",", ";", "[", "]", ":":
+		return strings.TrimSpace(text) == text
+	}
+	return false
+}
+
+// isWhitespaceTok reports whether a token is pure whitespace.
+func isWhitespaceTok(text string) bool { return strings.TrimSpace(text) == "" }
+
+// allDigits reports whether s consists solely of decimal digits.
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// isContentToken reports whether a token piece carries identifier-like
+// content (worth copy-boosting). Whitespace and punctuation are not.
+func isContentToken(text string) bool {
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_' {
+			return true
+		}
+	}
+	return false
+}
+
+// Forward is one simulated forward pass: the base distribution and all
+// head distributions for the current sequence. The induction-copy match
+// is shared across base and heads, mirroring how Medusa heads reuse the
+// backbone's last hidden state.
+type Forward struct {
+	Base  Dist
+	Heads []Dist
+}
+
+// filterCap bounds the filtered context view (must exceed the longest
+// ladder level plus the keyword context).
+const filterCap = 40
+
+// promptAnchor is how many trailing prompt tokens remain visible to
+// contexts (the constant "### Response:\n" tail — identical across all
+// examples, so it anchors the response start without leaking
+// example-specific prose into long context levels).
+const promptAnchor = 4
+
+// filterTail returns the context view all tables are trained on: the
+// last filterCap non-FRAG tokens of seq, oldest first, with the
+// trailing run of FRAG markers (capped at 2) retained so fragment
+// open/close states remain distinguishable.
+func filterTail(seq []int) []int {
+	out := make([]int, 0, filterCap+2)
+	trail := 0
+	for i := len(seq) - 1; i >= 0 && seq[i] == tokenizer.FragID && trail < 2; i-- {
+		trail++
+	}
+	for i := len(seq) - 1 - trailIdx(seq); i >= 0 && len(out) < filterCap; i-- {
+		if seq[i] != tokenizer.FragID {
+			out = append(out, seq[i])
+		}
+	}
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	for t := 0; t < trail; t++ {
+		out = append(out, tokenizer.FragID)
+	}
+	return out
+}
+
+// trailIdx counts trailing FRAG markers (uncapped) on seq.
+func trailIdx(seq []int) int {
+	n := 0
+	for i := len(seq) - 1; i >= 0 && seq[i] == tokenizer.FragID; i-- {
+		n++
+	}
+	return n
+}
+
+// clippedView returns the context view respecting the prompt clip.
+func (g *Gen) clippedView(seq []int) []int {
+	if g.clipOff || g.promptLen <= promptAnchor {
+		return filterTail(seq)
+	}
+	// Tokens before promptLen-promptAnchor are invisible to contexts.
+	lo := g.promptLen - promptAnchor
+	tail := seq[lo:]
+	return filterTail(tail)
+}
+
+// Forward runs one step of the model over seq (prompt + generated).
+func (g *Gen) Forward(seq []int) Forward {
+	var fw Forward
+	matchJ, matchK := g.findInduction(seq)
+	fview := g.clippedView(seq)
+	fw.Base = g.baseAt(seq, fview, matchJ, matchK)
+	fw.Heads = make([]Dist, len(g.m.heads))
+	for i, h := range g.m.heads {
+		fw.Heads[i] = g.distAt(h, seq, fview, matchJ, matchK, i+2)
+	}
+	return fw
+}
+
+// BaseDist returns the base model's next-token distribution.
+func (g *Gen) BaseDist(seq []int) Dist {
+	matchJ, matchK := g.findInduction(seq)
+	return g.baseAt(seq, g.clippedView(seq), matchJ, matchK)
+}
+
+// kwFloor is the probability floor applied to the keyword expert so
+// tokens outside its support are damped rather than zeroed.
+const kwFloor = 0.02
+
+// baseAt combines the base table with keyword conditioning (product of
+// experts) and the shared induction match.
+func (g *Gen) baseAt(seq, fview []int, matchJ, matchK int) Dist {
+	table := g.m.base.predict(fview)
+	// Strip trailing FRAG markers for the keyword view.
+	kwView := fview
+	for len(kwView) > 0 && kwView[len(kwView)-1] == tokenizer.FragID {
+		kwView = kwView[:len(kwView)-1]
+	}
+	if len(g.seeds) > 0 && g.m.cfg.PromptBlend > 0 && len(table) > 1 {
+		// Each token keeps its best supporting evidence across the
+		// prompt's keywords (max, not mean: averaging dilutes the one
+		// keyword that knows the answer with the many that don't).
+		kwd := map[int]float64{}
+		hits := 0
+		for _, seed := range g.seeds {
+			d := g.m.kw.predictSeeded(kwView, seed)
+			if len(d) == 0 {
+				continue
+			}
+			hits++
+			for id, p := range d {
+				if p > kwd[id] {
+					kwd[id] = p
+				}
+			}
+		}
+		if hits > 0 {
+			// Pool-preserving product of experts: conditioning
+			// redistributes mass WITHIN content tokens; the base's
+			// structural balance (probability of [FRAG]/<eos>
+			// machinery vs content) is its own to decide.
+			eta := g.m.cfg.PromptBlend
+			contentMass, newMass := 0.0, 0.0
+			for id, p := range table {
+				if tokenizer.IsSpecial(id) {
+					continue
+				}
+				contentMass += p
+				table[id] = p * math.Pow(kwFloor+kwd[id], eta)
+				newMass += table[id]
+			}
+			if newMass > 0 {
+				scale := contentMass / newMass
+				for id := range table {
+					if !tokenizer.IsSpecial(id) {
+						table[id] *= scale
+					}
+				}
+			}
+		}
+	}
+	g.copyBoost(table)
+	return g.finish(table, seq, matchJ, matchK, 1)
+}
+
+// copyBoost multiplies the probability of prompt content tokens — the
+// identifier-copying bias of instruction-tuned code models. Like the
+// keyword expert it is pool-preserving: boosted mass is taken from
+// other content tokens, never from structural machinery.
+func (g *Gen) copyBoost(table map[int]float64) {
+	boost := g.m.cfg.PromptCopyBoost
+	if boost <= 1 || len(g.promptToks) == 0 {
+		return
+	}
+	contentMass, newMass := 0.0, 0.0
+	changed := false
+	for id, p := range table {
+		if tokenizer.IsSpecial(id) {
+			continue
+		}
+		contentMass += p
+		if g.promptToks[id] {
+			table[id] = p * boost
+			changed = true
+		}
+		newMass += table[id]
+	}
+	if !changed || newMass <= 0 {
+		return
+	}
+	scale := contentMass / newMass
+	for id := range table {
+		if !tokenizer.IsSpecial(id) {
+			table[id] *= scale
+		}
+	}
+}
+
+// distAt blends a head table with the shared induction match.
+func (g *Gen) distAt(t *ngramTable, seq, fview []int, matchJ, matchK, offset int) Dist {
+	table := t.predict(fview)
+	g.copyBoost(table)
+	return g.finish(table, seq, matchJ, matchK, offset)
+}
+
+// inductionSupportGate is the minimum table probability an induction
+// proposal needs to be blended in. Without it, prompt echoes inject
+// natural-language tokens into code contexts and the decoder parrots
+// the prompt verbatim.
+const inductionSupportGate = 0.005
+
+func (g *Gen) finish(table map[int]float64, seq []int, matchJ, matchK, offset int) Dist {
+	if matchJ >= 0 && matchJ+offset < g.promptLen {
+		proposal := seq[matchJ+offset]
+		// For [FRAG]-trained models, induction proposals (which come
+		// from the FRAG-free prompt) only make sense at content
+		// positions; when the table says a [FRAG] marker is due, let
+		// the table speak. The support gate keeps echoes inside the
+		// model's own code distribution.
+		propText := ""
+		if !tokenizer.IsSpecial(proposal) {
+			propText = g.m.tok.Token(proposal)
+		}
+		fromCode := matchJ+offset < len(g.codePos) && g.codePos[matchJ+offset]
+		supported := table[proposal] >= inductionSupportGate ||
+			(fromCode && isContentOrCodePunct(propText))
+		if table[tokenizer.FragID] < 0.5 && supported && !isWhitespaceTok(propText) {
+			// Confidence grows with match length: a minimal match
+			// mixes at CopyStrength, an 8-token match approaches
+			// certainty — long verbatim echoes of the prompt (module
+			// headers) must override sparse short-context table hits.
+			gw := 1 - math.Pow(1-g.m.cfg.CopyStrength, float64(matchK-1)/2)
+			props := map[int]float64{proposal: 1}
+			return Dist{P: mix(table, props, gw)}
+		}
+	}
+	if len(table) == 0 {
+		// Cold start: escape to <eos> so generation terminates.
+		return Dist{P: map[int]float64{tokenizer.EosID: 1}}
+	}
+	return Dist{P: table}
+}
+
+// findInduction locates the longest (k >= minInduction) re-occurrence
+// of the sequence suffix inside the prompt region; returns the match
+// end position and length, or (-1, 0).
+//
+// Two deliberate choices: the search is restricted to the prompt
+// (matching self-generated text replays structural patterns and derails
+// decoding, while echoing module headers from the prompt is exactly the
+// useful behaviour), and [FRAG] markers are skipped when forming the
+// suffix (the prompt never contains them, but an enriched model's
+// generated suffix is full of them).
+func (g *Gen) findInduction(seq []int) (int, int) {
+	n := len(seq)
+	// Collect up to maxInduction trailing content tokens, newest last.
+	var suffix [maxInduction]int
+	sn := 0
+	for i := n - 1; i >= 0 && sn < maxInduction; i-- {
+		if seq[i] == tokenizer.FragID {
+			continue
+		}
+		sn++
+		suffix[maxInduction-sn] = seq[i]
+	}
+	limit := g.promptLen - 1
+	if limit > n-2 {
+		limit = n - 2
+	}
+	for k := min(sn, maxInduction); k >= minInduction; k-- {
+		suf := suffix[maxInduction-k:]
+		for j := limit; j >= k-1; j-- {
+			match := true
+			for x := 0; x < k; x++ {
+				if seq[j-k+1+x] != suf[x] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return j, k
+			}
+		}
+	}
+	return -1, 0
+}
+
+// BaseDist is a session-free convenience used by tests and tools: the
+// whole sequence is treated as prompt (self-echo allowed, no keyword
+// conditioning).
+func (m *Model) BaseDist(seq []int) Dist {
+	g := &Gen{m: m, promptLen: len(seq), clipOff: true}
+	return g.BaseDist(seq)
+}
+
+// HeadDist is the session-free analogue of BaseDist for head i.
+func (m *Model) HeadDist(i int, seq []int) Dist {
+	g := &Gen{m: m, promptLen: len(seq), clipOff: true}
+	matchJ, matchK := g.findInduction(seq)
+	return g.distAt(m.heads[i], seq, filterTail(seq), matchJ, matchK, i+2)
+}
+
+// Forward is a session-free convenience wrapper (tests/tools).
+func (m *Model) Forward(seq []int) Forward {
+	g := &Gen{m: m, promptLen: len(seq), clipOff: true}
+	return g.Forward(seq)
+}
+
+// NumSeeds reports the number of active (IDF-surviving) keyword seeds —
+// diagnostics for tools and tests.
+func (g *Gen) NumSeeds() int { return len(g.seeds) }
+
+// KwDF exposes a keyword's document frequency (diagnostics).
+func (m *Model) KwDF(w string) int { return m.kwDF[w] }
+
+// KwDist exposes the keyword-conditioned prediction for a sequence
+// (diagnostics for tools).
+func (m *Model) KwDist(seq []int, w string) Dist {
+	return Dist{P: m.kw.predictSeeded(filterTail(seq), kwSeed(w))}
+}

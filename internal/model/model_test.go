@@ -1,0 +1,283 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frag"
+	"repro/internal/tokenizer"
+)
+
+var trainExamples = []Example{
+	{
+		Prompt: "Create a 4-bit data register with clock clk.",
+		Code: `module data_register (
+    input clk,
+    input [3:0] data_in,
+    output reg [3:0] data_out
+);
+    always @(posedge clk) begin
+        data_out <= data_in;
+    end
+endmodule
+`,
+	},
+	{
+		Prompt: "Create an 8-bit counter with synchronous reset.",
+		Code: `module counter (
+    input clk,
+    input rst,
+    output reg [7:0] q
+);
+    always @(posedge clk) begin
+        if (rst) q <= 8'd0;
+        else q <= q + 8'd1;
+    end
+endmodule
+`,
+	},
+	{
+		Prompt: "Create a 2-to-1 multiplexer.",
+		Code: `module mux2to1 (
+    input a,
+    input b,
+    input sel,
+    output y
+);
+    assign y = sel ? b : a;
+endmodule
+`,
+	},
+}
+
+func corpusText() []string {
+	var out []string
+	for _, ex := range trainExamples {
+		out = append(out, FormatPrompt(ex.Prompt)+ex.Code)
+	}
+	return out
+}
+
+func smallCfg() Config {
+	cfg := CodeLlamaSim()
+	cfg.VocabSize = 400
+	return cfg
+}
+
+func TestDistBasics(t *testing.T) {
+	d := Dist{P: map[int]float64{7: 0.5, 8: 0.3, 9: 0.2}}
+	if d.Argmax() != 7 {
+		t.Fatalf("Argmax = %d", d.Argmax())
+	}
+	if got := d.TopK(2); len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("TopK = %v", got)
+	}
+	h := d.Entropy()
+	want := -(0.5*math.Log(0.5) + 0.3*math.Log(0.3) + 0.2*math.Log(0.2))
+	if math.Abs(h-want) > 1e-12 {
+		t.Fatalf("Entropy = %f, want %f", h, want)
+	}
+	if d.Sample(0, 0.99) != 7 {
+		t.Fatal("temperature 0 must be greedy")
+	}
+	// u walks the CDF over sorted ids at temperature 1.
+	if d.Sample(1, 0.0) != 7 || d.Sample(1, 0.999) != 9 {
+		t.Fatalf("Sample edges: %d %d", d.Sample(1, 0.0), d.Sample(1, 0.999))
+	}
+}
+
+func TestSampleProperty(t *testing.T) {
+	d := Dist{P: map[int]float64{1: 0.25, 2: 0.25, 3: 0.5}}
+	f := func(u float64, temp float64) bool {
+		u = math.Abs(u)
+		u -= math.Floor(u) // into [0,1)
+		temp = math.Abs(temp)
+		if temp > 4 {
+			temp = 4
+		}
+		id := d.Sample(temp, u)
+		return id >= 1 && id <= 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainNTPPredictsCorpusPatterns(t *testing.T) {
+	tk := tokenizer.Train(corpusText(), 400)
+	m := Train(tk, smallCfg(), SchemeNTP, trainExamples)
+	if m.NumHeads() != 0 {
+		t.Fatal("NTP model must have no heads")
+	}
+	// After "always @(" the corpus always continues with "posedge".
+	seq := tk.Encode("    always @(")
+	d := m.BaseDist(seq)
+	next := d.Argmax()
+	tok := tk.Token(next)
+	if tok != "posedge" && tok != "pos" {
+		t.Fatalf("after 'always @(' predicted %q", tok)
+	}
+}
+
+func TestOursHeadsTrainedAndMasked(t *testing.T) {
+	tk := tokenizer.Train(corpusText(), 400)
+	// Repeat the corpus so the per-head γ-decay subsampling leaves all
+	// heads with data.
+	var examples []Example
+	for i := 0; i < 20; i++ {
+		examples = append(examples, trainExamples...)
+	}
+	ours := Train(tk, smallCfg(), SchemeOurs, examples)
+	medusa := Train(tk, smallCfg(), SchemeMedusa, examples)
+	if ours.NumHeads() != 10 || medusa.NumHeads() != 10 {
+		t.Fatalf("heads: ours=%d medusa=%d", ours.NumHeads(), medusa.NumHeads())
+	}
+	// The [IGNORE] masking must reduce the training signal reaching
+	// later heads relative to vanilla Medusa labels.
+	lastOurs := ours.heads[9].size()
+	lastMedusa := medusa.heads[9].size()
+	if lastOurs >= lastMedusa {
+		t.Fatalf("mask did not shrink head-10 table: ours=%d medusa=%d", lastOurs, lastMedusa)
+	}
+}
+
+func TestJointTrainingPollutesBase(t *testing.T) {
+	tk := tokenizer.Train(corpusText(), 400)
+
+	// avgEntropy measures backbone noise on the model's own training
+	// representation (comparisons must stay within one representation).
+	// Contexts are probed through the same filtered view training used,
+	// deep enough into the code region that prompt clipping is moot.
+	avgEntropy := func(m *Model, encode func(code string) []int) float64 {
+		total, n := 0.0, 0
+		for _, ex := range trainExamples {
+			ids := append([]int{tokenizer.BosID}, tk.Encode(FormatPrompt(ex.Prompt))...)
+			promptLen := len(ids)
+			ids = append(ids, encode(ex.Code)...)
+			for p := promptLen + 20; p < len(ids); p += 3 {
+				total += entropyOf(m.base.predict(filterTail(ids[:p])))
+				n++
+			}
+		}
+		return total / float64(n)
+	}
+	plain := func(code string) []int { return tk.Encode(code) }
+	withFrags := func(code string) []int {
+		ids, err := frag.EncodeWithFrags(tk, code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ids
+	}
+
+	// Plain representation: Medusa-2's joint training (cross-fragment
+	// offset targets) perturbs the backbone relative to NTP.
+	ntp := Train(tk, smallCfg(), SchemeNTP, trainExamples)
+	medusa := Train(tk, smallCfg(), SchemeMedusa, trainExamples)
+	hNTP, hMed := avgEntropy(ntp, plain), avgEntropy(medusa, plain)
+	if hMed <= hNTP {
+		t.Fatalf("Medusa base should be noisier than NTP: %f vs %f", hMed, hNTP)
+	}
+
+	// FRAG representation: the [IGNORE] masking removes most of that
+	// interference (the paper's stated reason Ours beats Medusa on
+	// quality). Ablating only the mask must increase backbone noise.
+	ours := Train(tk, smallCfg(), SchemeOurs, trainExamples)
+	noMask := Train(tk, smallCfg(), SchemeOursNoMask, trainExamples)
+	hOurs, hNoMask := avgEntropy(ours, withFrags), avgEntropy(noMask, withFrags)
+	if hOurs >= hNoMask {
+		t.Fatalf("masked labels should clean the backbone: ours=%f nomask=%f", hOurs, hNoMask)
+	}
+}
+
+// entropyOf is a test helper over raw probability maps.
+func entropyOf(p map[int]float64) float64 {
+	h := 0.0
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+func TestInductionCopyEchoesHeader(t *testing.T) {
+	// A VGen-style prompt spells out the module header verbatim; the
+	// model must echo it (name included) even though the exact header
+	// was never in training. Whitespace and unsupported NL tokens are
+	// deliberately left to the table, so we assert on the decoded
+	// prefix rather than any single proposal.
+	tk := tokenizer.Train(corpusText(), 400)
+	m := Train(tk, smallCfg(), SchemeNTP, trainExamples)
+	prompt := "Complete the Verilog module below. It selects b when sel is high, else a.\nmodule mux2to1(input a, input b, input sel, output y);"
+	promptIDs := append([]int{tokenizer.BosID}, tk.Encode(FormatPrompt(prompt))...)
+	g := m.NewGen(promptIDs)
+	seq := append([]int(nil), promptIDs...)
+	for i := 0; i < 12; i++ {
+		next := g.BaseDist(seq).Argmax()
+		if next == tokenizer.EosID {
+			break
+		}
+		seq = append(seq, next)
+	}
+	got := tk.DecodeClean(seq[len(promptIDs):])
+	if !strings.HasPrefix(got, "module mux2to1") {
+		t.Fatalf("echoed prefix = %q, want module mux2to1...", got)
+	}
+}
+
+func TestForwardShape(t *testing.T) {
+	tk := tokenizer.Train(corpusText(), 400)
+	m := Train(tk, smallCfg(), SchemeOurs, trainExamples)
+	seq := tk.Encode(FormatPrompt("Create a 2-to-1 multiplexer."))
+	fw := m.Forward(seq)
+	if len(fw.Heads) != 10 {
+		t.Fatalf("heads = %d", len(fw.Heads))
+	}
+	if len(fw.Base.P) == 0 {
+		t.Fatal("empty base distribution")
+	}
+	sum := 0.0
+	for _, p := range fw.Base.P {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("base distribution sums to %f", sum)
+	}
+}
+
+func TestTrainMoreIncremental(t *testing.T) {
+	tk := tokenizer.Train(corpusText(), 400)
+	m := New(tk, smallCfg(), SchemeNTP)
+	m.TrainMore(trainExamples[:1])
+	if m.TrainedExamples() != 1 {
+		t.Fatalf("trained = %d", m.TrainedExamples())
+	}
+	size1 := m.base.size()
+	m.TrainMore(trainExamples[1:])
+	if m.TrainedExamples() != 3 {
+		t.Fatalf("trained = %d", m.TrainedExamples())
+	}
+	if m.base.size() <= size1 {
+		t.Fatal("incremental training did not grow the table")
+	}
+}
+
+func TestNgramDeterminism(t *testing.T) {
+	tk := tokenizer.Train(corpusText(), 400)
+	a := Train(tk, smallCfg(), SchemeOurs, trainExamples)
+	b := Train(tk, smallCfg(), SchemeOurs, trainExamples)
+	seq := tk.Encode(FormatPrompt("Create an 8-bit counter with synchronous reset."))
+	da, db := a.BaseDist(seq), b.BaseDist(seq)
+	if da.Argmax() != db.Argmax() || math.Abs(da.Entropy()-db.Entropy()) > 1e-12 {
+		t.Fatal("training is not deterministic")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if SchemeNTP.String() != "NTP" || SchemeMedusa.String() != "Medusa" || SchemeOurs.String() != "Ours" {
+		t.Fatal("scheme names wrong")
+	}
+}

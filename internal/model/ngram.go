@@ -1,0 +1,153 @@
+package model
+
+// ngramTable is a set of context→successor count tables over a ladder
+// of context lengths. Short lengths are dense (0,1,2,3,4); longer
+// reaches use a skip ladder (6, 8, 12, 16) so the table can span a
+// whole module header without storing every intermediate order.
+// Counts are float64 so weighted (joint-training interference) updates
+// compose cleanly with ordinary observations.
+type ngramTable struct {
+	levels []int // ascending context lengths
+	// orders[i] maps a hash of the last levels[i] tokens to successors.
+	orders []map[uint64]*succ
+}
+
+// succ is a successor distribution under one context.
+type succ struct {
+	total  float64
+	counts map[int]float64
+}
+
+// ladder returns the context-length ladder for a maximum reach.
+func ladder(maxCtx int) []int {
+	var out []int
+	for k := 0; k <= maxCtx && k <= 4; k++ {
+		out = append(out, k)
+	}
+	for _, k := range []int{6, 8, 12, 16} {
+		if k <= maxCtx {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func newNgramTable(maxCtx int) *ngramTable {
+	t := &ngramTable{levels: ladder(maxCtx)}
+	t.orders = make([]map[uint64]*succ, len(t.levels))
+	for i := range t.orders {
+		t.orders[i] = map[uint64]*succ{}
+	}
+	return t
+}
+
+// ctxHash hashes the last k elements of ctx (FNV-1a over token ids),
+// mixed with a caller-provided seed (keyword-conditioned tables use the
+// keyword hash as seed; plain tables use 0).
+func ctxHash(ctx []int, k int, seed uint64) uint64 {
+	h := uint64(14695981039346656037) ^ seed
+	start := len(ctx) - k
+	for i := start; i < len(ctx); i++ {
+		v := uint64(ctx[i])
+		for s := 0; s < 32; s += 8 {
+			h ^= (v >> uint(s)) & 0xFF
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// add records one (context, next) observation with the given weight at
+// every ladder level that fits the context.
+func (t *ngramTable) add(ctx []int, next int, weight float64) {
+	t.addSeeded(ctx, next, weight, 0)
+}
+
+func (t *ngramTable) addSeeded(ctx []int, next int, weight float64, seed uint64) {
+	t.addRange(ctx, next, weight, 0, seed)
+}
+
+// addRange records the observation only at ladder levels >= loK.
+// Joint-training interference uses it to pollute the longest contexts
+// without bleeding into the low-order backoff levels: gradient
+// interference perturbs a transformer's behaviour at specific contexts,
+// it does not rewrite its global token statistics.
+func (t *ngramTable) addRange(ctx []int, next int, weight float64, loK int, seed uint64) {
+	for i, k := range t.levels {
+		if k > len(ctx) || k < loK {
+			continue
+		}
+		h := ctxHash(ctx, k, seed)
+		s := t.orders[i][h]
+		if s == nil {
+			s = &succ{counts: map[int]float64{}}
+			t.orders[i][h] = s
+		}
+		s.counts[next] += weight
+		s.total += weight
+	}
+}
+
+// wbScale tempers the Witten-Bell novelty estimate: a level with total
+// mass T over D distinct successors keeps T/(T+wbScale·D) of the
+// remaining probability. The scale keeps backoff mass small on sparse
+// but fully-informative contexts (template-heavy RTL corpora), so the
+// uninformative unigram level — dominated by whitespace and [FRAG] —
+// cannot leak into sharp predictions.
+const wbScale = 0.15
+
+// predict builds the interpolated distribution for the next token given
+// ctx, using tempered Witten-Bell confidence at each ladder level.
+func (t *ngramTable) predict(ctx []int) map[int]float64 {
+	return t.predictSeeded(ctx, 0)
+}
+
+func (t *ngramTable) predictSeeded(ctx []int, seed uint64) map[int]float64 {
+	out := map[int]float64{}
+	weight := 1.0
+	for i := len(t.levels) - 1; i >= 0; i-- {
+		k := t.levels[i]
+		if k > len(ctx) {
+			continue
+		}
+		s := t.orders[i][ctxHash(ctx, k, seed)]
+		if s == nil || s.total <= 0 {
+			continue
+		}
+		keep := s.total / (s.total + wbScale*float64(len(s.counts)))
+		if k == 0 {
+			keep = 1 // terminal level keeps all remaining mass
+		}
+		for id, c := range s.counts {
+			out[id] += weight * keep * (c / s.total)
+		}
+		weight *= 1 - keep
+		if weight < 1e-9 {
+			break
+		}
+	}
+	normalize(out)
+	return out
+}
+
+// seen reports whether the longest fitting ladder context was observed.
+func (t *ngramTable) seen(ctx []int) bool {
+	for i := len(t.levels) - 1; i >= 0; i-- {
+		k := t.levels[i]
+		if k > len(ctx) {
+			continue
+		}
+		return t.orders[i][ctxHash(ctx, k, 0)] != nil
+	}
+	return false
+}
+
+// size returns the total number of distinct contexts across levels
+// (used by tests and diagnostics).
+func (t *ngramTable) size() int {
+	n := 0
+	for _, m := range t.orders {
+		n += len(m)
+	}
+	return n
+}

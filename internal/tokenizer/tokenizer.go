@@ -1,0 +1,273 @@
+// Package tokenizer implements a trainable byte-pair-encoding (BPE)
+// tokenizer in the style used by the paper's backbone models. The paper
+// argues that plain BPE fragments meaningful Verilog structures; this
+// package provides exactly that baseline tokenization, on top of which
+// the frag package overlays [FRAG]-aligned syntax information.
+//
+// Token id space:
+//
+//	0..NumSpecial-1   reserved special tokens ([FRAG], [PAD], [IGNORE],
+//	                  <bos>, <eos>, <unk>)
+//	NumSpecial..+255  single bytes
+//	above             learned merges
+package tokenizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Reserved special-token ids.
+const (
+	// FragID is the [FRAG] marker aligning decoding stops with
+	// syntactically significant tokens (paper §III-C).
+	FragID = 0
+	// PadID pads head labels to the base label length (paper Fig. 4).
+	PadID = 1
+	// IgnoreID marks label positions excluded from loss (paper Fig. 4).
+	IgnoreID = 2
+	// BosID begins every training / generation sequence.
+	BosID = 3
+	// EosID ends every training / generation sequence.
+	EosID = 4
+	// UnkID stands in for bytes outside the training distribution.
+	UnkID = 5
+	// NumSpecial is the count of reserved ids.
+	NumSpecial = 6
+)
+
+// specialNames maps reserved ids to their display spelling.
+var specialNames = [NumSpecial]string{"[FRAG]", "[PAD]", "[IGNORE]", "<bos>", "<eos>", "<unk>"}
+
+// IsSpecial reports whether id is one of the reserved special tokens.
+func IsSpecial(id int) bool { return id >= 0 && id < NumSpecial }
+
+// Tokenizer is a trained BPE vocabulary.
+type Tokenizer struct {
+	// pieces[id] is the byte string of each token (specials excluded).
+	pieces []string
+	// ranks maps a merged pair to the id of the merged token; lower id
+	// means the merge was learned earlier and applies first.
+	ranks map[[2]int]int
+}
+
+// VocabSize returns the total number of token ids, including specials.
+func (t *Tokenizer) VocabSize() int { return NumSpecial + len(t.pieces) }
+
+// Token renders a token id as text ([FRAG] etc. for specials).
+func (t *Tokenizer) Token(id int) string {
+	if IsSpecial(id) {
+		return specialNames[id]
+	}
+	i := id - NumSpecial
+	if i < 0 || i >= len(t.pieces) {
+		return fmt.Sprintf("<bad:%d>", id)
+	}
+	return t.pieces[i]
+}
+
+// pretokenize splits text into BPE word units: identifier runs, digit
+// runs, whitespace runs and single punctuation bytes. Merges never
+// cross unit boundaries, mirroring the word-boundary behaviour of
+// production BPE tokenizers.
+func pretokenize(text string) []string {
+	var out []string
+	i := 0
+	n := len(text)
+	class := func(c byte) int {
+		switch {
+		case c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			return 1
+		case c >= '0' && c <= '9':
+			return 2
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			return 3
+		default:
+			return 0
+		}
+	}
+	for i < n {
+		c := class(text[i])
+		if c == 0 {
+			out = append(out, text[i:i+1])
+			i++
+			continue
+		}
+		j := i + 1
+		if c == 1 {
+			// Identifier run: letters may be followed by digits too
+			// (a1, b101, data_out2).
+			for j < n && (class(text[j]) == 1 || class(text[j]) == 2) {
+				j++
+			}
+		} else {
+			for j < n && class(text[j]) == c {
+				j++
+			}
+		}
+		out = append(out, text[i:j])
+		i = j
+	}
+	return out
+}
+
+// Encode tokenizes text into BPE ids (no <bos>/<eos> are added).
+func (t *Tokenizer) Encode(text string) []int {
+	var out []int
+	for _, word := range pretokenize(text) {
+		out = append(out, t.encodeWord(word)...)
+	}
+	return out
+}
+
+// EncodeWithMarkers wraps Encode with <bos> ... <eos>.
+func (t *Tokenizer) EncodeWithMarkers(text string) []int {
+	ids := []int{BosID}
+	ids = append(ids, t.Encode(text)...)
+	return append(ids, EosID)
+}
+
+func (t *Tokenizer) encodeWord(word string) []int {
+	ids := make([]int, 0, len(word))
+	for i := 0; i < len(word); i++ {
+		ids = append(ids, NumSpecial+int(word[i]))
+	}
+	// Repeatedly apply the earliest-learned merge present.
+	for len(ids) >= 2 {
+		best, bestAt := -1, -1
+		for i := 0; i+1 < len(ids); i++ {
+			if id, ok := t.ranks[[2]int{ids[i], ids[i+1]}]; ok {
+				if best == -1 || id < best {
+					best, bestAt = id, i
+				}
+			}
+		}
+		if best == -1 {
+			break
+		}
+		ids[bestAt] = best
+		ids = append(ids[:bestAt+1], ids[bestAt+2:]...)
+	}
+	return ids
+}
+
+// Decode renders token ids back into text. Special tokens render as
+// their bracketed names; use DecodeClean to drop them.
+func (t *Tokenizer) Decode(ids []int) string {
+	var sb strings.Builder
+	for _, id := range ids {
+		sb.WriteString(t.Token(id))
+	}
+	return sb.String()
+}
+
+// DecodeClean renders ids dropping all special tokens — the "cleaned
+// code" of the paper's Fig. 2 output path.
+func (t *Tokenizer) DecodeClean(ids []int) string {
+	var sb strings.Builder
+	for _, id := range ids {
+		if IsSpecial(id) {
+			continue
+		}
+		sb.WriteString(t.Token(id))
+	}
+	return sb.String()
+}
+
+// Train learns a BPE vocabulary of the given total size (including the
+// reserved specials and the 256 byte tokens) from a corpus. Ties in
+// pair frequency break lexicographically so training is deterministic.
+func Train(corpus []string, vocabSize int) *Tokenizer {
+	t := &Tokenizer{ranks: map[[2]int]int{}}
+	for b := 0; b < 256; b++ {
+		t.pieces = append(t.pieces, string([]byte{byte(b)}))
+	}
+	if vocabSize <= t.VocabSize() {
+		return t
+	}
+
+	// Collect word frequencies.
+	wordFreq := map[string]int{}
+	for _, doc := range corpus {
+		for _, w := range pretokenize(doc) {
+			wordFreq[w]++
+		}
+	}
+	type word struct {
+		ids  []int
+		freq int
+	}
+	words := make([]word, 0, len(wordFreq))
+	keys := make([]string, 0, len(wordFreq))
+	for w := range wordFreq {
+		keys = append(keys, w)
+	}
+	sort.Strings(keys)
+	for _, w := range keys {
+		if len(w) < 2 {
+			continue
+		}
+		ids := make([]int, len(w))
+		for i := 0; i < len(w); i++ {
+			ids[i] = NumSpecial + int(w[i])
+		}
+		words = append(words, word{ids: ids, freq: wordFreq[w]})
+	}
+
+	pairCount := map[[2]int]int{}
+	recount := func() {
+		clear(pairCount)
+		for _, w := range words {
+			for i := 0; i+1 < len(w.ids); i++ {
+				pairCount[[2]int{w.ids[i], w.ids[i+1]}] += w.freq
+			}
+		}
+	}
+	recount()
+
+	for t.VocabSize() < vocabSize {
+		// Pick the most frequent pair; break ties by token text.
+		var best [2]int
+		bestN := 0
+		for p, n := range pairCount {
+			if n > bestN {
+				best, bestN = p, n
+				continue
+			}
+			if n == bestN && n > 0 {
+				if t.Token(p[0])+t.Token(p[1]) < t.Token(best[0])+t.Token(best[1]) {
+					best = p
+				}
+			}
+		}
+		if bestN < 2 {
+			break // nothing worth merging
+		}
+		newID := t.VocabSize()
+		t.pieces = append(t.pieces, t.Token(best[0])+t.Token(best[1]))
+		t.ranks[best] = newID
+
+		// Apply the merge in place and update pair counts locally.
+		for wi := range words {
+			w := &words[wi]
+			for i := 0; i+1 < len(w.ids); i++ {
+				if w.ids[i] != best[0] || w.ids[i+1] != best[1] {
+					continue
+				}
+				if i > 0 {
+					pairCount[[2]int{w.ids[i-1], w.ids[i]}] -= w.freq
+					pairCount[[2]int{w.ids[i-1], newID}] += w.freq
+				}
+				if i+2 < len(w.ids) {
+					pairCount[[2]int{w.ids[i+1], w.ids[i+2]}] -= w.freq
+					pairCount[[2]int{newID, w.ids[i+2]}] += w.freq
+				}
+				w.ids[i] = newID
+				w.ids = append(w.ids[:i+1], w.ids[i+2:]...)
+			}
+		}
+		delete(pairCount, best)
+	}
+	return t
+}

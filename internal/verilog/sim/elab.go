@@ -1,0 +1,767 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/verilog"
+)
+
+// ElabError reports an elaboration failure (unknown module, unsupported
+// construct, non-constant parameter, ...).
+type ElabError struct {
+	Where string
+	Msg   string
+}
+
+// Error implements the error interface.
+func (e *ElabError) Error() string { return fmt.Sprintf("sim: %s: %s", e.Where, e.Msg) }
+
+// Signal is an elaborated net, variable or memory.
+type Signal struct {
+	Name   string // hierarchical name, e.g. "tb.dut.q"
+	W      int
+	Signed bool
+	Kind   verilog.NetKind
+	// Declared bit range; Left/Right preserve source order for index
+	// mapping ([7:0] vs [0:7]).
+	Left, Right int
+	IsArray     bool
+	ALo, AHi    int // normalized array bounds, ALo <= AHi
+	Words       []Value
+
+	combs    []*CombProc // static fanout: continuous assignments to re-run
+	watchers []*waiter   // procedural processes waiting on this signal
+	id       int
+}
+
+// bitOffset maps a source bit index to a physical offset (0 = LSB of
+// storage), or -1 when out of the declared range.
+func (s *Signal) bitOffset(i int) int {
+	if s.Left >= s.Right {
+		off := i - s.Right
+		if off < 0 || off >= s.W {
+			return -1
+		}
+		return off
+	}
+	off := s.Right - i
+	if off < 0 || off >= s.W {
+		return -1
+	}
+	return off
+}
+
+// wordIndex maps a source array index to a Words offset, or -1.
+func (s *Signal) wordIndex(i int) int {
+	if !s.IsArray {
+		return -1
+	}
+	if i < s.ALo || i > s.AHi {
+		return -1
+	}
+	return i - s.ALo
+}
+
+// CombProc is a combinational process: a continuous assignment or a
+// port-connection shim, re-evaluated whenever one of its dependencies
+// changes.
+type CombProc struct {
+	name   string
+	run    func(sim *Simulator) error
+	queued bool
+	id     int
+}
+
+// procKind distinguishes always from initial processes.
+type procKind int
+
+const (
+	procAlways procKind = iota
+	procInitial
+)
+
+// Proc is a procedural process (always or initial block) executed by a
+// dedicated goroutine in lockstep with the scheduler.
+type Proc struct {
+	name  string
+	kind  procKind
+	scope *Scope
+	body  verilog.Stmt
+	// starSens holds the precomputed @* sensitivity of the body.
+	starSens []*Signal
+
+	resume chan bool // true = run, false = kill
+	report chan procReport
+	id     int
+}
+
+type reportKind int
+
+const (
+	reportBlockedEvent reportKind = iota
+	reportBlockedDelay
+	reportDone
+	reportError
+)
+
+type procReport struct {
+	kind  reportKind
+	sens  []*sensWait
+	delay uint64
+	err   error
+}
+
+// sensWait is one armed sensitivity entry of a blocked process.
+type sensWait struct {
+	edge int // verilog.EdgeLevel/Pos/Neg
+	// anyChange short-circuits expression re-evaluation: any write to a
+	// dep signal triggers (used by @* sensitivity).
+	anyChange bool
+	expr      verilog.Expr
+	sc        *Scope
+	last      Value
+	deps      []*Signal
+}
+
+// waiter links a blocked process to the signals that may wake it.
+type waiter struct {
+	proc  *Proc
+	items []*sensWait
+	fired bool
+}
+
+// Scope is an elaborated module instance: its signals, parameter values
+// and child instances.
+type Scope struct {
+	Name    string
+	Module  *verilog.Module
+	Parent  *Scope
+	Signals map[string]*Signal
+	Params  map[string]int64
+	Kids    []*Scope
+}
+
+// lookup resolves a name in this scope only (no upward search: the
+// supported subset has no cross-module hierarchical references).
+func (sc *Scope) lookup(name string) *Signal { return sc.Signals[name] }
+
+// Design is a fully elaborated hierarchy ready for simulation.
+type Design struct {
+	Top     *Scope
+	Signals []*Signal
+	Combs   []*CombProc
+	Procs   []*Proc
+}
+
+// Elaborate builds a Design from the modules of one or more parsed
+// source files, instantiating top as the root.
+func Elaborate(files []*verilog.SourceFile, top string) (*Design, error) {
+	lib := map[string]*verilog.Module{}
+	for _, f := range files {
+		for _, m := range f.Modules {
+			if _, dup := lib[m.Name]; dup {
+				return nil, &ElabError{Where: m.Name, Msg: "duplicate module definition"}
+			}
+			lib[m.Name] = m
+		}
+	}
+	mod, ok := lib[top]
+	if !ok {
+		return nil, &ElabError{Where: top, Msg: "top module not found"}
+	}
+	d := &Design{}
+	e := &elaborator{lib: lib, d: d, depth: 0}
+	sc, err := e.instantiate(mod, top, nil)
+	if err != nil {
+		return nil, err
+	}
+	d.Top = sc
+	return d, nil
+}
+
+// FindTop returns the name of a module that is never instantiated by
+// another module in the files — the natural testbench top. When several
+// candidates exist the lexically smallest is returned for determinism.
+func FindTop(files []*verilog.SourceFile) (string, error) {
+	defined := map[string]bool{}
+	used := map[string]bool{}
+	for _, f := range files {
+		for _, m := range f.Modules {
+			defined[m.Name] = true
+			for _, it := range m.Items {
+				if inst, ok := it.(*verilog.Instance); ok {
+					used[inst.ModName] = true
+				}
+			}
+		}
+	}
+	var tops []string
+	for name := range defined {
+		if !used[name] {
+			tops = append(tops, name)
+		}
+	}
+	if len(tops) == 0 {
+		return "", &ElabError{Where: "design", Msg: "no top-level module (instantiation cycle?)"}
+	}
+	sort.Strings(tops)
+	return tops[0], nil
+}
+
+type elaborator struct {
+	lib   map[string]*verilog.Module
+	d     *Design
+	depth int
+}
+
+const maxHierDepth = 64
+
+func (e *elaborator) instantiate(mod *verilog.Module, name string, parent *Scope) (*Scope, error) {
+	if e.depth++; e.depth > maxHierDepth {
+		return nil, &ElabError{Where: name, Msg: "instantiation too deep (recursive modules?)"}
+	}
+	defer func() { e.depth-- }()
+
+	sc := &Scope{
+		Name:    name,
+		Module:  mod,
+		Parent:  parent,
+		Signals: map[string]*Signal{},
+		Params:  map[string]int64{},
+	}
+	if parent != nil {
+		parent.Kids = append(parent.Kids, sc)
+	}
+
+	// Pass 1: parameters, then port signals, then net declarations.
+	for _, it := range mod.Items {
+		pd, ok := it.(*verilog.ParamDecl)
+		if !ok {
+			continue
+		}
+		for i, pn := range pd.Names {
+			v, err := e.constExpr(sc, pd.Values[i])
+			if err != nil {
+				return nil, err
+			}
+			sc.Params[pn] = v
+		}
+	}
+	for _, port := range mod.Ports {
+		w, left, right := 1, 0, 0
+		if port.HasRng {
+			w, left, right = port.Rng.Width(), port.Rng.MSB, port.Rng.LSB
+		}
+		e.addSignal(sc, port.Name, w, left, right, port.Kind, port.Signed, false, 0, 0)
+	}
+	for _, it := range mod.Items {
+		nd, ok := it.(*verilog.NetDecl)
+		if !ok {
+			continue
+		}
+		w, left, right := 1, 0, 0
+		if nd.Kind == verilog.NetInteger {
+			w, left, right = 32, 31, 0
+		}
+		if nd.HasRng {
+			w, left, right = nd.Rng.Width(), nd.Rng.MSB, nd.Rng.LSB
+		}
+		for _, dn := range nd.Names {
+			if dn.IsArray {
+				lo, hi := dn.ARng.MSB, dn.ARng.LSB
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if hi-lo+1 > 1<<20 {
+					return nil, &ElabError{Where: sc.Name + "." + dn.Name, Msg: "memory too large"}
+				}
+				e.addSignal(sc, dn.Name, w, left, right, nd.Kind, nd.Signed, true, lo, hi)
+				continue
+			}
+			e.addSignal(sc, dn.Name, w, left, right, nd.Kind, nd.Signed, false, 0, 0)
+		}
+	}
+
+	// Pass 2: behaviour.
+	for _, it := range mod.Items {
+		switch item := it.(type) {
+		case *verilog.ParamDecl, *verilog.NetDecl:
+			// handled above (initializers handled at sim start)
+		case *verilog.ContAssign:
+			if err := e.addContAssign(sc, item); err != nil {
+				return nil, err
+			}
+		case *verilog.AlwaysBlock:
+			if err := e.addProc(sc, procAlways, item.Body, fmt.Sprintf("%s.always@%d", sc.Name, item.Line)); err != nil {
+				return nil, err
+			}
+		case *verilog.InitialBlock:
+			if err := e.addProc(sc, procInitial, item.Body, fmt.Sprintf("%s.initial@%d", sc.Name, item.Line)); err != nil {
+				return nil, err
+			}
+		case *verilog.Instance:
+			if err := e.addInstance(sc, item); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, &ElabError{Where: sc.Name, Msg: fmt.Sprintf("unsupported module item %T", it)}
+		}
+	}
+	return sc, nil
+}
+
+func (e *elaborator) addSignal(sc *Scope, name string, w, left, right int, kind verilog.NetKind, signed, isArray bool, alo, ahi int) *Signal {
+	if old, ok := sc.Signals[name]; ok {
+		// Port re-declared by a body NetDecl: merge kind/sign/width.
+		old.Kind = kind
+		old.Signed = old.Signed || signed
+		if w > 1 && old.W == 1 {
+			old.W, old.Left, old.Right = w, left, right
+			old.Words = []Value{X(w)}
+		}
+		if isArray {
+			old.IsArray, old.ALo, old.AHi = true, alo, ahi
+			old.Words = make([]Value, ahi-alo+1)
+			for i := range old.Words {
+				old.Words[i] = X(w)
+			}
+		}
+		return old
+	}
+	s := &Signal{
+		Name: sc.Name + "." + name, W: w, Signed: signed, Kind: kind,
+		Left: left, Right: right, IsArray: isArray, ALo: alo, AHi: ahi,
+		id: len(e.d.Signals),
+	}
+	n := 1
+	if isArray {
+		n = ahi - alo + 1
+	}
+	s.Words = make([]Value, n)
+	for i := range s.Words {
+		s.Words[i] = X(w)
+	}
+	s.Words[0].Signed = signed
+	sc.Signals[name] = s
+	e.d.Signals = append(e.d.Signals, s)
+	return s
+}
+
+func (e *elaborator) addContAssign(sc *Scope, ca *verilog.ContAssign) error {
+	deps := map[*Signal]bool{}
+	if err := collectExprDeps(sc, ca.RHS, deps); err != nil {
+		return err
+	}
+	if err := collectLHSIndexDeps(sc, ca.LHS, deps); err != nil {
+		return err
+	}
+	lhs, rhs := ca.LHS, ca.RHS
+	scope := sc
+	cp := &CombProc{
+		name: fmt.Sprintf("%s.assign@%d", sc.Name, ca.Line),
+		id:   len(e.d.Combs),
+	}
+	cp.run = func(s *Simulator) error {
+		w, err := s.lvalueWidth(scope, lhs)
+		if err != nil {
+			return err
+		}
+		v, err := s.evalCtx(scope, rhs, w)
+		if err != nil {
+			return err
+		}
+		return s.store(scope, lhs, v, false)
+	}
+	e.d.Combs = append(e.d.Combs, cp)
+	for dep := range deps {
+		dep.combs = append(dep.combs, cp)
+	}
+	// Evaluate once at time zero even if no dependency ever changes.
+	return nil
+}
+
+func (e *elaborator) addProc(sc *Scope, kind procKind, body verilog.Stmt, name string) error {
+	p := &Proc{name: name, kind: kind, scope: sc, body: body, id: len(e.d.Procs)}
+	// Precompute @* sensitivity: every signal read by the body.
+	deps := map[*Signal]bool{}
+	if err := collectStmtDeps(sc, body, deps); err != nil {
+		return err
+	}
+	for dep := range deps {
+		p.starSens = append(p.starSens, dep)
+	}
+	sort.Slice(p.starSens, func(i, j int) bool { return p.starSens[i].id < p.starSens[j].id })
+	e.d.Procs = append(e.d.Procs, p)
+	return nil
+}
+
+func (e *elaborator) addInstance(sc *Scope, inst *verilog.Instance) error {
+	mod, ok := e.lib[inst.ModName]
+	if !ok {
+		return &ElabError{Where: sc.Name, Msg: fmt.Sprintf("unknown module %q", inst.ModName)}
+	}
+	child, err := e.instantiate(mod, sc.Name+"."+inst.InstName, sc)
+	if err != nil {
+		return err
+	}
+
+	// Pair up connections with ports.
+	conns := make([]verilog.Connection, len(mod.Ports))
+	if inst.ByName {
+		byName := map[string]verilog.Connection{}
+		for _, c := range inst.Conns {
+			byName[c.Port] = c
+		}
+		for i, port := range mod.Ports {
+			if c, ok := byName[port.Name]; ok {
+				conns[i] = c
+				delete(byName, port.Name)
+			}
+		}
+		for name := range byName {
+			return &ElabError{Where: sc.Name, Msg: fmt.Sprintf("instance %s connects unknown port %q of %s", inst.InstName, name, mod.Name)}
+		}
+	} else {
+		if len(inst.Conns) > len(mod.Ports) {
+			return &ElabError{Where: sc.Name, Msg: fmt.Sprintf("instance %s has %d connections for %d ports", inst.InstName, len(inst.Conns), len(mod.Ports))}
+		}
+		copy(conns, inst.Conns)
+	}
+
+	for i, port := range mod.Ports {
+		conn := conns[i]
+		if conn.Expr == nil {
+			continue // unconnected: inner side stays x
+		}
+		inner := child.lookup(port.Name)
+		if inner == nil {
+			return &ElabError{Where: child.Name, Msg: fmt.Sprintf("port %q has no signal", port.Name)}
+		}
+		switch port.Dir {
+		case verilog.PortInput:
+			deps := map[*Signal]bool{}
+			if err := collectExprDeps(sc, conn.Expr, deps); err != nil {
+				return err
+			}
+			expr := conn.Expr
+			outer := sc
+			cp := &CombProc{
+				name: fmt.Sprintf("%s.port_in.%s", child.Name, port.Name),
+				id:   len(e.d.Combs),
+			}
+			cp.run = func(s *Simulator) error {
+				v, err := s.eval(outer, expr)
+				if err != nil {
+					return err
+				}
+				s.setSignal(inner, 0, v.Extend(inner.W))
+				return nil
+			}
+			e.d.Combs = append(e.d.Combs, cp)
+			for dep := range deps {
+				dep.combs = append(dep.combs, cp)
+			}
+		case verilog.PortOutput:
+			if err := checkLValue(conn.Expr); err != nil {
+				return &ElabError{Where: sc.Name, Msg: fmt.Sprintf("output port %q connected to non-lvalue: %v", port.Name, err)}
+			}
+			expr := conn.Expr
+			outer := sc
+			cp := &CombProc{
+				name: fmt.Sprintf("%s.port_out.%s", child.Name, port.Name),
+				id:   len(e.d.Combs),
+			}
+			cp.run = func(s *Simulator) error {
+				return s.store(outer, expr, inner.Words[0], false)
+			}
+			e.d.Combs = append(e.d.Combs, cp)
+			inner.combs = append(inner.combs, cp)
+			// LHS indices may also move the target.
+			deps := map[*Signal]bool{}
+			if err := collectLHSIndexDeps(sc, conn.Expr, deps); err != nil {
+				return err
+			}
+			for dep := range deps {
+				dep.combs = append(dep.combs, cp)
+			}
+		default:
+			return &ElabError{Where: sc.Name, Msg: "inout ports are not supported"}
+		}
+	}
+	return nil
+}
+
+// constExpr folds a constant expression using the scope's parameters.
+func (e *elaborator) constExpr(sc *Scope, expr verilog.Expr) (int64, error) {
+	switch v := expr.(type) {
+	case *verilog.Number:
+		if v.B != 0 {
+			return 0, &ElabError{Where: sc.Name, Msg: "x/z in constant expression"}
+		}
+		return int64(v.A), nil
+	case *verilog.Ident:
+		if val, ok := sc.Params[v.Name]; ok {
+			return val, nil
+		}
+		return 0, &ElabError{Where: sc.Name, Msg: fmt.Sprintf("%q is not a parameter", v.Name)}
+	case *verilog.Unary:
+		x, err := e.constExpr(sc, v.X)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "-":
+			return -x, nil
+		case "+":
+			return x, nil
+		case "~":
+			return ^x, nil
+		case "!":
+			if x == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	case *verilog.Binary:
+		x, err := e.constExpr(sc, v.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := e.constExpr(sc, v.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case "+":
+			return x + y, nil
+		case "-":
+			return x - y, nil
+		case "*":
+			return x * y, nil
+		case "/":
+			if y != 0 {
+				return x / y, nil
+			}
+		case "<<":
+			return x << uint(y&63), nil
+		case ">>":
+			return int64(uint64(x) >> uint(y&63)), nil
+		}
+	case *verilog.Ternary:
+		c, err := e.constExpr(sc, v.Cond)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return e.constExpr(sc, v.TrueE)
+		}
+		return e.constExpr(sc, v.FalseE)
+	}
+	return 0, &ElabError{Where: sc.Name, Msg: "unsupported constant expression"}
+}
+
+// checkLValue verifies that an expression has lvalue shape.
+func checkLValue(e verilog.Expr) error {
+	switch v := e.(type) {
+	case *verilog.Ident:
+		return nil
+	case *verilog.Index:
+		return checkLValue(v.X)
+	case *verilog.RangeSel:
+		return checkLValue(v.X)
+	case *verilog.Concat:
+		for _, p := range v.Parts {
+			if err := checkLValue(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("%T cannot be assigned", e)
+}
+
+// collectExprDeps records every signal read by e into deps.
+func collectExprDeps(sc *Scope, e verilog.Expr, deps map[*Signal]bool) error {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case *verilog.Ident:
+		if _, isParam := sc.Params[v.Name]; isParam {
+			return nil
+		}
+		sig := sc.lookup(v.Name)
+		if sig == nil {
+			return &ElabError{Where: sc.Name, Msg: fmt.Sprintf("unknown identifier %q", v.Name)}
+		}
+		deps[sig] = true
+		return nil
+	case *verilog.Number, *verilog.StringLit:
+		return nil
+	case *verilog.Unary:
+		return collectExprDeps(sc, v.X, deps)
+	case *verilog.Binary:
+		if err := collectExprDeps(sc, v.X, deps); err != nil {
+			return err
+		}
+		return collectExprDeps(sc, v.Y, deps)
+	case *verilog.Ternary:
+		if err := collectExprDeps(sc, v.Cond, deps); err != nil {
+			return err
+		}
+		if err := collectExprDeps(sc, v.TrueE, deps); err != nil {
+			return err
+		}
+		return collectExprDeps(sc, v.FalseE, deps)
+	case *verilog.Concat:
+		for _, p := range v.Parts {
+			if err := collectExprDeps(sc, p, deps); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *verilog.Repl:
+		if err := collectExprDeps(sc, v.Count, deps); err != nil {
+			return err
+		}
+		return collectExprDeps(sc, v.X, deps)
+	case *verilog.Index:
+		if err := collectExprDeps(sc, v.X, deps); err != nil {
+			return err
+		}
+		return collectExprDeps(sc, v.Idx, deps)
+	case *verilog.RangeSel:
+		if err := collectExprDeps(sc, v.X, deps); err != nil {
+			return err
+		}
+		if err := collectExprDeps(sc, v.MSB, deps); err != nil {
+			return err
+		}
+		return collectExprDeps(sc, v.LSB, deps)
+	case *verilog.SysFuncCall:
+		for _, a := range v.Args {
+			if err := collectExprDeps(sc, a, deps); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return &ElabError{Where: sc.Name, Msg: fmt.Sprintf("unsupported expression %T", e)}
+}
+
+// collectLHSIndexDeps records signals read by index/range expressions on
+// the left-hand side (the target can move when they change).
+func collectLHSIndexDeps(sc *Scope, e verilog.Expr, deps map[*Signal]bool) error {
+	switch v := e.(type) {
+	case *verilog.Ident:
+		return nil
+	case *verilog.Index:
+		if err := collectExprDeps(sc, v.Idx, deps); err != nil {
+			return err
+		}
+		return collectLHSIndexDeps(sc, v.X, deps)
+	case *verilog.RangeSel:
+		if err := collectExprDeps(sc, v.MSB, deps); err != nil {
+			return err
+		}
+		if err := collectExprDeps(sc, v.LSB, deps); err != nil {
+			return err
+		}
+		return collectLHSIndexDeps(sc, v.X, deps)
+	case *verilog.Concat:
+		for _, p := range v.Parts {
+			if err := collectLHSIndexDeps(sc, p, deps); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return &ElabError{Where: sc.Name, Msg: fmt.Sprintf("unsupported lvalue %T", e)}
+}
+
+// collectStmtDeps records every signal read anywhere in a statement —
+// the @* sensitivity approximation (slightly wider than the LRM's, which
+// is harmless: extra wakeups converge to the same values).
+func collectStmtDeps(sc *Scope, s verilog.Stmt, deps map[*Signal]bool) error {
+	switch v := s.(type) {
+	case nil:
+		return nil
+	case *verilog.Block:
+		for _, st := range v.Stmts {
+			if err := collectStmtDeps(sc, st, deps); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *verilog.Assign:
+		if err := collectExprDeps(sc, v.RHS, deps); err != nil {
+			return err
+		}
+		return collectLHSIndexDeps(sc, v.LHS, deps)
+	case *verilog.If:
+		if err := collectExprDeps(sc, v.Cond, deps); err != nil {
+			return err
+		}
+		if err := collectStmtDeps(sc, v.Then, deps); err != nil {
+			return err
+		}
+		return collectStmtDeps(sc, v.Else, deps)
+	case *verilog.Case:
+		if err := collectExprDeps(sc, v.Expr, deps); err != nil {
+			return err
+		}
+		for _, item := range v.Items {
+			for _, e := range item.Exprs {
+				if err := collectExprDeps(sc, e, deps); err != nil {
+					return err
+				}
+			}
+			if err := collectStmtDeps(sc, item.Body, deps); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *verilog.For:
+		if err := collectStmtDeps(sc, v.Init, deps); err != nil {
+			return err
+		}
+		if err := collectExprDeps(sc, v.Cond, deps); err != nil {
+			return err
+		}
+		if err := collectStmtDeps(sc, v.Step, deps); err != nil {
+			return err
+		}
+		return collectStmtDeps(sc, v.Body, deps)
+	case *verilog.While:
+		if err := collectExprDeps(sc, v.Cond, deps); err != nil {
+			return err
+		}
+		return collectStmtDeps(sc, v.Body, deps)
+	case *verilog.Repeat:
+		if err := collectExprDeps(sc, v.Count, deps); err != nil {
+			return err
+		}
+		return collectStmtDeps(sc, v.Body, deps)
+	case *verilog.Forever:
+		return collectStmtDeps(sc, v.Body, deps)
+	case *verilog.DelayStmt:
+		return collectStmtDeps(sc, v.Body, deps)
+	case *verilog.EventCtrlStmt:
+		for _, item := range v.Items {
+			if err := collectExprDeps(sc, item.Expr, deps); err != nil {
+				return err
+			}
+		}
+		return collectStmtDeps(sc, v.Body, deps)
+	case *verilog.SysCall:
+		for _, a := range v.Args {
+			if err := collectExprDeps(sc, a, deps); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *verilog.NullStmt:
+		return nil
+	}
+	return &ElabError{Where: sc.Name, Msg: fmt.Sprintf("unsupported statement %T", s)}
+}
