@@ -1,0 +1,38 @@
+# Targets mirror .github/workflows/ci.yml step for step, so a local
+# `make ci` reproduces exactly what CI runs.
+
+GO ?= go
+# bash for pipefail: a failing benchmark must not hide behind tee.
+SHELL := /bin/bash
+
+.PHONY: build test race bench fmt fmt-check vet serve ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Engine wall-clock throughput smoke; CI uploads bench_output.txt as an
+# artifact. Run `go test -bench=. ./...` for the full paper harness.
+bench:
+	set -o pipefail; $(GO) test -run '^$$' -bench=BenchmarkEngine -benchtime=1x ./... | tee bench_output.txt
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Train and serve the generation daemon on :8080.
+serve:
+	$(GO) run ./cmd/vgend
+
+ci: build fmt-check vet race bench

@@ -1,0 +1,115 @@
+// Command vgend is the Verilog generation daemon: it trains the
+// simulated speculative-decoding model once at startup, then serves
+// generations over HTTP through the internal/serve engine (worker
+// pool, micro-batching, LRU cache).
+//
+// Endpoints:
+//
+//	POST /v1/generate  — {"prompt": "..."} or {"prompts": [...]};
+//	                     {"stream": true} switches to NDJSON streaming
+//	                     of decoding steps (single prompt only).
+//	GET  /healthz      — liveness plus model/pool identity.
+//	GET  /metrics      — engine counters: requests, cache hit rate,
+//	                     tokens/s, mean accepted length per mode.
+//
+// Usage: vgend [-addr :8080] [-model codellama|codet5p] [-scheme ours]
+// [-items 3400] [-workers N] [-queue N] [-batch N] [-cache N]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/tokenizer"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelName := flag.String("model", "codellama", "backbone: codellama or codet5p")
+	schemeName := flag.String("scheme", "ours", "training scheme: ours, medusa or ntp")
+	items := flag.Int("items", 3400, "corpus items to train on")
+	seed := flag.Int64("seed", 1, "corpus/training seed")
+	workers := flag.Int("workers", 0, "decoder workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 256, "request queue bound")
+	batch := flag.Int("batch", 8, "micro-batch size")
+	window := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch linger")
+	cache := flag.Int("cache", 512, "LRU cache entries (negative disables)")
+	flag.Parse()
+
+	var cfg model.Config
+	switch *modelName {
+	case "codellama":
+		cfg = model.CodeLlamaSim()
+	case "codet5p":
+		cfg = model.CodeT5pSim()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q (want codellama or codet5p)\n", *modelName)
+		os.Exit(2)
+	}
+	var scheme model.Scheme
+	switch *schemeName {
+	case "ours":
+		scheme = model.SchemeOurs
+	case "medusa":
+		scheme = model.SchemeMedusa
+	case "ntp":
+		scheme = model.SchemeNTP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q (want ours, medusa or ntp)\n", *schemeName)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "# building corpus (%d items) and training %s/%v...\n", *items, cfg.Name, scheme)
+	start := time.Now()
+	examples, stats := dataset.BuildCorpus(dataset.CorpusOptions{Seed: *seed, Items: *items})
+	var corpus []string
+	limit := min(len(examples), 1500)
+	for _, ex := range examples[:limit] {
+		corpus = append(corpus, model.FormatPrompt(ex.Prompt)+ex.Code)
+	}
+	tk := tokenizer.Train(corpus, cfg.VocabSize)
+	m := model.Train(tk, cfg, scheme, examples)
+	fmt.Fprintf(os.Stderr, "# %s\n# trained in %s\n", stats, time.Since(start).Round(time.Millisecond))
+
+	eng := serve.NewEngine(m, serve.Config{
+		Workers:     *workers,
+		QueueSize:   *queue,
+		BatchSize:   *batch,
+		BatchWindow: *window,
+		CacheSize:   *cache,
+	})
+	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(eng).Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "# shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "# vgend serving %s/%v on %s (%d workers)\n", cfg.Name, scheme, *addr, eng.Workers())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "vgend: %v\n", err)
+		os.Exit(1)
+	}
+	// ListenAndServe returned ErrServerClosed, so Shutdown is in
+	// flight; wait for it to finish draining handlers before tearing
+	// the engine down.
+	<-shutdownDone
+	eng.Close()
+}

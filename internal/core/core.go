@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -161,7 +162,32 @@ func (r *Result) MeanAccepted() float64 {
 // cycles, the canonical degeneracy of footgun samplers.
 const noRepeatN = 10
 
+// StepEvent describes one completed decoding step as it happens —
+// the unit of streaming for the serving layer. Tokens are the ids
+// actually appended to the sequence this step (after acceptance
+// screening, integrity truncation and budget clipping); Text is their
+// cleaned decoding (special markers stripped), which for ModeOurs is a
+// run of complete syntactic fragments.
+type StepEvent struct {
+	// Step is the 1-based forward-pass index.
+	Step int
+	// Tokens are the raw ids emitted this step (may include [FRAG]).
+	Tokens []int
+	// Text is the cleaned text of this step's tokens.
+	Text string
+}
+
+// StepFn observes decoding steps. It is called synchronously from the
+// decoding loop, so a slow callback slows generation (the serving layer
+// relies on this for flow control).
+type StepFn func(StepEvent)
+
 // Decoder generates Verilog from a trained model.
+//
+// A Decoder is stateless: all per-decode state (RNG, generation
+// session, repetition tracker) lives on the stack of each call, so a
+// single Decoder — or many Decoders sharing one Model — may decode
+// concurrently, provided the Model is no longer being trained.
 type Decoder struct {
 	m *model.Model
 }
@@ -205,13 +231,41 @@ func NewDecoder(m *model.Model) *Decoder { return &Decoder{m: m} }
 // The prompt is wrapped in the same Alpaca-style template used in
 // training.
 func (d *Decoder) Generate(desc string, opts Options) *Result {
+	res, _ := d.GenerateCtx(context.Background(), desc, opts)
+	return res
+}
+
+// GenerateCtx is Generate with cancellation: if ctx is cancelled
+// mid-decode the partial Result generated so far is returned together
+// with the context's error.
+func (d *Decoder) GenerateCtx(ctx context.Context, desc string, opts Options) (*Result, error) {
+	return d.GenerateStream(ctx, desc, opts, nil)
+}
+
+// GenerateStream is GenerateCtx with per-step observation: onStep (if
+// non-nil) is invoked after every decoding step with the tokens that
+// step emitted. Serving-layer NDJSON streaming is built on this.
+func (d *Decoder) GenerateStream(ctx context.Context, desc string, opts Options, onStep StepFn) (*Result, error) {
 	tk := d.m.Tokenizer()
 	promptIDs := append([]int{tokenizer.BosID}, tk.Encode(model.FormatPrompt(desc))...)
-	return d.GenerateFrom(promptIDs, opts)
+	return d.generate(ctx, promptIDs, opts, onStep)
 }
 
 // GenerateFrom decodes starting from explicit prompt token ids.
 func (d *Decoder) GenerateFrom(promptIDs []int, opts Options) *Result {
+	res, _ := d.generate(context.Background(), promptIDs, opts, nil)
+	return res
+}
+
+// GenerateFromCtx is GenerateFrom with cancellation (see GenerateCtx).
+func (d *Decoder) GenerateFromCtx(ctx context.Context, promptIDs []int, opts Options) (*Result, error) {
+	return d.generate(ctx, promptIDs, opts, nil)
+}
+
+// generate is the decoding loop shared by all entry points. The
+// context is polled once per forward pass: cancellation surfaces after
+// at most one simulated step, with the partial Result intact.
+func (d *Decoder) generate(ctx context.Context, promptIDs []int, opts Options, onStep StepFn) (*Result, error) {
 	opts = opts.withDefaults(d.m)
 	rng := rand.New(rand.NewSource(opts.Seed))
 	tk := d.m.Tokenizer()
@@ -229,6 +283,11 @@ func (d *Decoder) GenerateFrom(promptIDs []int, opts Options) *Result {
 	tail := ""
 	rep := &repState{seen: map[uint64]bool{}}
 	for !done && len(seq) < maxLen && len(res.Tokens) < opts.MaxNewTokens {
+		if err := ctx.Err(); err != nil {
+			res.CleanTokens = stripSpecials(res.Tokens)
+			res.Text = tk.DecodeClean(res.Tokens)
+			return res, err
+		}
 		fw := gen.Forward(seq)
 		res.Steps++
 		res.SimulatedMS += stepCost
@@ -262,6 +321,7 @@ func (d *Decoder) GenerateFrom(promptIDs []int, opts Options) *Result {
 			accepted = kept
 		}
 
+		emittedAt := len(res.Tokens)
 		for _, id := range accepted {
 			if id == tokenizer.EosID {
 				done = true
@@ -288,11 +348,15 @@ func (d *Decoder) GenerateFrom(promptIDs []int, opts Options) *Result {
 			}
 		}
 		res.AcceptedPerStep = append(res.AcceptedPerStep, len(accepted))
+		if onStep != nil {
+			step := res.Tokens[emittedAt:]
+			onStep(StepEvent{Step: res.Steps, Tokens: step, Text: tk.DecodeClean(step)})
+		}
 	}
 
 	res.CleanTokens = stripSpecials(res.Tokens)
 	res.Text = tk.DecodeClean(res.Tokens)
-	return res
+	return res, nil
 }
 
 // sampleBase draws the base token (greedy at temperature 0), demoting

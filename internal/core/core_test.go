@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/model"
@@ -298,5 +301,120 @@ func TestGenerateFromMatchesGenerate(t *testing.T) {
 	b := d.GenerateFrom(ids, Options{Mode: ModeNTP})
 	if a.Text != b.Text {
 		t.Fatal("Generate and GenerateFrom disagree")
+	}
+}
+
+func TestGenerateCtxCancelledBeforeStart(t *testing.T) {
+	m := trained(t, model.SchemeOurs)
+	d := NewDecoder(m)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := d.GenerateCtx(ctx, trainExamples[0].Prompt, Options{Mode: ModeOurs})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Tokens) != 0 || res.Steps != 0 {
+		t.Fatalf("pre-cancelled decode produced work: %+v", res)
+	}
+}
+
+func TestGenerateCtxCancelMidDecodeReturnsPartial(t *testing.T) {
+	m := trained(t, model.SchemeNTP) // one token per step: many steps
+	d := NewDecoder(m)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	steps := 0
+	res, err := d.GenerateStream(ctx, trainExamples[0].Prompt, Options{Mode: ModeNTP}, func(StepEvent) {
+		steps++
+		if steps == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	// Cancellation is polled once per forward pass: exactly the three
+	// completed steps survive, and the partial result is coherent.
+	if res.Steps != 3 {
+		t.Fatalf("steps=%d, want 3", res.Steps)
+	}
+	if len(res.Tokens) == 0 || res.Text == "" {
+		t.Fatal("partial result empty")
+	}
+	if res.Text != m.Tokenizer().DecodeClean(res.Tokens) {
+		t.Fatal("partial result text inconsistent with tokens")
+	}
+}
+
+func TestGenerateStreamEventsMatchResult(t *testing.T) {
+	m := trained(t, model.SchemeOurs)
+	d := NewDecoder(m)
+	var events []StepEvent
+	res, err := d.GenerateStream(context.Background(), trainExamples[1].Prompt, Options{Mode: ModeOurs},
+		func(ev StepEvent) { events = append(events, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != res.Steps {
+		t.Fatalf("events=%d, steps=%d", len(events), res.Steps)
+	}
+	var tokens []int
+	var text strings.Builder
+	for i, ev := range events {
+		if ev.Step != i+1 {
+			t.Fatalf("event %d has step %d", i, ev.Step)
+		}
+		tokens = append(tokens, ev.Tokens...)
+		text.WriteString(ev.Text)
+	}
+	if len(tokens) != len(res.Tokens) {
+		t.Fatalf("streamed %d tokens, result has %d", len(tokens), len(res.Tokens))
+	}
+	if text.String() != res.Text {
+		t.Fatal("streamed text does not reassemble result text")
+	}
+}
+
+func TestGenerateCtxBackgroundMatchesGenerate(t *testing.T) {
+	m := trained(t, model.SchemeOurs)
+	d := NewDecoder(m)
+	opts := Options{Mode: ModeOurs, Temperature: 0.5, Seed: 11}
+	plain := d.Generate(trainExamples[2].Prompt, opts)
+	ctxed, err := d.GenerateCtx(context.Background(), trainExamples[2].Prompt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Text != ctxed.Text || plain.Steps != ctxed.Steps {
+		t.Fatal("GenerateCtx diverges from Generate")
+	}
+}
+
+func TestConcurrentDecodesShareModel(t *testing.T) {
+	// The serving layer's premise: a frozen model decodes concurrently
+	// without coordination, and scheduling cannot change outputs.
+	m := trained(t, model.SchemeOurs)
+	d := NewDecoder(m)
+	want := make([]string, len(trainExamples))
+	for i, ex := range trainExamples {
+		want[i] = d.Generate(ex.Prompt, Options{Mode: ModeOurs, Temperature: 0.4, Seed: int64(i)}).Text
+	}
+	var wg sync.WaitGroup
+	got := make([]string, len(trainExamples)*8)
+	for r := 0; r < 8; r++ {
+		for i, ex := range trainExamples {
+			wg.Add(1)
+			go func(slot, i int, prompt string) {
+				defer wg.Done()
+				got[slot] = d.Generate(prompt, Options{Mode: ModeOurs, Temperature: 0.4, Seed: int64(i)}).Text
+			}(r*len(trainExamples)+i, i, ex.Prompt)
+		}
+	}
+	wg.Wait()
+	for r := 0; r < 8; r++ {
+		for i := range trainExamples {
+			if got[r*len(trainExamples)+i] != want[i] {
+				t.Fatalf("concurrent decode diverged (round %d, example %d)", r, i)
+			}
+		}
 	}
 }

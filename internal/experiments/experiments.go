@@ -14,16 +14,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/serve"
 	"repro/internal/tokenizer"
 )
 
@@ -190,57 +191,77 @@ type promptOutcome struct {
 	syn metrics.PromptResult
 }
 
-// evalPrompt generates n samples at each temperature for one prompt and
-// returns the best per-temperature tally (the paper picks the highest
-// accuracy across temperatures).
-func (r *Runner) evalPrompt(m *model.Model, p bench.Problem, seedBase int64) promptOutcome {
-	dec := core.NewDecoder(m)
-	mode := core.ModeForScheme(m.Scheme())
-	bestFn, bestSyn := 0, 0
-	n := r.setup.Samples
-	for ti, temp := range r.setup.Temps {
-		cFn, cSyn := 0, 0
-		for s := 0; s < n; s++ {
-			res := dec.Generate(p.Prompt, core.Options{
-				Mode:        mode,
-				Temperature: temp,
-				Seed:        seedBase + int64(ti*1000+s),
-			})
-			if bench.CheckSyntax(res.Text) {
-				cSyn++
-				if bench.CheckFunction(res.Text, p) {
-					cFn++
-				}
-			}
-		}
-		if cFn > bestFn {
-			bestFn = cFn
-		}
-		if cSyn > bestSyn {
-			bestSyn = cSyn
-		}
-	}
-	return promptOutcome{
-		fn:  metrics.PromptResult{N: n, C: bestFn},
-		syn: metrics.PromptResult{N: n, C: bestSyn},
-	}
+// newEngine sizes a serve.Engine for one trained model by the Setup's
+// workers knob. The harness and the vgend daemon share this dispatch
+// path, so benchmark-table concurrency is the serving concurrency. The
+// LRU is disabled: every decode must pay its simulated cost, and the
+// seed schedule never repeats a (prompt, options) pair anyway.
+func (r *Runner) newEngine(m *model.Model) *serve.Engine {
+	return serve.NewEngine(m, serve.Config{Workers: r.setup.workers(), CacheSize: -1})
 }
 
-// evalSuite evaluates one model on one benchmark suite in parallel.
+// evalSuite evaluates one model on one benchmark suite: every (prompt,
+// temperature, sample) generation dispatches through the worker pool,
+// then the tally keeps the best per-temperature accuracy per prompt
+// (the paper picks the highest accuracy across temperatures). Seeds
+// are assigned per (prompt, temperature, sample), so the outcome is
+// identical at any worker count.
 func (r *Runner) evalSuite(m *model.Model, suite []bench.Problem, seedBase int64) []promptOutcome {
-	out := make([]promptOutcome, len(suite))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, r.setup.workers())
+	eng := r.newEngine(m)
+	defer eng.Close()
+	mode := core.ModeForScheme(m.Scheme())
+	n := r.setup.Samples
+	nTemps := len(r.setup.Temps)
+
+	reqs := make([]serve.Request, 0, len(suite)*nTemps*n)
 	for i := range suite {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i] = r.evalPrompt(m, suite[i], seedBase+int64(i)*77)
-		}(i)
+		promptSeed := seedBase + int64(i)*77
+		for ti, temp := range r.setup.Temps {
+			for s := 0; s < n; s++ {
+				reqs = append(reqs, serve.Request{
+					Prompt: suite[i].Prompt,
+					Options: core.Options{
+						Mode:        mode,
+						Temperature: temp,
+						Seed:        promptSeed + int64(ti*1000+s),
+					},
+				})
+			}
+		}
 	}
-	wg.Wait()
+	resps := eng.GenerateBatch(context.Background(), reqs)
+
+	out := make([]promptOutcome, len(suite))
+	for i := range suite {
+		bestFn, bestSyn := 0, 0
+		for ti := 0; ti < nTemps; ti++ {
+			cFn, cSyn := 0, 0
+			for s := 0; s < n; s++ {
+				resp := resps[(i*nTemps+ti)*n+s]
+				if resp.Err != nil {
+					// Background context, drained engine: unreachable
+					// outside programmer error.
+					panic(resp.Err)
+				}
+				if bench.CheckSyntax(resp.Result.Text) {
+					cSyn++
+					if bench.CheckFunction(resp.Result.Text, suite[i]) {
+						cFn++
+					}
+				}
+			}
+			if cFn > bestFn {
+				bestFn = cFn
+			}
+			if cSyn > bestSyn {
+				bestSyn = cSyn
+			}
+		}
+		out[i] = promptOutcome{
+			fn:  metrics.PromptResult{N: n, C: bestFn},
+			syn: metrics.PromptResult{N: n, C: bestSyn},
+		}
+	}
 	return out
 }
 
@@ -323,34 +344,28 @@ func (r *Runner) RunTable2() []SpeedRow {
 		speeds := map[model.Scheme]float64{}
 		for _, scheme := range Schemes {
 			m := model.Train(tk, cfg, scheme, r.examples)
-			dec := core.NewDecoder(m)
 			mode := core.ModeForScheme(scheme)
 
-			type job struct {
-				tokens int
-				secs   float64
-			}
-			results := make([]job, 2*len(prompts))
-			var wg sync.WaitGroup
-			sem := make(chan struct{}, r.setup.workers())
+			// Each prompt decodes greedily and sampled at T=0.8; the
+			// pairs dispatch through the shared worker pool and land
+			// back in submission order.
+			reqs := make([]serve.Request, 0, 2*len(prompts))
 			for i, prompt := range prompts {
-				wg.Add(1)
-				go func(i int, prompt string) {
-					defer wg.Done()
-					sem <- struct{}{}
-					defer func() { <-sem }()
-					greedy := dec.Generate(prompt, core.Options{Mode: mode})
-					sampled := dec.Generate(prompt, core.Options{Mode: mode, Temperature: 0.8, Seed: int64(i)})
-					results[2*i] = job{len(greedy.CleanTokens), greedy.SimulatedMS / 1000}
-					results[2*i+1] = job{len(sampled.CleanTokens), sampled.SimulatedMS / 1000}
-				}(i, prompt)
+				reqs = append(reqs,
+					serve.Request{Prompt: prompt, Options: core.Options{Mode: mode}},
+					serve.Request{Prompt: prompt, Options: core.Options{Mode: mode, Temperature: 0.8, Seed: int64(i)}})
 			}
-			wg.Wait()
-			var tokens []int
-			var secs []float64
-			for _, j := range results {
-				tokens = append(tokens, j.tokens)
-				secs = append(secs, j.secs)
+			eng := r.newEngine(m)
+			resps := eng.GenerateBatch(context.Background(), reqs)
+			eng.Close()
+			tokens := make([]int, len(resps))
+			secs := make([]float64, len(resps))
+			for i, resp := range resps {
+				if resp.Err != nil {
+					panic(resp.Err)
+				}
+				tokens[i] = len(resp.Result.CleanTokens)
+				secs[i] = resp.Result.SimulatedMS / 1000
 			}
 			speeds[scheme] = metrics.Speed(tokens, secs)
 		}

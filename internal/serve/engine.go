@@ -1,0 +1,428 @@
+// Package serve is the concurrency layer between the speculative
+// decoder and its consumers: the vgend HTTP daemon, the benchmark
+// harness (internal/experiments) and in-process embedders.
+//
+// An Engine owns a pool of decoder workers over one trained model, a
+// bounded request queue with explicit backpressure, a micro-batcher
+// that groups queued prompts before dispatch, and an LRU cache keyed on
+// (model, prompt, options, seed) that short-circuits repeat
+// generations. Decoding stays deterministic per seed regardless of
+// worker scheduling: each request carries its own RNG seed in
+// core.Options and the workers share nothing but the read-only model.
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Errors reported by Engine submission.
+var (
+	// ErrQueueFull is returned by TryGenerate when the bounded request
+	// queue has no free slot — the backpressure signal the HTTP layer
+	// turns into 503.
+	ErrQueueFull = errors.New("serve: request queue full")
+	// ErrClosed is returned for submissions after Close.
+	ErrClosed = errors.New("serve: engine closed")
+)
+
+// Config sizes an Engine. Zero values select defaults.
+type Config struct {
+	// Workers is the number of decoder goroutines (default GOMAXPROCS).
+	Workers int
+	// QueueSize bounds the pending-request queue (default 256). A full
+	// queue blocks Generate and rejects TryGenerate.
+	QueueSize int
+	// BatchSize caps how many queued requests one micro-batch carries
+	// to a worker (default 8).
+	BatchSize int
+	// BatchWindow is how long the batcher lingers for a batch to fill
+	// before dispatching it short (default 2ms).
+	BatchWindow time.Duration
+	// CacheSize is the LRU capacity in generations: 0 selects the
+	// default (512), negative disables caching (the benchmark harness
+	// disables it so every decode pays its simulated cost).
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 512
+	}
+	return c
+}
+
+// Request is one generation to perform.
+type Request struct {
+	// Prompt is the natural-language description (wrapped in the
+	// training prompt template by the decoder).
+	Prompt string
+	// Options forwards to core.Decoder; the zero value decodes
+	// greedily in NTP mode with model defaults.
+	Options core.Options
+	// OnStep, if set, streams decoding steps as they complete. The
+	// callback runs on the worker goroutine; streaming requests bypass
+	// the cache on both read and write (a cache hit has no steps to
+	// replay, and a stored result would lie about having streamed).
+	// Because the callback typically captures caller-owned state (an
+	// HTTP response writer), Generate does not return a streaming
+	// request — even on context cancellation — until the worker is
+	// done with it and the callback can no longer fire; the decode
+	// loop polls the context every forward pass, so that wait stays
+	// short.
+	OnStep core.StepFn
+}
+
+// Response is the outcome of one Request.
+type Response struct {
+	// Result is the generation (possibly partial if Err is a context
+	// error). Cached responses share one Result value across callers —
+	// treat it as immutable.
+	Result *core.Result
+	// Cached reports an LRU short-circuit (no decode ran).
+	Cached bool
+	// Err is the per-request error (context cancellation, ErrClosed).
+	Err error
+	// Wall is the worker's decode time (zero for cached responses).
+	Wall time.Duration
+}
+
+// task is one queued request with its completion channel.
+type task struct {
+	req  Request
+	ctx  context.Context
+	done chan *Response // buffered(1): workers never block on delivery
+}
+
+// Engine dispatches generation requests over a decoder worker pool.
+type Engine struct {
+	m       *model.Model
+	cfg     Config
+	queue   chan *task
+	batches chan []*task
+	cache   *lruCache // nil when disabled
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed and the enqueue/Close handoff
+	closed bool
+
+	st stats
+}
+
+// NewEngine starts a worker pool over m. The model must be fully
+// trained before the first request: workers read it concurrently and
+// model training is not synchronized with reads.
+func NewEngine(m *model.Model, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		m:       m,
+		cfg:     cfg,
+		queue:   make(chan *task, cfg.QueueSize),
+		batches: make(chan []*task, cfg.Workers),
+		quit:    make(chan struct{}),
+	}
+	if cfg.CacheSize > 0 {
+		e.cache = newLRUCache(cfg.CacheSize)
+	}
+	e.st.perMode = map[string]*modeStats{}
+	e.wg.Add(1)
+	go e.batcher()
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Model exposes the engine's model (the HTTP layer reports its name).
+func (e *Engine) Model() *model.Model { return e.m }
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// QueueDepth reports the number of requests waiting in the queue (not
+// yet picked up by the batcher).
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// Generate runs one request, blocking for a queue slot if the engine is
+// saturated. The returned error (context cancellation, ErrClosed) is
+// also recorded on the Response when one exists.
+func (e *Engine) Generate(ctx context.Context, req Request) (*Response, error) {
+	return e.submit(ctx, req, true)
+}
+
+// TryGenerate is Generate with fail-fast backpressure: if the request
+// queue has no free slot it returns ErrQueueFull immediately instead of
+// blocking.
+func (e *Engine) TryGenerate(ctx context.Context, req Request) (*Response, error) {
+	return e.submit(ctx, req, false)
+}
+
+// GenerateBatch enqueues every request before waiting on any, so the
+// whole slice is in flight together; responses align index-for-index
+// with reqs (never nil), with per-request failures on Response.Err.
+// Determinism per seed makes the outcome independent of how the batch
+// lands on workers.
+func (e *Engine) GenerateBatch(ctx context.Context, reqs []Request) []*Response {
+	return e.generateBatch(ctx, reqs, true)
+}
+
+func (e *Engine) generateBatch(ctx context.Context, reqs []Request, wait bool) []*Response {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tasks := make([]*task, len(reqs))
+	out := make([]*Response, len(reqs))
+	for i, req := range reqs {
+		e.st.request(req.Options.Mode)
+		if resp := e.cacheLookup(req); resp != nil {
+			out[i] = resp
+			continue
+		}
+		t, err := e.enqueue(ctx, req, wait)
+		if err != nil {
+			out[i] = &Response{Err: err}
+			continue
+		}
+		tasks[i] = t
+	}
+	for i, t := range tasks {
+		if t == nil {
+			continue
+		}
+		if reqs[i].OnStep != nil {
+			out[i] = <-t.done // see Request.OnStep: no early return
+			continue
+		}
+		select {
+		case out[i] = <-t.done:
+		case <-ctx.Done():
+			out[i] = &Response{Err: ctx.Err()}
+		}
+	}
+	return out
+}
+
+// TryGenerateBatch is GenerateBatch with fail-fast backpressure: items
+// that find no free queue slot come back with ErrQueueFull on their
+// Response instead of waiting — so a big batch cannot monopolize the
+// queue past its bound the way blocking enqueues would.
+func (e *Engine) TryGenerateBatch(ctx context.Context, reqs []Request) []*Response {
+	return e.generateBatch(ctx, reqs, false)
+}
+
+func (e *Engine) submit(ctx context.Context, req Request, wait bool) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.st.request(req.Options.Mode)
+	if resp := e.cacheLookup(req); resp != nil {
+		return resp, nil
+	}
+	t, err := e.enqueue(ctx, req, wait)
+	if err != nil {
+		return nil, err
+	}
+	if req.OnStep != nil {
+		// No early return for streaming requests: the caller's OnStep
+		// state must not outlive this call while a worker can still
+		// invoke it (see Request.OnStep).
+		resp := <-t.done
+		return resp, resp.Err
+	}
+	select {
+	case resp := <-t.done:
+		return resp, resp.Err
+	case <-ctx.Done():
+		// The task stays queued; the worker will observe the dead
+		// context and discard it into the buffered done channel.
+		return nil, ctx.Err()
+	}
+}
+
+// cacheLookup serves a request from the LRU if possible, accounting a
+// hit or miss. Streaming requests never touch the cache.
+func (e *Engine) cacheLookup(req Request) *Response {
+	if e.cache == nil || req.OnStep != nil {
+		return nil
+	}
+	if res, ok := e.cache.get(cacheKey{prompt: req.Prompt, opts: req.Options}); ok {
+		e.st.cacheHit(req.Options.Mode)
+		return &Response{Result: res, Cached: true}
+	}
+	e.st.cacheMiss()
+	return nil
+}
+
+// enqueue places a task on the bounded queue. The read lock spans the
+// send so Close's write lock cannot proceed while a submission is in
+// flight — after Close acquires it, the queue's contents are final and
+// can be drained exactly once.
+func (e *Engine) enqueue(ctx context.Context, req Request, wait bool) (*task, error) {
+	t := &task{req: req, ctx: ctx, done: make(chan *Response, 1)}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if wait {
+		select {
+		case e.queue <- t:
+			return t, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	select {
+	case e.queue <- t:
+		return t, nil
+	default:
+		e.st.reject()
+		return nil, ErrQueueFull
+	}
+}
+
+// Close stops accepting requests, drains everything already queued
+// through the workers, and waits for them to exit. Safe to call once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	// No submission can be mid-send now: enqueue holds the read lock
+	// across its send, and closed gates new ones. Signal the batcher to
+	// drain what remains and shut the pool down.
+	close(e.quit)
+	e.wg.Wait()
+}
+
+// batcher groups queued tasks into micro-batches: a batch dispatches
+// when it reaches BatchSize or when BatchWindow elapses after its first
+// request arrived, whichever comes first.
+func (e *Engine) batcher() {
+	defer e.wg.Done()
+	defer close(e.batches)
+	for {
+		var first *task
+		select {
+		case first = <-e.queue:
+		case <-e.quit:
+			e.drain()
+			return
+		}
+		batch := []*task{first}
+		// Adaptive dispatch: batching only pays when the pool is
+		// saturated (there is no vectorized forward pass to amortize),
+		// so if a worker slot is free, hand the request over
+		// immediately rather than lingering — lingering would
+		// serialize co-arriving requests onto one worker while the
+		// others idle.
+		select {
+		case e.batches <- batch:
+			e.st.batch(len(batch))
+			continue
+		default:
+		}
+		timer := time.NewTimer(e.cfg.BatchWindow)
+	fill:
+		for len(batch) < e.cfg.BatchSize {
+			select {
+			case t := <-e.queue:
+				batch = append(batch, t)
+			case <-timer.C:
+				break fill
+			case <-e.quit:
+				break fill
+			}
+		}
+		timer.Stop()
+		e.st.batch(len(batch))
+		e.batches <- batch
+	}
+}
+
+// drain flushes the post-Close queue remnant to the workers as final
+// batches. The queue cannot grow anymore, so a bounded loop suffices.
+func (e *Engine) drain() {
+	var batch []*task
+	flush := func() {
+		if len(batch) > 0 {
+			e.st.batch(len(batch))
+			e.batches <- batch
+			batch = nil
+		}
+	}
+	for {
+		select {
+		case t := <-e.queue:
+			batch = append(batch, t)
+			if len(batch) == e.cfg.BatchSize {
+				flush()
+			}
+		default:
+			flush()
+			return
+		}
+	}
+}
+
+// worker owns one decoder and serves batches until the batcher closes
+// the feed.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	dec := core.NewDecoder(e.m)
+	for batch := range e.batches {
+		for _, t := range batch {
+			e.serveTask(dec, t)
+		}
+	}
+}
+
+// serveTask runs one generation and delivers its Response.
+func (e *Engine) serveTask(dec *core.Decoder, t *task) {
+	if err := t.ctx.Err(); err != nil {
+		e.st.cancel()
+		t.done <- &Response{Err: err}
+		return
+	}
+	start := time.Now()
+	res, err := dec.GenerateStream(t.ctx, t.req.Prompt, t.req.Options, t.req.OnStep)
+	wall := time.Since(start)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			e.st.cancel()
+		} else {
+			e.st.fail()
+		}
+		t.done <- &Response{Result: res, Err: err, Wall: wall}
+		return
+	}
+	if e.cache != nil && t.req.OnStep == nil {
+		e.cache.add(cacheKey{prompt: t.req.Prompt, opts: t.req.Options}, res)
+	}
+	e.st.complete(t.req.Options.Mode, res, wall)
+	t.done <- &Response{Result: res, Wall: wall}
+}

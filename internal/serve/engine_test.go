@@ -1,0 +1,420 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+)
+
+// The fixture trains one small model shared by every test; engines are
+// cheap, models are not.
+var (
+	fixOnce    sync.Once
+	fixModel   *model.Model
+	fixPrompts []string
+)
+
+func fixture(tb testing.TB) (*model.Model, []string) {
+	tb.Helper()
+	fixOnce.Do(func() {
+		examples, _ := dataset.BuildCorpus(dataset.CorpusOptions{Seed: 1, Items: 700})
+		var texts []string
+		for _, ex := range examples {
+			texts = append(texts, model.FormatPrompt(ex.Prompt)+ex.Code)
+		}
+		cfg := model.CodeT5pSim()
+		tk := tokenizer.Train(texts, cfg.VocabSize)
+		fixModel = model.Train(tk, cfg, model.SchemeOurs, examples)
+		for _, ex := range examples[:24] {
+			fixPrompts = append(fixPrompts, ex.Prompt)
+		}
+	})
+	return fixModel, fixPrompts
+}
+
+func testOptions(seed int64) core.Options {
+	return core.Options{Mode: core.ModeOurs, Temperature: 0.6, MaxNewTokens: 48, Seed: seed}
+}
+
+// TestBatchMatchesDirectDecoder pins the engine's two core guarantees:
+// responses align index-for-index with the submitted batch, and routing
+// a decode through queue/batcher/worker changes nothing about its
+// output (determinism per seed, independent of worker scheduling).
+func TestBatchMatchesDirectDecoder(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 4, CacheSize: -1})
+	defer eng.Close()
+
+	reqs := make([]Request, len(prompts))
+	for i, p := range prompts {
+		reqs[i] = Request{Prompt: p, Options: testOptions(int64(100 + i))}
+	}
+	resps := eng.GenerateBatch(context.Background(), reqs)
+
+	dec := core.NewDecoder(m)
+	for i, resp := range resps {
+		if resp.Err != nil {
+			t.Fatalf("request %d failed: %v", i, resp.Err)
+		}
+		direct := dec.Generate(prompts[i], testOptions(int64(100+i)))
+		if resp.Result.Text != direct.Text {
+			t.Errorf("request %d: engine text diverges from direct decode\nengine: %q\ndirect: %q",
+				i, resp.Result.Text, direct.Text)
+		}
+		if resp.Result.Steps != direct.Steps {
+			t.Errorf("request %d: steps %d != direct %d", i, resp.Result.Steps, direct.Steps)
+		}
+	}
+}
+
+// TestBatchDeterministicAcrossRuns reruns an identical batch on a
+// differently-sized pool and demands identical output.
+func TestBatchDeterministicAcrossRuns(t *testing.T) {
+	m, prompts := fixture(t)
+	decode := func(workers int) []string {
+		eng := NewEngine(m, Config{Workers: workers, CacheSize: -1})
+		defer eng.Close()
+		reqs := make([]Request, 8)
+		for i := range reqs {
+			reqs[i] = Request{Prompt: prompts[i], Options: testOptions(int64(i))}
+		}
+		resps := eng.GenerateBatch(context.Background(), reqs)
+		out := make([]string, len(resps))
+		for i, r := range resps {
+			if r.Err != nil {
+				t.Fatalf("request %d: %v", i, r.Err)
+			}
+			out[i] = r.Result.Text
+		}
+		return out
+	}
+	a, b := decode(1), decode(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("request %d: 1-worker and 4-worker runs diverge", i)
+		}
+	}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 2, CacheSize: 8})
+	defer eng.Close()
+	ctx := context.Background()
+	req := Request{Prompt: prompts[0], Options: testOptions(7)}
+
+	first, err := eng.Generate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first generation reported cached")
+	}
+	second, err := eng.Generate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("identical repeat not served from cache")
+	}
+	if second.Result != first.Result {
+		t.Error("cache hit did not share the stored Result")
+	}
+	// Same prompt, different seed: a different generation, not a hit.
+	other, err := eng.Generate(ctx, Request{Prompt: prompts[0], Options: testOptions(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Cached {
+		t.Error("different seed served from cache")
+	}
+
+	got := eng.Metrics()
+	if got.CacheHits != 1 || got.CacheMisses != 2 {
+		t.Errorf("cache accounting hits=%d misses=%d, want 1/2", got.CacheHits, got.CacheMisses)
+	}
+	if want := 1.0 / 3.0; got.CacheHitRate < want-1e-9 || got.CacheHitRate > want+1e-9 {
+		t.Errorf("hit rate %f, want %f", got.CacheHitRate, want)
+	}
+	if got.CacheEntries != 2 {
+		t.Errorf("cache entries %d, want 2", got.CacheEntries)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(2)
+	k := func(i int) cacheKey { return cacheKey{prompt: fmt.Sprintf("p%d", i)} }
+	r1, r2, r3 := &core.Result{}, &core.Result{}, &core.Result{}
+	c.add(k(1), r1)
+	c.add(k(2), r2)
+	if _, ok := c.get(k(1)); !ok { // refresh 1: now 2 is LRU
+		t.Fatal("k1 missing before eviction")
+	}
+	c.add(k(3), r3)
+	if _, ok := c.get(k(2)); ok {
+		t.Error("k2 survived eviction despite being LRU")
+	}
+	if got, ok := c.get(k(1)); !ok || got != r1 {
+		t.Error("recently-used k1 evicted")
+	}
+	if got, ok := c.get(k(3)); !ok || got != r3 {
+		t.Error("fresh k3 missing")
+	}
+	if c.len() != 2 {
+		t.Errorf("len %d, want 2", c.len())
+	}
+}
+
+// TestQueueFullBackpressure wedges the single worker mid-decode via a
+// blocking OnStep, fills every pipeline slot (queue, batcher hand,
+// batch channel), and checks both backpressure behaviours: TryGenerate
+// fails fast with ErrQueueFull while Generate blocks until its context
+// deadline.
+func TestQueueFullBackpressure(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{
+		Workers: 1, QueueSize: 1, BatchSize: 1,
+		BatchWindow: time.Millisecond, CacheSize: -1,
+	})
+	defer eng.Close()
+	ctx := context.Background()
+
+	release := make(chan struct{})
+	var once sync.Once
+	started := make(chan struct{})
+	gate := func(core.StepEvent) {
+		once.Do(func() { close(started) })
+		<-release
+	}
+	gatedErr := make(chan error, 1)
+	go func() {
+		_, err := eng.Generate(ctx, Request{Prompt: prompts[0], Options: testOptions(1), OnStep: gate})
+		gatedErr <- err
+	}()
+	<-started // worker is now stalled inside a decode
+
+	// With the worker stalled, exactly three more tasks fit: one in the
+	// batch channel, one in the batcher's hand, one in the queue. Keep
+	// filling until a rejection arrives after all slots are taken.
+	successes := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := eng.enqueue(ctx, Request{Prompt: prompts[1], Options: testOptions(int64(successes))}, false)
+		if err == nil {
+			successes++
+		} else if errors.Is(err, ErrQueueFull) && successes >= 3 {
+			break
+		} else if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("unexpected enqueue error: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled (successes=%d)", successes)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fail-fast path: the public TryGenerate rejects immediately.
+	if _, err := eng.TryGenerate(ctx, Request{Prompt: prompts[2], Options: testOptions(99)}); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("TryGenerate on full queue: err=%v, want ErrQueueFull", err)
+	}
+	// Batch fail-fast: every item reports the rejection instead of
+	// blocking past the queue bound.
+	for i, resp := range eng.TryGenerateBatch(ctx, []Request{
+		{Prompt: prompts[2], Options: testOptions(97)},
+		{Prompt: prompts[3], Options: testOptions(98)},
+	}) {
+		if !errors.Is(resp.Err, ErrQueueFull) {
+			t.Errorf("TryGenerateBatch item %d on full queue: err=%v, want ErrQueueFull", i, resp.Err)
+		}
+	}
+	// Blocking path: Generate waits for a slot until its deadline.
+	short, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel()
+	if _, err := eng.Generate(short, Request{Prompt: prompts[2], Options: testOptions(99)}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Generate on full queue: err=%v, want DeadlineExceeded", err)
+	}
+
+	if got := eng.Metrics().Rejected; got < 2 {
+		t.Errorf("rejected=%d, want >= 2", got)
+	}
+
+	close(release)
+	if err := <-gatedErr; err != nil {
+		t.Errorf("gated request failed after release: %v", err)
+	}
+}
+
+// TestCancelMidGeneration cancels a request's context from inside its
+// own decode loop and expects the context error back promptly.
+func TestCancelMidGeneration(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 1, CacheSize: -1})
+	defer eng.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var steps atomic.Int32
+	resp, err := eng.Generate(ctx, Request{
+		Prompt:  prompts[0],
+		Options: testOptions(3),
+		OnStep: func(core.StepEvent) {
+			if steps.Add(1) == 1 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	// Streaming requests never return early: the worker's own partial
+	// response comes back, proving the callback can no longer fire
+	// against caller state (the NDJSON handler depends on this).
+	if resp == nil || resp.Result == nil {
+		t.Fatal("cancelled streaming request returned before the worker finished")
+	}
+	if got := steps.Load(); got < 1 || got > 2 {
+		t.Errorf("decode ran %d steps after cancellation, want at most one more", got)
+	}
+}
+
+// TestCancelWhileQueued cancels a request that is still waiting behind
+// a stalled worker; the caller unblocks immediately and the worker
+// discards the dead task without decoding it.
+func TestCancelWhileQueued(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 1, QueueSize: 4, BatchSize: 1, CacheSize: -1})
+
+	release := make(chan struct{})
+	var once sync.Once
+	started := make(chan struct{})
+	gate := func(core.StepEvent) {
+		once.Do(func() { close(started) })
+		<-release
+	}
+	gatedErr := make(chan error, 1)
+	go func() {
+		_, err := eng.Generate(context.Background(), Request{Prompt: prompts[0], Options: testOptions(1), OnStep: gate})
+		gatedErr <- err
+	}()
+	<-started
+
+	ctxB, cancelB := context.WithCancel(context.Background())
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := eng.Generate(ctxB, Request{Prompt: prompts[1], Options: testOptions(2)})
+		queuedErr <- err
+	}()
+	// Requests increments at submission, so it signals B is in flight.
+	for deadline := time.Now().Add(10 * time.Second); eng.Metrics().Requests < 2; {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never submitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelB()
+	if err := <-queuedErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued request err=%v, want context.Canceled", err)
+	}
+
+	close(release)
+	if err := <-gatedErr; err != nil {
+		t.Errorf("gated request failed: %v", err)
+	}
+	eng.Close() // drains B's corpse through the worker
+	if got := eng.Metrics().Canceled; got < 1 {
+		t.Errorf("canceled=%d, want >= 1", got)
+	}
+}
+
+func TestStreamingStepsReassembleResult(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 1})
+	defer eng.Close()
+
+	var mu sync.Mutex
+	var tokens int
+	var text string
+	var events int
+	resp, err := eng.Generate(context.Background(), Request{
+		Prompt:  prompts[0],
+		Options: testOptions(5),
+		OnStep: func(ev core.StepEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			events++
+			tokens += len(ev.Tokens)
+			text += ev.Text
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != resp.Result.Steps {
+		t.Errorf("events=%d, want one per step (%d)", events, resp.Result.Steps)
+	}
+	if tokens != len(resp.Result.Tokens) {
+		t.Errorf("streamed %d tokens, result has %d", tokens, len(resp.Result.Tokens))
+	}
+	if text != resp.Result.Text {
+		t.Errorf("streamed text diverges from result text")
+	}
+	if resp.Cached {
+		t.Error("streaming request reported cached")
+	}
+	// Streaming must not have populated the cache either.
+	again, err := eng.Generate(context.Background(), Request{Prompt: prompts[0], Options: testOptions(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cached {
+		t.Error("cache served a result stored by a streaming request")
+	}
+}
+
+func TestCloseDrainsThenRejects(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 2, CacheSize: -1})
+	if _, err := eng.Generate(context.Background(), Request{Prompt: prompts[0], Options: testOptions(1)}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	if _, err := eng.Generate(context.Background(), Request{Prompt: prompts[1], Options: testOptions(2)}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Generate after Close: err=%v, want ErrClosed", err)
+	}
+	if _, err := eng.TryGenerate(context.Background(), Request{Prompt: prompts[1], Options: testOptions(2)}); !errors.Is(err, ErrClosed) {
+		t.Errorf("TryGenerate after Close: err=%v, want ErrClosed", err)
+	}
+}
+
+// BenchmarkEngineBatch is the CI bench-smoke target: wall-clock
+// throughput of an 8-prompt batch through the full engine path.
+func BenchmarkEngineBatch(b *testing.B) {
+	m, prompts := fixture(b)
+	eng := NewEngine(m, Config{CacheSize: -1})
+	defer eng.Close()
+	reqs := make([]Request, 8)
+	for i := range reqs {
+		reqs[i] = Request{Prompt: prompts[i], Options: testOptions(int64(i))}
+	}
+	b.ResetTimer()
+	tokens := 0
+	for i := 0; i < b.N; i++ {
+		for _, resp := range eng.GenerateBatch(context.Background(), reqs) {
+			if resp.Err != nil {
+				b.Fatal(resp.Err)
+			}
+			tokens += len(resp.Result.CleanTokens)
+		}
+	}
+	b.ReportMetric(float64(tokens)/b.Elapsed().Seconds(), "tok/s")
+}

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// stats accumulates engine counters under one mutex; contention is
+// negligible next to a decode.
+type stats struct {
+	mu        sync.Mutex
+	requests  uint64
+	completed uint64
+	canceled  uint64
+	failed    uint64
+	rejected  uint64
+
+	cacheHits   uint64
+	cacheMisses uint64
+
+	batches      uint64
+	batchedTasks uint64
+
+	cleanTokens uint64
+	rawTokens   uint64
+	steps       uint64
+	wall        time.Duration
+	simMS       float64
+
+	perMode map[string]*modeStats
+}
+
+type modeStats struct {
+	requests    uint64
+	completed   uint64
+	cacheHits   uint64
+	steps       uint64
+	rawTokens   uint64
+	cleanTokens uint64
+	simMS       float64
+}
+
+func (s *stats) mode(m core.Mode) *modeStats {
+	ms := s.perMode[m.String()]
+	if ms == nil {
+		ms = &modeStats{}
+		s.perMode[m.String()] = ms
+	}
+	return ms
+}
+
+func (s *stats) request(m core.Mode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	s.mode(m).requests++
+}
+
+func (s *stats) cacheHit(m core.Mode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cacheHits++
+	s.mode(m).cacheHits++
+}
+
+func (s *stats) cacheMiss() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cacheMisses++
+}
+
+func (s *stats) reject() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rejected++
+}
+
+func (s *stats) cancel() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.canceled++
+}
+
+func (s *stats) fail() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failed++
+}
+
+func (s *stats) batch(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches++
+	s.batchedTasks += uint64(n)
+}
+
+func (s *stats) complete(m core.Mode, res *core.Result, wall time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.completed++
+	s.cleanTokens += uint64(len(res.CleanTokens))
+	s.rawTokens += uint64(len(res.Tokens))
+	s.steps += uint64(res.Steps)
+	s.wall += wall
+	s.simMS += res.SimulatedMS
+	ms := s.mode(m)
+	ms.completed++
+	ms.steps += uint64(res.Steps)
+	ms.rawTokens += uint64(len(res.Tokens))
+	ms.cleanTokens += uint64(len(res.CleanTokens))
+	ms.simMS += res.SimulatedMS
+}
+
+// ModeMetrics is the per-decoding-mode slice of a metrics snapshot.
+type ModeMetrics struct {
+	// Requests counts submissions (including cache hits).
+	Requests uint64 `json:"requests"`
+	// Completed counts finished decodes (cache hits excluded).
+	Completed uint64 `json:"completed"`
+	// CacheHits counts LRU short-circuits.
+	CacheHits uint64 `json:"cache_hits"`
+	// MeanAccepted is tokens emitted per decoding step — the paper's
+	// mean accepted length, the quantity speculative decoding raises.
+	MeanAccepted float64 `json:"mean_accepted"`
+	// TokensPerSecSim is clean tokens over simulated GPU time (the
+	// paper's eq. 3 speed for everything this engine decoded).
+	TokensPerSecSim float64 `json:"tokens_per_sec_sim"`
+}
+
+// Metrics is a point-in-time snapshot of engine counters.
+type Metrics struct {
+	Requests  uint64 `json:"requests"`
+	Completed uint64 `json:"completed"`
+	Canceled  uint64 `json:"canceled"`
+	Failed    uint64 `json:"failed"`
+	// Rejected counts TryGenerate backpressure rejections (HTTP 503s).
+	Rejected uint64 `json:"rejected"`
+
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// CacheHitRate is hits/(hits+misses), 0 when the cache is idle.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// CacheEntries is the current LRU population.
+	CacheEntries int `json:"cache_entries"`
+
+	Batches uint64 `json:"batches"`
+	// MeanBatchSize is tasks per dispatched micro-batch.
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	QueueDepth    int     `json:"queue_depth"`
+	Workers       int     `json:"workers"`
+
+	CleanTokens uint64 `json:"clean_tokens"`
+	Steps       uint64 `json:"steps"`
+	// MeanAccepted is raw tokens per decoding step across all decodes.
+	MeanAccepted float64 `json:"mean_accepted"`
+	// WallSeconds is summed worker decode time (busy time, not
+	// wall-clock span: with W workers it accrues up to W seconds per
+	// second).
+	WallSeconds float64 `json:"wall_seconds"`
+	// TokensPerSecWall is clean tokens per worker-busy-second — the
+	// engine's real single-worker decode throughput.
+	TokensPerSecWall float64 `json:"tokens_per_sec_wall"`
+	// TokensPerSecSim is clean tokens over simulated GPU seconds.
+	TokensPerSecSim float64 `json:"tokens_per_sec_sim"`
+
+	PerMode map[string]ModeMetrics `json:"per_mode"`
+}
+
+// Metrics snapshots the engine's counters.
+func (e *Engine) Metrics() Metrics {
+	e.st.mu.Lock()
+	defer e.st.mu.Unlock()
+	m := Metrics{
+		Requests:    e.st.requests,
+		Completed:   e.st.completed,
+		Canceled:    e.st.canceled,
+		Failed:      e.st.failed,
+		Rejected:    e.st.rejected,
+		CacheHits:   e.st.cacheHits,
+		CacheMisses: e.st.cacheMisses,
+		Batches:     e.st.batches,
+		QueueDepth:  len(e.queue),
+		Workers:     e.cfg.Workers,
+		CleanTokens: e.st.cleanTokens,
+		Steps:       e.st.steps,
+		WallSeconds: e.st.wall.Seconds(),
+		PerMode:     map[string]ModeMetrics{},
+	}
+	if lookups := m.CacheHits + m.CacheMisses; lookups > 0 {
+		m.CacheHitRate = float64(m.CacheHits) / float64(lookups)
+	}
+	if e.cache != nil {
+		m.CacheEntries = e.cache.len()
+	}
+	if m.Batches > 0 {
+		m.MeanBatchSize = float64(e.st.batchedTasks) / float64(m.Batches)
+	}
+	if m.Steps > 0 {
+		m.MeanAccepted = float64(e.st.rawTokens) / float64(m.Steps)
+	}
+	if m.WallSeconds > 0 {
+		m.TokensPerSecWall = float64(m.CleanTokens) / m.WallSeconds
+	}
+	if e.st.simMS > 0 {
+		m.TokensPerSecSim = float64(m.CleanTokens) / (e.st.simMS / 1000)
+	}
+	for name, ms := range e.st.perMode {
+		mm := ModeMetrics{
+			Requests:  ms.requests,
+			Completed: ms.completed,
+			CacheHits: ms.cacheHits,
+		}
+		if ms.steps > 0 {
+			mm.MeanAccepted = float64(ms.rawTokens) / float64(ms.steps)
+		}
+		if ms.simMS > 0 {
+			mm.TokensPerSecSim = float64(ms.cleanTokens) / (ms.simMS / 1000)
+		}
+		m.PerMode[name] = mm
+	}
+	return m
+}

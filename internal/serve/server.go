@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// maxBatchPrompts bounds one POST /v1/generate batch; bigger requests
+// get a 400 instead of an unbounded task allocation.
+const maxBatchPrompts = 128
+
+// Server exposes an Engine over HTTP: POST /v1/generate (single, batch
+// and NDJSON streaming), GET /healthz and GET /metrics. It is the
+// handler core of cmd/vgend, kept here so httptest can exercise it.
+type Server struct {
+	engine *Engine
+	start  time.Time
+}
+
+// NewServer wraps an engine for HTTP serving.
+func NewServer(e *Engine) *Server {
+	return &Server{engine: e, start: time.Now()}
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/generate", s.handleGenerate)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// GenerateRequest is the POST /v1/generate body. Exactly one of Prompt
+// and Prompts must be set.
+type GenerateRequest struct {
+	// Prompt decodes a single description.
+	Prompt string `json:"prompt,omitempty"`
+	// Prompts decodes a batch; results align index-for-index.
+	Prompts []string `json:"prompts,omitempty"`
+	// Mode is "ours" (default), "medusa" or "ntp".
+	Mode string `json:"mode,omitempty"`
+	// Temperature 0 decodes greedily.
+	Temperature float64 `json:"temperature,omitempty"`
+	// MaxNewTokens bounds the generation (0 = model default).
+	MaxNewTokens int `json:"max_new_tokens,omitempty"`
+	// TopK is candidates per head position (0 = default 3).
+	TopK int `json:"top_k,omitempty"`
+	// Seed fixes the sampling RNG; generations are deterministic given
+	// (prompt, options, seed).
+	Seed int64 `json:"seed,omitempty"`
+	// Stream switches a single-prompt request to NDJSON: one line per
+	// decoding step, then a final {"done":true,...} summary line.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// GenerateResult is one generation in a response body.
+type GenerateResult struct {
+	Text         string  `json:"text"`
+	Mode         string  `json:"mode"`
+	Tokens       int     `json:"tokens"`
+	Steps        int     `json:"steps"`
+	MeanAccepted float64 `json:"mean_accepted"`
+	SimulatedMS  float64 `json:"simulated_ms"`
+	TokensPerSec float64 `json:"tokens_per_sec"`
+	Cached       bool    `json:"cached"`
+	WallMS       float64 `json:"wall_ms"`
+}
+
+func parseMode(s string) (core.Mode, error) {
+	switch s {
+	case "", "ours":
+		return core.ModeOurs, nil
+	case "medusa":
+		return core.ModeMedusa, nil
+	case "ntp":
+		return core.ModeNTP, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want ours, medusa or ntp)", s)
+}
+
+func (gr GenerateRequest) options() (core.Options, error) {
+	mode, err := parseMode(gr.Mode)
+	if err != nil {
+		return core.Options{}, err
+	}
+	return core.Options{
+		Mode:         mode,
+		Temperature:  gr.Temperature,
+		MaxNewTokens: gr.MaxNewTokens,
+		TopK:         gr.TopK,
+		Seed:         gr.Seed,
+	}, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func resultJSON(resp *Response) GenerateResult {
+	res := resp.Result
+	return GenerateResult{
+		Text:         res.Text,
+		Mode:         "", // filled by caller (result does not know it)
+		Tokens:       len(res.CleanTokens),
+		Steps:        res.Steps,
+		MeanAccepted: res.MeanAccepted(),
+		SimulatedMS:  res.SimulatedMS,
+		TokensPerSec: res.TokensPerSecond(),
+		Cached:       resp.Cached,
+		WallMS:       float64(resp.Wall) / float64(time.Millisecond),
+	}
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var gr GenerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&gr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	single := gr.Prompt != ""
+	batch := len(gr.Prompts) > 0
+	if single == batch {
+		writeError(w, http.StatusBadRequest, errors.New(`set exactly one of "prompt" and "prompts"`))
+		return
+	}
+	opts, err := gr.options()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	modeName := opts.Mode.String()
+
+	switch {
+	case gr.Stream && batch:
+		writeError(w, http.StatusBadRequest, errors.New("streaming requires a single prompt"))
+	case gr.Stream:
+		s.streamGenerate(w, r, gr.Prompt, opts)
+	case single:
+		resp, err := s.engine.TryGenerate(r.Context(), Request{Prompt: gr.Prompt, Options: opts})
+		if err != nil {
+			s.writeEngineError(w, err)
+			return
+		}
+		out := resultJSON(resp)
+		out.Mode = modeName
+		writeJSON(w, http.StatusOK, out)
+	default:
+		if len(gr.Prompts) > maxBatchPrompts {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("batch of %d prompts exceeds the limit of %d", len(gr.Prompts), maxBatchPrompts))
+			return
+		}
+		reqs := make([]Request, len(gr.Prompts))
+		for i, p := range gr.Prompts {
+			o := opts
+			// Distinct default seeds per batch item: identical prompts
+			// in one batch still explore, matching how a caller would
+			// seed sequential requests.
+			o.Seed += int64(i)
+			reqs[i] = Request{Prompt: p, Options: o}
+		}
+		// Fail-fast enqueue: batches obey the same queue bound as
+		// single requests instead of blocking past it.
+		resps := s.engine.TryGenerateBatch(r.Context(), reqs)
+		results := make([]GenerateResult, 0, len(resps))
+		for _, resp := range resps {
+			if resp.Err != nil {
+				s.writeEngineError(w, resp.Err)
+				return
+			}
+			out := resultJSON(resp)
+			out.Mode = modeName
+			results = append(results, out)
+		}
+		writeJSON(w, http.StatusOK, map[string][]GenerateResult{"results": results})
+	}
+}
+
+// writeEngineError maps engine submission errors to HTTP statuses:
+// queue-full backpressure is 503 with Retry-After, client cancellation
+// is 499 (nginx's convention), the rest 500.
+func (s *Server) writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// 499: client went away (nginx's convention for closed requests).
+		writeError(w, 499, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// streamLine is one NDJSON line of a streaming response.
+type streamLine struct {
+	Step   int             `json:"step,omitempty"`
+	Text   string          `json:"text,omitempty"`
+	Tokens int             `json:"tokens,omitempty"`
+	Done   bool            `json:"done,omitempty"`
+	Result *GenerateResult `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func (s *Server) streamGenerate(w http.ResponseWriter, r *http.Request, prompt string, opts core.Options) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	onStep := func(ev core.StepEvent) {
+		// Runs on the engine worker goroutine. Safe: for streaming
+		// requests TryGenerate does not return — even when the client
+		// disconnects mid-decode — until the worker is finished and
+		// this callback can no longer fire, so the handler goroutine
+		// never writes concurrently and the ResponseWriter never
+		// outlives the handler.
+		_ = enc.Encode(streamLine{Step: ev.Step, Text: ev.Text, Tokens: len(ev.Tokens)})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	resp, err := s.engine.TryGenerate(r.Context(), Request{Prompt: prompt, Options: opts, OnStep: onStep})
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			// Nothing streamed yet: a clean 503 is still possible.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		_ = enc.Encode(streamLine{Done: true, Error: err.Error()})
+		return
+	}
+	out := resultJSON(resp)
+	out.Mode = opts.Mode.String()
+	_ = enc.Encode(streamLine{Done: true, Result: &out})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	cfg := s.engine.Model().Config()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"model":       cfg.Name,
+		"scheme":      s.engine.Model().Scheme().String(),
+		"workers":     s.engine.Workers(),
+		"queue_depth": s.engine.QueueDepth(),
+		"uptime_s":    time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s": time.Since(s.start).Seconds(),
+		"model":    s.engine.Model().Config().Name,
+		"engine":   s.engine.Metrics(),
+	})
+}
