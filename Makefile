@@ -5,7 +5,7 @@ GO ?= go
 # bash for pipefail: a failing benchmark must not hide behind tee.
 SHELL := /bin/bash
 
-.PHONY: build test race bench fmt fmt-check vet serve ci
+.PHONY: build test race golden bench fmt fmt-check vet serve ci
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Engine wall-clock throughput smoke; CI uploads bench_output.txt as an
-# artifact. Run `go test -bench=. ./...` for the full paper harness.
+# Byte-identical legacy-mode outputs through the drafter/verifier
+# pipeline (fixtures captured from the pre-refactor loop). Regenerate
+# deliberately with: go test -run TestGolden ./internal/core/ -update
+golden:
+	$(GO) test -run TestGolden -v ./internal/core/
+
+# Engine wall-clock throughput + strategy matrix smoke; CI uploads
+# bench_output.txt as an artifact. Run `go test -bench=. ./...` for the
+# full paper harness.
 bench:
-	set -o pipefail; $(GO) test -run '^$$' -bench=BenchmarkEngine -benchtime=1x ./... | tee bench_output.txt
+	set -o pipefail; $(GO) test -run '^$$' -bench='BenchmarkEngine|BenchmarkStrategyMatrix' -benchtime=1x ./... | tee bench_output.txt
 
 fmt:
 	gofmt -w .
@@ -35,4 +42,4 @@ vet:
 serve:
 	$(GO) run ./cmd/vgend
 
-ci: build fmt-check vet race bench
+ci: build fmt-check vet race golden bench

@@ -6,6 +6,8 @@
 //
 //	BenchmarkTable1_*     — quality grid cells (pass@k, Pass Rate)
 //	BenchmarkTable2_*     — simulated tokens/s + speedup per method
+//	BenchmarkStrategyMatrix — tokens/s per decoding strategy (NTP,
+//	                        Medusa, Ours, PromptLookup) in one harness
 //	BenchmarkFig1         — speed vs pass@10 scatter points
 //	BenchmarkFig5         — decoding steps on the data_register example
 //	BenchmarkFig6         — the CodeT5p pass@5 slice
@@ -140,7 +142,7 @@ func speedOf(m *model.Model, prompts []string, opts core.Options) float64 {
 	var secs []float64
 	for i, prompt := range prompts {
 		greedy := dec.Generate(prompt, opts)
-		sampled := dec.Generate(prompt, core.Options{Mode: opts.Mode, Temperature: 0.8, Seed: int64(i), DisableIntegrity: opts.DisableIntegrity, TopK: opts.TopK, Epsilon: opts.Epsilon, Delta: opts.Delta})
+		sampled := dec.Generate(prompt, core.Options{Mode: opts.Mode, Strategy: opts.Strategy, Temperature: 0.8, Seed: int64(i), DisableIntegrity: opts.DisableIntegrity, TopK: opts.TopK, Epsilon: opts.Epsilon, Delta: opts.Delta})
 		tokens = append(tokens, len(greedy.CleanTokens), len(sampled.CleanTokens))
 		secs = append(secs, greedy.SimulatedMS/1000, sampled.SimulatedMS/1000)
 	}
@@ -173,6 +175,40 @@ func benchSpeed(b *testing.B, modelName string) {
 
 func BenchmarkTable2_CodeLlama(b *testing.B) { benchSpeed(b, "CodeLlama") }
 func BenchmarkTable2_CodeT5p(b *testing.B)   { benchSpeed(b, "CodeT5p") }
+
+// --- Strategy matrix: every decoding strategy under one harness ---
+
+// BenchmarkStrategyMatrix compares the canned drafter/verifier
+// pairings — the legacy three plus self-speculative prompt lookup on
+// the NTP backbone — reporting simulated tokens/s per strategy (CI
+// smoke target for the pluggable pipeline).
+func BenchmarkStrategyMatrix(b *testing.B) {
+	setup(b)
+	prompts := speedPrompts()
+	// ntp leads so every later row can report its speedup against it.
+	matrix := []struct{ scheme, strategy string }{
+		{"NTP", "ntp"},
+		{"Ours", "ours"},
+		{"Medusa", "medusa"},
+		{"NTP", "prompt-lookup"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ntp float64
+		for _, entry := range matrix {
+			m := models["CodeLlama/"+entry.scheme]
+			s := speedOf(m, prompts, core.Options{Strategy: entry.strategy})
+			label := (core.Options{Strategy: entry.strategy}).StrategyLabel()
+			b.ReportMetric(s, label+"_tok/s")
+			if entry.strategy == "ntp" {
+				ntp = s
+			}
+			if ntp > 0 {
+				b.ReportMetric(metrics.Speedup(s, ntp), label+"_speedup")
+			}
+		}
+	}
+}
 
 // --- Fig. 1: speed vs pass@10(RTLLM) scatter ---
 

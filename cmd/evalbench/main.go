@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	evalbench -exp table1|table2|fig1|fig5|fig6|all [-quick] [-items N]
-//	          [-samples N] [-seed N]
+//	evalbench -exp table1|table2|matrix|fig1|fig5|fig6|all [-quick]
+//	          [-items N] [-samples N] [-seed N]
 //
 // -quick selects the scaled-down setup (one model, one data size, few
 // samples); the default is the full harness described in DESIGN.md.
+// "matrix" runs the strategy matrix: every decoding strategy (the
+// legacy three plus self-speculative prompt lookup) under the Table II
+// protocol.
 package main
 
 import (
@@ -21,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig1, fig5, fig6 or all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, matrix, fig1, fig5, fig6 or all")
 	quick := flag.Bool("quick", false, "scaled-down setup (fast smoke run)")
 	items := flag.Int("items", 0, "override corpus item count")
 	samples := flag.Int("samples", 0, "override samples per prompt per temperature")
@@ -82,6 +85,10 @@ func main() {
 		t2 = runner.RunTable2()
 		printTable2(t2)
 	}
+	if want("matrix") {
+		fmt.Println("## Strategy matrix — tokens/s per decoding strategy")
+		printMatrix(runner.RunStrategyMatrix())
+	}
 	if want("fig1") && t1 != nil && t2 != nil {
 		fmt.Println("## Fig. 1 — speed vs pass@10 (RTLLM, first model)")
 		for _, pt := range experiments.Fig1(t1, t2, setup.Models[0].Name) {
@@ -106,10 +113,20 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("# total %v\n", time.Since(t0).Round(time.Second))
-	if *exp != "all" && !want("table1") && !want("table2") && !want("fig1") && !want("fig5") && !want("fig6") {
+	if *exp != "all" && !want("table1") && !want("table2") && !want("matrix") && !want("fig1") && !want("fig5") && !want("fig6") {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+func printMatrix(rows []experiments.StrategyRow) {
+	fmt.Printf("%-14s %-8s %-13s %14s %9s %9s\n", "model", "scheme", "strategy", "speed (tok/s)", "speedup", "accepted")
+	fmt.Println(strings.Repeat("-", 72))
+	for _, r := range rows {
+		fmt.Printf("%-14s %-8s %-13s %14.2f %9.2f %9.2f\n",
+			r.Model, r.Scheme, r.Strategy, r.TokensPerSec, r.Speedup, r.MeanAccepted)
+	}
+	fmt.Println()
 }
 
 func printTable1(cells []experiments.QualityCell) {

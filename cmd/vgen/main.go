@@ -1,8 +1,13 @@
 // Command vgen trains the simulated models on a synthetic corpus and
 // generates Verilog for a prompt with the chosen scheme and decoding
-// mode — the quickest way to watch the speculative decoder work.
+// strategy — the quickest way to watch the speculative decoder work.
 //
-// Usage: vgen [-scheme ours|medusa|ntp] [-items N] [-temp T] "prompt"
+// Usage: vgen [-scheme ours|medusa|ntp] [-strategy ntp|medusa|ours|prompt-lookup]
+// [-items N] [-temp T] "prompt"
+//
+// -strategy overrides the scheme's natural decoding mode; e.g.
+// "-scheme ntp -strategy prompt-lookup" accelerates the plain NTP
+// backbone with self-speculative drafting.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 
 func main() {
 	schemeName := flag.String("scheme", "ours", "training scheme: ours, medusa or ntp")
+	strategy := flag.String("strategy", "", "decoding strategy: ntp, medusa, ours or prompt-lookup (default: the scheme's natural mode)")
 	items := flag.Int("items", 3400, "corpus items")
 	temp := flag.Float64("temp", 0, "sampling temperature (0 = greedy)")
 	seed := flag.Int64("seed", 1, "seed")
@@ -54,9 +60,16 @@ func main() {
 	tk := tokenizer.Train(corpus, cfg.VocabSize)
 	m := model.Train(tk, cfg, scheme, examples)
 
+	if *strategy != "" {
+		if _, err := core.ResolveStrategy(*strategy, false); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+	}
 	dec := core.NewDecoder(m)
 	res := dec.Generate(prompt, core.Options{
 		Mode:        core.ModeForScheme(scheme),
+		Strategy:    *strategy,
 		Temperature: *temp,
 		Seed:        *seed,
 	})

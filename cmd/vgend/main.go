@@ -6,14 +6,28 @@
 // Endpoints:
 //
 //	POST /v1/generate  — {"prompt": "..."} or {"prompts": [...]};
+//	                     {"strategy": "ntp"|"medusa"|"ours"|
+//	                     "prompt-lookup"} routes the request to any
+//	                     registered decoding strategy (default: the
+//	                     legacy "mode" field, default "ours");
 //	                     {"stream": true} switches to NDJSON streaming
 //	                     of decoding steps (single prompt only).
 //	GET  /healthz      — liveness plus model/pool identity.
 //	GET  /metrics      — engine counters: requests, cache hit rate,
-//	                     tokens/s, mean accepted length per mode.
+//	                     single-flight dedup hits, prefix-cache reuse,
+//	                     tokens/s, mean accepted length per strategy.
+//	                     JSON by default; ?format=prometheus (or a
+//	                     Prometheus Accept header) selects the text
+//	                     exposition format.
+//
+// Identical concurrent requests (same prompt, options and seed) are
+// collapsed onto one decode by the engine's single-flight table, and
+// prompt conditioning state is shared across requests through the
+// prefix cache.
 //
 // Usage: vgend [-addr :8080] [-model codellama|codet5p] [-scheme ours]
 // [-items 3400] [-workers N] [-queue N] [-batch N] [-cache N]
+// [-prefix-cache N] [-no-dedup]
 package main
 
 import (
@@ -44,6 +58,8 @@ func main() {
 	batch := flag.Int("batch", 8, "micro-batch size")
 	window := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch linger")
 	cache := flag.Int("cache", 512, "LRU cache entries (negative disables)")
+	prefixCache := flag.Int("prefix-cache", 256, "prompt-session cache entries (negative disables)")
+	noDedup := flag.Bool("no-dedup", false, "disable single-flight dedup of identical in-flight requests")
 	flag.Parse()
 
 	var cfg model.Config
@@ -82,11 +98,13 @@ func main() {
 	fmt.Fprintf(os.Stderr, "# %s\n# trained in %s\n", stats, time.Since(start).Round(time.Millisecond))
 
 	eng := serve.NewEngine(m, serve.Config{
-		Workers:     *workers,
-		QueueSize:   *queue,
-		BatchSize:   *batch,
-		BatchWindow: *window,
-		CacheSize:   *cache,
+		Workers:         *workers,
+		QueueSize:       *queue,
+		BatchSize:       *batch,
+		BatchWindow:     *window,
+		CacheSize:       *cache,
+		PrefixCacheSize: *prefixCache,
+		NoDedup:         *noDedup,
 	})
 	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(eng).Handler()}
 

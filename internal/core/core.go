@@ -15,6 +15,13 @@
 // run at the last [FRAG] marker so every decoding step ends on a
 // complete syntactic fragment (paper §III-B).
 //
+// The decoding loop itself is strategy-agnostic: drafting and
+// acceptance live behind the Drafter/Verifier interfaces of
+// internal/core/spec, and the paper's three modes are canned pairings
+// (StrategyForMode). Options.Strategy selects any registered pairing by
+// name — including self-speculative prompt lookup, which needs no
+// trained heads at all.
+//
 // A latency cost model (per-forward-pass milliseconds, calibrated so
 // the NTP baselines match the paper's tokens/s) converts step counts
 // into the simulated generation speeds reported by the benchmark
@@ -24,10 +31,11 @@ package core
 
 import (
 	"context"
-	"math"
+	"fmt"
 	"math/rand"
 	"strings"
 
+	"repro/internal/core/spec"
 	"repro/internal/model"
 	"repro/internal/tokenizer"
 )
@@ -73,10 +81,48 @@ func ModeForScheme(s model.Scheme) Mode {
 	}
 }
 
+// StrategyForMode re-expresses a legacy decoding mode as its canned
+// drafter/verifier pairing. disableIntegrity ablates the [FRAG]
+// integrity wrapper of ModeOurs (Options.DisableIntegrity).
+func StrategyForMode(m Mode, disableIntegrity bool) spec.Strategy {
+	switch m {
+	case ModeNTP:
+		return spec.NTP()
+	case ModeMedusa:
+		return spec.Medusa()
+	default:
+		s := spec.Ours()
+		if disableIntegrity {
+			s = spec.WithoutIntegrity(s)
+		}
+		return s
+	}
+}
+
+// ResolveStrategy resolves a strategy name ("ntp", "medusa", "ours",
+// "prompt-lookup" or an alias — see spec.Named) to its pairing,
+// honouring the integrity ablation for strategies that carry the check.
+func ResolveStrategy(name string, disableIntegrity bool) (spec.Strategy, error) {
+	s, ok := spec.Named(name)
+	if !ok {
+		return spec.Strategy{}, fmt.Errorf("unknown strategy %q (want one of %v)", name, spec.Names())
+	}
+	if disableIntegrity {
+		s = spec.WithoutIntegrity(s)
+	}
+	return s, nil
+}
+
 // Options controls one decode call. Zero values select defaults.
 type Options struct {
-	// Mode selects NTP / Medusa / Ours decoding.
+	// Mode selects NTP / Medusa / Ours decoding. Ignored when Strategy
+	// is set.
 	Mode Mode
+	// Strategy selects the decoding strategy by name ("ntp", "medusa",
+	// "ours", "prompt-lookup"; see spec.Named). Empty derives the
+	// strategy from Mode — full backward compatibility with the legacy
+	// three-way switch.
+	Strategy string
 	// Temperature 0 decodes greedily; >0 samples the base token.
 	Temperature float64
 	// MaxNewTokens bounds generated tokens (default: model MaxTokens).
@@ -112,6 +158,50 @@ func (o Options) withDefaults(m *model.Model) Options {
 	}
 	if o.Delta == 0 {
 		o.Delta = 1.2
+	}
+	return o
+}
+
+// strategy resolves the options' decoding strategy: the named one when
+// Strategy is set, otherwise the legacy mode's canned pairing.
+func (o Options) strategy() (spec.Strategy, error) {
+	if o.Strategy != "" {
+		return ResolveStrategy(o.Strategy, o.DisableIntegrity)
+	}
+	return StrategyForMode(o.Mode, o.DisableIntegrity), nil
+}
+
+// StrategyLabel returns the canonical display name of the strategy
+// these options select ("NTP", "Medusa", "Ours", "PromptLookup") —
+// the key serving metrics and benchmark tables group by. An unknown
+// Strategy name is returned verbatim so the error stays visible.
+func (o Options) StrategyLabel() string {
+	if o.Strategy != "" {
+		if s, ok := spec.Named(o.Strategy); ok {
+			return s.Name
+		}
+		return o.Strategy
+	}
+	return o.Mode.String()
+}
+
+// Canonical rewrites the options so equivalent decodes compare equal:
+// the strategy is expressed by its canonical display name (aliases and
+// the legacy Mode spelling collapse onto it) and Mode is zeroed, since
+// strategy() ignores it once Strategy is set. Decoding behaviour is
+// unchanged — the serving layer canonicalizes before using Options as
+// a cache or single-flight key so "pl", "prompt-lookup" and
+// "PromptLookup" (or mode "ours" vs strategy "ours") share one entry.
+// Unknown strategy names pass through untouched and fail at decode
+// time as before.
+func (o Options) Canonical() Options {
+	name := o.Strategy
+	if name == "" {
+		name = o.Mode.String()
+	}
+	if s, ok := spec.Named(name); ok {
+		o.Strategy = s.Name
+		o.Mode = 0
 	}
 	return o
 }
@@ -187,9 +277,13 @@ type StepFn func(StepEvent)
 // A Decoder is stateless: all per-decode state (RNG, generation
 // session, repetition tracker) lives on the stack of each call, so a
 // single Decoder — or many Decoders sharing one Model — may decode
-// concurrently, provided the Model is no longer being trained.
+// concurrently, provided the Model is no longer being trained. An
+// optional model.GenCache (WithGenCache) shares prompt-derived session
+// state across decodes of identical prompts; Gen values are immutable
+// after construction, so the cache changes nothing about outputs.
 type Decoder struct {
-	m *model.Model
+	m        *model.Model
+	genCache *model.GenCache
 }
 
 // repState tracks generated clean-token n-grams for the no-repeat rule.
@@ -227,11 +321,35 @@ func (r *repState) push(id int) {
 // NewDecoder wraps a model for decoding.
 func NewDecoder(m *model.Model) *Decoder { return &Decoder{m: m} }
 
+// WithGenCache attaches a shared prompt-state cache: decodes of a
+// prompt already seen (by any decoder sharing the cache) reuse its
+// prepared generation session instead of re-deriving keyword seeds,
+// copy sets and code-line marks. Returns the decoder for chaining.
+func (d *Decoder) WithGenCache(c *model.GenCache) *Decoder {
+	d.genCache = c
+	return d
+}
+
+// newGen prepares (or fetches from the shared cache) the generation
+// session for a prompt.
+func (d *Decoder) newGen(promptIDs []int) *model.Gen {
+	if d.genCache != nil {
+		return d.genCache.Gen(d.m, promptIDs)
+	}
+	return d.m.NewGen(promptIDs)
+}
+
 // Generate produces a completion for a natural-language description.
 // The prompt is wrapped in the same Alpaca-style template used in
-// training.
+// training. It panics on an unknown Options.Strategy name — the only
+// error the background context can produce — so the error-less
+// convenience API cannot silently return an empty Result; use
+// GenerateCtx to receive the error instead.
 func (d *Decoder) Generate(desc string, opts Options) *Result {
-	res, _ := d.GenerateCtx(context.Background(), desc, opts)
+	res, err := d.GenerateCtx(context.Background(), desc, opts)
+	if err != nil {
+		panic(err)
+	}
 	return res
 }
 
@@ -251,9 +369,14 @@ func (d *Decoder) GenerateStream(ctx context.Context, desc string, opts Options,
 	return d.generate(ctx, promptIDs, opts, onStep)
 }
 
-// GenerateFrom decodes starting from explicit prompt token ids.
+// GenerateFrom decodes starting from explicit prompt token ids. Like
+// Generate it panics on an unknown Options.Strategy name; use
+// GenerateFromCtx to receive the error instead.
 func (d *Decoder) GenerateFrom(promptIDs []int, opts Options) *Result {
-	res, _ := d.generate(context.Background(), promptIDs, opts, nil)
+	res, err := d.generate(context.Background(), promptIDs, opts, nil)
+	if err != nil {
+		panic(err)
+	}
 	return res
 }
 
@@ -262,18 +385,25 @@ func (d *Decoder) GenerateFromCtx(ctx context.Context, promptIDs []int, opts Opt
 	return d.generate(ctx, promptIDs, opts, nil)
 }
 
-// generate is the decoding loop shared by all entry points. The
+// generate is the decoding loop shared by all entry points — strategy
+// agnostic: the Drafter proposes, the Verifier screens and finalizes,
+// and the loop owns only what every strategy shares (base sampling,
+// repetition guard, budget and stop conditions, streaming). The
 // context is polled once per forward pass: cancellation surfaces after
 // at most one simulated step, with the partial Result intact.
 func (d *Decoder) generate(ctx context.Context, promptIDs []int, opts Options, onStep StepFn) (*Result, error) {
 	opts = opts.withDefaults(d.m)
+	strat, err := opts.strategy()
+	if err != nil {
+		return &Result{}, err
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	tk := d.m.Tokenizer()
-	gen := d.m.NewGen(promptIDs)
+	gen := d.newGen(promptIDs)
 
 	seq := append([]int(nil), promptIDs...)
 	res := &Result{}
-	stepCost := d.stepCostMS(opts.Mode)
+	stepCost := d.stepCostMS(strat)
 	maxLen := len(promptIDs) + opts.MaxNewTokens
 	if cfgMax := d.m.Config().MaxTokens; maxLen > cfgMax+len(promptIDs) {
 		maxLen = cfgMax + len(promptIDs)
@@ -288,7 +418,14 @@ func (d *Decoder) generate(ctx context.Context, promptIDs []int, opts Options, o
 			res.Text = tk.DecodeClean(res.Tokens)
 			return res, err
 		}
-		fw := gen.Forward(seq)
+		// Head distributions cost work to build; strategies that do not
+		// draft from them (NTP, prompt lookup) get a base-only pass.
+		var fw model.Forward
+		if strat.Drafter.NeedsHeads() {
+			fw = gen.Forward(seq)
+		} else {
+			fw = model.Forward{Base: gen.BaseDist(seq)}
+		}
 		res.Steps++
 		res.SimulatedMS += stepCost
 
@@ -296,8 +433,8 @@ func (d *Decoder) generate(ctx context.Context, promptIDs []int, opts Options, o
 		base := d.sampleBase(fw.Base, opts, rng, rep)
 		accepted := []int{base}
 
-		if opts.Mode != ModeNTP && d.m.NumHeads() > 0 && base != tokenizer.EosID {
-			accepted = append(accepted, d.acceptDrafts(gen, seq, accepted, fw, opts)...)
+		if base != tokenizer.EosID {
+			accepted = append(accepted, d.acceptDrafts(gen, seq, accepted, fw, strat, opts)...)
 		}
 		// Drafts that would extend a repeated n-gram are cut too.
 		cleanProbe := append([]int(nil), rep.clean...)
@@ -313,13 +450,11 @@ func (d *Decoder) generate(ctx context.Context, promptIDs []int, opts Options, o
 			cleanProbe = append(cleanProbe, id)
 		}
 
-		// Integrity check (paper §III-B): truncate the accepted run at
-		// the last complete fragment boundary.
-		if opts.Mode == ModeOurs && !opts.DisableIntegrity {
-			kept := integrityTruncate(accepted)
-			res.TruncatedTokens += len(accepted) - len(kept)
-			accepted = kept
-		}
+		// Finalize the accepted run (the [FRAG] integrity truncation of
+		// paper §III-B, when the verifier carries it).
+		kept, truncated := strat.Verifier.Finalize(accepted)
+		res.TruncatedTokens += truncated
+		accepted = kept
 
 		emittedAt := len(res.Tokens)
 		for _, id := range accepted {
@@ -384,33 +519,38 @@ func (d *Decoder) sampleBase(dist model.Dist, opts Options, rng *rand.Rand, rep 
 	return id // everything repeats: let it through rather than deadlock
 }
 
-// acceptDrafts screens head proposals with the typical-acceptance rule,
+// acceptDrafts runs the strategy's draft/verify exchange for one step,
 // returning the accepted continuation (not including the base token).
-// For each head position the top-k candidates are tried best-first and
-// the first one passing the test extends the prefix; the prefix ends at
-// the first position where every candidate fails — the "longest
-// accepted prefix among all candidates".
-func (d *Decoder) acceptDrafts(gen *model.Gen, seq, prefix []int, fw model.Forward, opts Options) []int {
+// For each draft position the drafter's candidates are tried best-first
+// against the base model's posterior with all previously accepted
+// tokens in context — the analogue of Medusa's verification pass; the
+// prefix ends at the first position the verifier rejects outright (the
+// "longest accepted prefix among all candidates").
+func (d *Decoder) acceptDrafts(gen *model.Gen, seq, prefix []int, fw model.Forward, strat spec.Strategy, opts Options) []int {
+	src := strat.Drafter.BeginStep(spec.DraftCtx{
+		Gen:     gen,
+		Seq:     seq,
+		Prefix:  prefix,
+		Forward: fw,
+		TopK:    opts.TopK,
+	})
+	if src == nil {
+		return nil
+	}
+	params := spec.VerifyParams{Epsilon: opts.Epsilon, Delta: opts.Delta}
 	var out []int
 	// ctx is the hypothetical sequence including accepted tokens.
 	ctx := append(append([]int(nil), seq...), prefix...)
-	for i := 0; i < len(fw.Heads); i++ {
-		cands := fw.Heads[i].TopK(opts.TopK)
+	for i := 0; ; i++ {
+		cands := src.Candidates(i)
 		if len(cands) == 0 {
 			break
 		}
 		// Verification distribution: the base model's posterior at
 		// this position given everything accepted so far.
 		ver := gen.BaseDist(ctx)
-		threshold := math.Min(opts.Epsilon, opts.Delta*math.Exp(-ver.Entropy()))
-		choice := -1
-		for _, c := range cands {
-			if ver.Prob(c) > threshold {
-				choice = c
-				break
-			}
-		}
-		if choice == -1 {
+		choice := strat.Verifier.Accept(ver, cands, params)
+		if choice < 0 {
 			break
 		}
 		out = append(out, choice)
@@ -422,32 +562,13 @@ func (d *Decoder) acceptDrafts(gen *model.Gen, seq, prefix []int, fw model.Forwa
 	return out
 }
 
-// integrityTruncate keeps the accepted run through its last [FRAG]
-// marker; with no marker in the run only the base token survives, so
-// every decoding step leaves the sequence on a complete syntactic
-// fragment (or extends by the minimal lossless amount).
-func integrityTruncate(accepted []int) []int {
-	last := -1
-	for i, id := range accepted {
-		if id == tokenizer.FragID {
-			last = i
-		}
-	}
-	if last == -1 {
-		return accepted[:1]
-	}
-	return accepted[:last+1]
-}
-
-// stepCostMS is the simulated cost of one forward pass in the given
-// mode: the backbone plus, for speculative modes, all heads.
-func (d *Decoder) stepCostMS(mode Mode) float64 {
+// stepCostMS is the simulated cost of one forward pass under the given
+// strategy: the backbone plus the drafter's extra cost (all heads for
+// Medusa-style drafting, nothing for NTP or self-speculative lookup).
+// Exposed for the cost-model tests.
+func (d *Decoder) stepCostMS(strat spec.Strategy) float64 {
 	cfg := d.m.Config()
-	cost := cfg.StepLatencyMS
-	if mode != ModeNTP {
-		cost += float64(d.m.NumHeads()) * cfg.HeadLatencyMS
-	}
-	return cost
+	return cfg.StepLatencyMS + strat.Drafter.ExtraCostMS(cfg, d.m.NumHeads())
 }
 
 // stripSpecials removes all reserved special tokens from ids.

@@ -157,32 +157,6 @@ func TestSpeculativeModesBeatNTPSpeed(t *testing.T) {
 	}
 }
 
-func TestIntegrityTruncate(t *testing.T) {
-	F := tokenizer.FragID
-	cases := []struct {
-		in, want []int
-	}{
-		{[]int{42}, []int{42}},                         // lone base token, no FRAG
-		{[]int{42, 43, 44}, []int{42}},                 // no FRAG: base only
-		{[]int{F, 42, 43}, []int{F}},                   // FRAG first
-		{[]int{42, F, 43, F, 44}, []int{42, F, 43, F}}, // keep through last FRAG
-		{[]int{42, 43, F}, []int{42, 43, F}},           // ends on FRAG: keep all
-	}
-	for _, c := range cases {
-		got := integrityTruncate(append([]int(nil), c.in...))
-		if len(got) != len(c.want) {
-			t.Errorf("truncate(%v) = %v, want %v", c.in, got, c.want)
-			continue
-		}
-		for i := range got {
-			if got[i] != c.want[i] {
-				t.Errorf("truncate(%v) = %v, want %v", c.in, got, c.want)
-				break
-			}
-		}
-	}
-}
-
 func TestIntegrityKeepsFragmentsComplete(t *testing.T) {
 	// In ModeOurs every step's emission either ends at a [FRAG] marker
 	// or is the single lossless base token.
@@ -259,11 +233,19 @@ func TestStepCostModel(t *testing.T) {
 	cfg := m.Config()
 	wantNTP := cfg.StepLatencyMS
 	wantSpec := cfg.StepLatencyMS + float64(m.NumHeads())*cfg.HeadLatencyMS
-	if got := d.stepCostMS(ModeNTP); got != wantNTP {
+	if got := d.stepCostMS(StrategyForMode(ModeNTP, false)); got != wantNTP {
 		t.Fatalf("NTP step cost = %f, want %f", got, wantNTP)
 	}
-	if got := d.stepCostMS(ModeOurs); got != wantSpec {
+	if got := d.stepCostMS(StrategyForMode(ModeOurs, false)); got != wantSpec {
 		t.Fatalf("Ours step cost = %f, want %f", got, wantSpec)
+	}
+	// Self-speculative lookup drafts without heads: backbone cost only.
+	pl, err := ResolveStrategy("prompt-lookup", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.stepCostMS(pl); got != wantNTP {
+		t.Fatalf("PromptLookup step cost = %f, want %f", got, wantNTP)
 	}
 }
 
@@ -386,6 +368,139 @@ func TestGenerateCtxBackgroundMatchesGenerate(t *testing.T) {
 	}
 	if plain.Text != ctxed.Text || plain.Steps != ctxed.Steps {
 		t.Fatal("GenerateCtx diverges from Generate")
+	}
+}
+
+func TestPromptLookupGreedyLossless(t *testing.T) {
+	// Greedy-exact verification makes PromptLookup lossless at
+	// temperature 0: the emitted token sequence is exactly the NTP
+	// greedy sequence, in fewer forward passes — so simulated tokens/s
+	// rises with pass rate untouched.
+	m := trained(t, model.SchemeNTP)
+	d := NewDecoder(m)
+	sawSpeedup := false
+	for _, ex := range trainExamples {
+		ntp := d.Generate(ex.Prompt, Options{Mode: ModeNTP})
+		pl := d.Generate(ex.Prompt, Options{Strategy: "prompt-lookup"})
+		if pl.Text != ntp.Text {
+			t.Fatalf("prompt-lookup diverged from greedy NTP\n  pl: %q\n ntp: %q", pl.Text, ntp.Text)
+		}
+		if pl.Steps > ntp.Steps {
+			t.Fatalf("prompt-lookup used more steps than NTP: %d vs %d", pl.Steps, ntp.Steps)
+		}
+		if pl.SimulatedMS > ntp.SimulatedMS {
+			t.Fatalf("prompt-lookup simulated slower than NTP: %v vs %v ms", pl.SimulatedMS, ntp.SimulatedMS)
+		}
+		if pl.Steps < ntp.Steps {
+			sawSpeedup = true
+		}
+	}
+	if !sawSpeedup {
+		t.Fatal("prompt-lookup never accepted a draft on template-heavy RTL")
+	}
+}
+
+func TestStrategyNamesMatchModes(t *testing.T) {
+	// Named strategies reproduce their legacy modes exactly.
+	for _, c := range []struct {
+		scheme   model.Scheme
+		mode     Mode
+		strategy string
+	}{
+		{model.SchemeNTP, ModeNTP, "ntp"},
+		{model.SchemeMedusa, ModeMedusa, "medusa"},
+		{model.SchemeOurs, ModeOurs, "ours"},
+	} {
+		m := trained(t, c.scheme)
+		d := NewDecoder(m)
+		for _, temp := range []float64{0, 0.8} {
+			byMode := d.Generate(trainExamples[1].Prompt, Options{Mode: c.mode, Temperature: temp, Seed: 9})
+			byName := d.Generate(trainExamples[1].Prompt, Options{Strategy: c.strategy, Temperature: temp, Seed: 9})
+			if byMode.Text != byName.Text || byMode.Steps != byName.Steps {
+				t.Fatalf("strategy %q diverges from mode %v at temp %g", c.strategy, c.mode, temp)
+			}
+		}
+	}
+}
+
+func TestUnknownStrategyErrors(t *testing.T) {
+	m := trained(t, model.SchemeOurs)
+	d := NewDecoder(m)
+	res, err := d.GenerateCtx(context.Background(), trainExamples[0].Prompt, Options{Strategy: "warp"})
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if res == nil || len(res.Tokens) != 0 {
+		t.Fatalf("unknown strategy produced work: %+v", res)
+	}
+	// The error-less convenience API must fail loudly, not return an
+	// empty Result that poisons downstream math.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Generate with unknown strategy did not panic")
+			}
+		}()
+		d.Generate(trainExamples[0].Prompt, Options{Strategy: "warp"})
+	}()
+	if got := (Options{Strategy: "prompt-lookup"}).StrategyLabel(); got != "PromptLookup" {
+		t.Fatalf("StrategyLabel = %q", got)
+	}
+	if got := (Options{Mode: ModeOurs}).StrategyLabel(); got != "Ours" {
+		t.Fatalf("mode StrategyLabel = %q", got)
+	}
+}
+
+func TestOptionsCanonical(t *testing.T) {
+	// Every spelling of one strategy collapses onto one value…
+	spellings := []Options{
+		{Strategy: "pl", Seed: 3},
+		{Strategy: "prompt-lookup", Seed: 3},
+		{Strategy: "PromptLookup", Seed: 3},
+		{Mode: ModeMedusa, Strategy: "pl", Seed: 3}, // Mode ignored once Strategy set
+	}
+	want := spellings[0].Canonical()
+	for i, o := range spellings {
+		if got := o.Canonical(); got != want {
+			t.Errorf("spelling %d canonicalized to %+v, want %+v", i, got, want)
+		}
+	}
+	// …and the legacy Mode spelling collapses onto the named one.
+	if (Options{Mode: ModeOurs}).Canonical() != (Options{Strategy: "ours"}).Canonical() {
+		t.Error("mode and strategy spellings of Ours diverge")
+	}
+	// Canonicalization never changes the decode.
+	m := trained(t, model.SchemeOurs)
+	d := NewDecoder(m)
+	opts := Options{Mode: ModeOurs, Temperature: 0.6, Seed: 4}
+	a := d.Generate(trainExamples[0].Prompt, opts)
+	b := d.Generate(trainExamples[0].Prompt, opts.Canonical())
+	if a.Text != b.Text || a.Steps != b.Steps {
+		t.Error("canonical options decode differently")
+	}
+	// Unknown names pass through for decode-time failure.
+	if got := (Options{Strategy: "warp"}).Canonical().Strategy; got != "warp" {
+		t.Errorf("unknown strategy rewritten to %q", got)
+	}
+}
+
+func TestGenCacheDoesNotChangeOutputs(t *testing.T) {
+	m := trained(t, model.SchemeOurs)
+	plain := NewDecoder(m)
+	cache := model.NewGenCache(8)
+	cached := NewDecoder(m).WithGenCache(cache)
+	for i, ex := range trainExamples {
+		opts := Options{Mode: ModeOurs, Temperature: 0.6, Seed: int64(i)}
+		a := plain.Generate(ex.Prompt, opts)
+		b := cached.Generate(ex.Prompt, opts)
+		c := cached.Generate(ex.Prompt, opts) // second decode hits the cache
+		if a.Text != b.Text || a.Text != c.Text {
+			t.Fatalf("prompt %d: cached session changed the decode", i)
+		}
+	}
+	hits, misses := cache.Stats()
+	if hits < uint64(len(trainExamples)) || misses != uint64(len(trainExamples)) {
+		t.Fatalf("gen cache hits=%d misses=%d, want >=%d / %d", hits, misses, len(trainExamples), len(trainExamples))
 	}
 }
 

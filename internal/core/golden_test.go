@@ -1,0 +1,125 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// -update regenerates testdata/golden.json from the current decoder.
+// The committed file was captured from the pre-refactor monolithic
+// decoding loop; TestGoldenDeterminism therefore pins the refactored
+// drafter/verifier pipeline to byte-identical legacy behaviour.
+var updateGolden = flag.Bool("update", false, "rewrite golden decode fixtures")
+
+// goldenCase is one decode of the fixed matrix.
+type goldenCase struct {
+	Scheme string  `json:"scheme"`
+	Mode   string  `json:"mode"`
+	Prompt int     `json:"prompt"` // index into trainExamples
+	Temp   float64 `json:"temp"`
+	Seed   int64   `json:"seed"`
+
+	// Captured result. Tokens is the raw sequence (specials included):
+	// byte-identical output implies identical Tokens, Steps and
+	// truncation accounting.
+	Tokens    []int   `json:"tokens"`
+	Steps     int     `json:"steps"`
+	Truncated int     `json:"truncated"`
+	SimMS     float64 `json:"sim_ms"`
+	Text      string  `json:"text"`
+}
+
+const goldenPath = "testdata/golden.json"
+
+// goldenMatrix runs the fixed decode matrix: every legacy mode on its
+// natural scheme, three prompts, greedy and sampled, two seeds.
+func goldenMatrix(t *testing.T) []goldenCase {
+	t.Helper()
+	var out []goldenCase
+	for _, scheme := range []model.Scheme{model.SchemeNTP, model.SchemeMedusa, model.SchemeOurs} {
+		m := trained(t, scheme)
+		d := NewDecoder(m)
+		mode := ModeForScheme(scheme)
+		for pi := range trainExamples {
+			for _, temp := range []float64{0, 0.8} {
+				for _, seed := range []int64{1, 42} {
+					res := d.Generate(trainExamples[pi].Prompt, Options{
+						Mode:        mode,
+						Temperature: temp,
+						Seed:        seed,
+					})
+					out = append(out, goldenCase{
+						Scheme: scheme.String(), Mode: mode.String(),
+						Prompt: pi, Temp: temp, Seed: seed,
+						Tokens: append([]int{}, res.Tokens...), Steps: res.Steps,
+						Truncated: res.TruncatedTokens, SimMS: res.SimulatedMS,
+						Text: res.Text,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestGoldenDeterminism is the refactor gate: all three legacy modes
+// must reproduce the committed pre-refactor outputs bit for bit.
+func TestGoldenDeterminism(t *testing.T) {
+	got := goldenMatrix(t)
+	if *updateGolden {
+		raw, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d cases", goldenPath, len(got))
+		return
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden fixtures (run with -update to create): %v", err)
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("matrix size %d, golden has %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		id := fmt.Sprintf("%s/prompt=%d/temp=%g/seed=%d", w.Mode, w.Prompt, w.Temp, w.Seed)
+		if g.Text != w.Text {
+			t.Errorf("%s: text diverged\n got: %q\nwant: %q", id, g.Text, w.Text)
+			continue
+		}
+		if g.Steps != w.Steps || g.Truncated != w.Truncated {
+			t.Errorf("%s: steps=%d truncated=%d, want steps=%d truncated=%d",
+				id, g.Steps, g.Truncated, w.Steps, w.Truncated)
+		}
+		if g.SimMS != w.SimMS {
+			t.Errorf("%s: simulated ms %v, want %v", id, g.SimMS, w.SimMS)
+		}
+		if len(g.Tokens) != len(w.Tokens) {
+			t.Errorf("%s: %d tokens, want %d", id, len(g.Tokens), len(w.Tokens))
+			continue
+		}
+		for j := range w.Tokens {
+			if g.Tokens[j] != w.Tokens[j] {
+				t.Errorf("%s: token %d is %d, want %d", id, j, g.Tokens[j], w.Tokens[j])
+				break
+			}
+		}
+	}
+}

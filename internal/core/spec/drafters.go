@@ -1,0 +1,184 @@
+package spec
+
+import (
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+)
+
+// NoDraft proposes nothing: the strategy decodes one token per forward
+// pass (conventional NTP decoding).
+type NoDraft struct{}
+
+// Name identifies the drafter.
+func (NoDraft) Name() string { return "no-draft" }
+
+// NeedsHeads reports that no head distributions are consumed.
+func (NoDraft) NeedsHeads() bool { return false }
+
+// ExtraCostMS adds nothing to the backbone pass.
+func (NoDraft) ExtraCostMS(model.Config, int) float64 { return 0 }
+
+// BeginStep proposes nothing.
+func (NoDraft) BeginStep(DraftCtx) CandidateSource { return nil }
+
+// MedusaHeads drafts from the model's trained decoding heads: draft
+// position i proposes the top-k candidates of head i, exactly Medusa's
+// candidate tree restricted to the longest accepted prefix.
+type MedusaHeads struct{}
+
+// Name identifies the drafter.
+func (MedusaHeads) Name() string { return "medusa-heads" }
+
+// NeedsHeads reports that head distributions are required.
+func (MedusaHeads) NeedsHeads() bool { return true }
+
+// ExtraCostMS charges every head's forward cost, the Medusa latency
+// model of core's cost model.
+func (MedusaHeads) ExtraCostMS(cfg model.Config, numHeads int) float64 {
+	return float64(numHeads) * cfg.HeadLatencyMS
+}
+
+// BeginStep exposes the step's head distributions as candidate
+// columns; a model with no trained heads (an NTP backbone asked to
+// decode medusa-style) proposes nothing at all.
+func (MedusaHeads) BeginStep(dc DraftCtx) CandidateSource {
+	if len(dc.Forward.Heads) == 0 {
+		return nil
+	}
+	return headSource{heads: dc.Forward.Heads, topK: dc.TopK}
+}
+
+// headSource serves top-k candidates per head position.
+type headSource struct {
+	heads []model.Dist
+	topK  int
+}
+
+// Candidates returns head i's top-k proposals.
+func (h headSource) Candidates(i int) []int {
+	if i >= len(h.heads) {
+		return nil
+	}
+	return h.heads[i].TopK(h.topK)
+}
+
+// Prompt-lookup defaults: matches shorter than defaultMinMatch fire on
+// purely structural patterns (a lone "input" keyword) and derail
+// drafting into noise; spans longer than defaultMaxSpan stop paying off
+// because the verifier rejects the tail anyway.
+const (
+	defaultMinMatch  = 3
+	defaultMaxSpan   = 10
+	maxLookupSuffix  = 8
+	minLookupHistory = 2
+)
+
+// PromptLookup is a self-speculative drafter (prompt-lookup / n-gram
+// suffix matching, per "Speculative Decoding: Exploiting Speculative
+// Execution for Accelerating Seq2seq Generation"): the current suffix —
+// including the just-sampled base token — is matched against the prompt
+// plus everything generated so far, and the tokens that followed the
+// most recent previous occurrence are proposed as the draft. RTL is
+// extremely template-heavy (port lists, sensitivity lists, case arms),
+// so lookup hits are frequent; no trained heads are needed, and the
+// drafting cost is zero forward passes.
+type PromptLookup struct {
+	// MinMatch is the shortest suffix worth matching (default 3).
+	MinMatch int
+	// MaxSpan caps draft tokens proposed per step (default 10).
+	MaxSpan int
+}
+
+// Name identifies the drafter.
+func (PromptLookup) Name() string { return "prompt-lookup" }
+
+// NeedsHeads reports that no head distributions are consumed.
+func (PromptLookup) NeedsHeads() bool { return false }
+
+// ExtraCostMS adds nothing: an n-gram scan is free next to a forward
+// pass, which is the whole appeal of self-speculative drafting.
+func (PromptLookup) ExtraCostMS(model.Config, int) float64 { return 0 }
+
+// BeginStep matches the current suffix against the full sequence and
+// proposes the continuation of its most recent previous occurrence.
+func (p PromptLookup) BeginStep(dc DraftCtx) CandidateSource {
+	minMatch := p.MinMatch
+	if minMatch <= 0 {
+		minMatch = defaultMinMatch
+	}
+	maxSpan := p.MaxSpan
+	if maxSpan <= 0 {
+		maxSpan = defaultMaxSpan
+	}
+	seq := make([]int, 0, len(dc.Seq)+len(dc.Prefix))
+	seq = append(seq, dc.Seq...)
+	seq = append(seq, dc.Prefix...)
+	run := lookupRun(seq, minMatch, maxSpan)
+	if len(run) == 0 {
+		return nil
+	}
+	return runSource{run: run}
+}
+
+// lookupRun finds the longest suffix of seq (capped at maxLookupSuffix)
+// that re-occurs earlier in seq, preferring the most recent occurrence,
+// and returns up to maxSpan historical tokens that followed it.
+func lookupRun(seq []int, minMatch, maxSpan int) []int {
+	n := len(seq)
+	if n < minMatch+minLookupHistory {
+		return nil
+	}
+	maxK := maxLookupSuffix
+	if maxK > n-1 {
+		maxK = n - 1
+	}
+	for k := maxK; k >= minMatch; k-- {
+		suffix := seq[n-k:]
+		// j is the match end; j <= n-2 keeps at least one continuation
+		// token of history, and scanning downward prefers recency.
+		for j := n - 2; j >= k-1; j-- {
+			match := true
+			for x := 0; x < k; x++ {
+				if seq[j-k+1+x] != suffix[x] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			end := j + 1 + maxSpan
+			if end > n {
+				end = n
+			}
+			run := make([]int, 0, end-j-1)
+			for _, id := range seq[j+1 : end] {
+				// Never re-propose sequence machinery: a historical
+				// <bos> marks a boundary lookahead must not cross.
+				if id == tokenizer.BosID {
+					break
+				}
+				run = append(run, id)
+			}
+			if len(run) == 0 {
+				return nil
+			}
+			return run
+		}
+	}
+	return nil
+}
+
+// runSource serves one precomputed draft run, a single candidate per
+// position.
+type runSource struct {
+	run []int
+}
+
+// Candidates returns the run's token at position i.
+func (r runSource) Candidates(i int) []int {
+	if i >= len(r.run) {
+		return nil
+	}
+	return r.run[i : i+1]
+}

@@ -1,0 +1,204 @@
+// Package spec decomposes speculative decoding into two orthogonal,
+// composable pieces:
+//
+//   - a Drafter proposes candidate continuations for the positions after
+//     the base model's own next token (Medusa heads, self-speculative
+//     prompt lookup, or nothing at all for conventional decoding);
+//   - a Verifier screens those proposals against the base model's
+//     posterior (typical acceptance, greedy-exact) and finalizes the
+//     accepted run (optionally truncating it at the last [FRAG] marker —
+//     the paper's integrity check).
+//
+// A Strategy is one named (Drafter, Verifier) pairing. The paper's three
+// decoding modes are canned pairings (see Named): NTP = NoDraft, Medusa
+// = MedusaHeads × TypicalAcceptance, Ours = MedusaHeads ×
+// Integrity(TypicalAcceptance). New strategies compose without touching
+// the decoding loop in internal/core — PromptLookup is the first:
+// a drafter that needs no trained heads at all.
+//
+// Implementations must be stateless and safe for concurrent use: one
+// Strategy value is shared by every decoder worker in a serving pool.
+// Per-step state lives in the CandidateSource a Drafter returns.
+package spec
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// DraftCtx is the read-only per-step context handed to a Drafter: the
+// generation session, the sequence so far, the tokens already accepted
+// this step (base token first), and the decoding knobs proposals may
+// honour. Drafters must not mutate any slice reachable from it.
+type DraftCtx struct {
+	// Gen is the generation session (prompt conditioning state).
+	Gen *model.Gen
+	// Seq is prompt + generated tokens, before this step's emissions.
+	Seq []int
+	// Prefix holds the tokens accepted so far this step — the sampled
+	// base token, at minimum. Draft position i proposes the token at
+	// sequence offset len(Seq)+len(Prefix)+i.
+	Prefix []int
+	// Forward is this step's forward pass. Heads is populated only when
+	// the strategy's Drafter reports NeedsHeads. (Prompt metadata such
+	// as the prompt length is available through Gen.)
+	Forward model.Forward
+	// TopK bounds candidates per draft position (Options.TopK).
+	TopK int
+}
+
+// CandidateSource supplies the draft proposals of one decoding step.
+type CandidateSource interface {
+	// Candidates returns the proposals for draft position i (0-based),
+	// best first. An empty slice ends drafting for the step; positions
+	// are consulted strictly in order, each at most once.
+	Candidates(i int) []int
+}
+
+// Drafter proposes candidate continuations after the base token.
+type Drafter interface {
+	// Name identifies the drafter in docs and diagnostics.
+	Name() string
+	// NeedsHeads reports whether the drafter consumes head
+	// distributions: when false the decoder skips computing them —
+	// a forward pass is base-only.
+	NeedsHeads() bool
+	// ExtraCostMS is the drafter's addition to the simulated cost of
+	// one forward pass (the cost model of core: a backbone pass costs
+	// cfg.StepLatencyMS; Medusa heads add numHeads·cfg.HeadLatencyMS;
+	// self-speculative lookup adds nothing).
+	ExtraCostMS(cfg model.Config, numHeads int) float64
+	// BeginStep prepares this step's proposals. It may return nil to
+	// propose nothing.
+	BeginStep(dc DraftCtx) CandidateSource
+}
+
+// VerifyParams carries the acceptance hyper-parameters (Options.Epsilon
+// and Options.Delta, already defaulted).
+type VerifyParams struct {
+	Epsilon, Delta float64
+}
+
+// Verifier is an acceptance policy: it screens draft candidates against
+// the base model's verification distribution, and finalizes the
+// accepted run once the step's screening is over.
+type Verifier interface {
+	// Name identifies the policy in docs and diagnostics.
+	Name() string
+	// Accept picks the accepted token among cands (tried best-first)
+	// given the base model's posterior at the draft position, or
+	// returns -1 to reject the position and end the step's drafting.
+	Accept(ver model.Dist, cands []int, p VerifyParams) int
+	// Finalize post-processes the whole accepted run of one step (base
+	// token first, may be empty): it returns the tokens to keep and the
+	// count it truncated. The identity policy returns (accepted, 0).
+	Finalize(accepted []int) (kept []int, truncated int)
+}
+
+// Strategy is one named drafter/verifier pairing — everything the core
+// decoding loop needs to know about how a decode speculates.
+type Strategy struct {
+	// Name is the canonical display name ("NTP", "Medusa", "Ours",
+	// "PromptLookup") used in tables, metrics labels and the API.
+	Name     string
+	Drafter  Drafter
+	Verifier Verifier
+}
+
+// WithoutIntegrity strips the [FRAG] integrity wrapper from the
+// strategy's verifier, if present — the ablation switch behind
+// core.Options.DisableIntegrity.
+func WithoutIntegrity(s Strategy) Strategy {
+	if w, ok := s.Verifier.(Integrity); ok {
+		s.Verifier = w.Inner
+	}
+	return s
+}
+
+// NTP is conventional next-token-prediction decoding: no drafts, one
+// token per forward pass. The verifier is never consulted.
+func NTP() Strategy {
+	return Strategy{Name: "NTP", Drafter: NoDraft{}, Verifier: AcceptNone{}}
+}
+
+// Medusa is vanilla Medusa speculative decoding: trained heads draft,
+// typical acceptance screens, no fragment alignment.
+func Medusa() Strategy {
+	return Strategy{Name: "Medusa", Drafter: MedusaHeads{}, Verifier: TypicalAcceptance{}}
+}
+
+// Ours is the paper's method: Medusa heads screened by typical
+// acceptance, with the accepted run truncated at the last [FRAG] marker
+// so every decoding step ends on a complete syntactic fragment.
+func Ours() Strategy {
+	return Strategy{Name: "Ours", Drafter: MedusaHeads{}, Verifier: Integrity{Inner: TypicalAcceptance{}}}
+}
+
+// PromptLookupStrategy is self-speculative decoding without extra
+// heads: n-gram matches against the prompt and the generated suffix
+// draft the continuation, screened greedy-exact so greedy decodes stay
+// lossless versus NTP. It works on any trained model — including plain
+// NTP backbones that cannot run Medusa.
+//
+// At temperature > 0 only the non-drafted (base) positions sample;
+// accepted draft positions carry the argmax, so sampled outputs skew
+// greedier than NTP sampling at the same temperature. The strategy
+// matrix reports its sampled rows under that caveat; a sampling-aware
+// acceptance rule is a ROADMAP item.
+func PromptLookupStrategy() Strategy {
+	return Strategy{Name: "PromptLookup", Drafter: PromptLookup{}, Verifier: GreedyExact{}}
+}
+
+// registry is the single source of truth for named strategies: one
+// entry per strategy with its canonical lookup name and any aliases.
+// The display name (Strategy.Name) is accepted automatically, since
+// lookups lowercase their input.
+var registry = []struct {
+	canonical string
+	aliases   []string
+	make      func() Strategy
+}{
+	{"ntp", nil, NTP},
+	{"medusa", nil, Medusa},
+	{"ours", nil, Ours},
+	{"prompt-lookup", []string{"promptlookup", "pl"}, PromptLookupStrategy},
+}
+
+// named maps normalized strategy names (and aliases) to constructors,
+// derived from registry.
+var named = func() map[string]func() Strategy {
+	out := map[string]func() Strategy{}
+	for _, e := range registry {
+		out[e.canonical] = e.make
+		out[strings.ToLower(e.make().Name)] = e.make
+		for _, a := range e.aliases {
+			out[a] = e.make
+		}
+	}
+	return out
+}()
+
+// Named resolves a strategy by name, case-insensitively. Canonical
+// names are listed by Names; display names ("Ours", "PromptLookup")
+// and registered aliases ("pl") are accepted too.
+func Named(name string) (Strategy, bool) {
+	f, ok := named[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return Strategy{}, false
+	}
+	return f(), true
+}
+
+// Names returns the canonical strategy names, sorted — the vocabulary
+// accepted by Named (aliases excluded). Derived from the registry, so
+// new strategies appear here (and in error messages) automatically.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e.canonical)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -9,6 +9,10 @@
 //	Fig. 5   — decoding step counts for the data_register example.
 //	Fig. 6   — the CodeT5p pass@5 slice of Table I.
 //
+// Beyond the paper, RunStrategyMatrix compares every registered
+// decoding strategy — the legacy three plus self-speculative prompt
+// lookup — under the Table II protocol in one harness.
+//
 // Scale knobs let the same code run as a quick smoke test (CI) or as the
 // full harness (cmd/evalbench).
 package experiments
@@ -376,6 +380,102 @@ func (r *Runner) RunTable2() []SpeedRow {
 				Method:       scheme.String(),
 				TokensPerSec: speeds[scheme],
 				Speedup:      metrics.Speedup(speeds[scheme], ntp),
+			})
+		}
+	}
+	return rows
+}
+
+// MatrixEntry pairs a training scheme with a decoding strategy — one
+// axis point of the strategy matrix.
+type MatrixEntry struct {
+	// Scheme trains the backbone (and heads, if any).
+	Scheme model.Scheme
+	// Strategy names the decoding strategy (core.ResolveStrategy).
+	Strategy string
+}
+
+// StrategyMatrix is the Table-2-style strategy axis: the three legacy
+// modes on their natural schemes, plus self-speculative prompt lookup
+// on the plain NTP backbone — the drafter that needs no trained heads
+// at all, so it accelerates exactly the model Medusa cannot.
+var StrategyMatrix = []MatrixEntry{
+	{Scheme: model.SchemeOurs, Strategy: "ours"},
+	{Scheme: model.SchemeMedusa, Strategy: "medusa"},
+	{Scheme: model.SchemeNTP, Strategy: "ntp"},
+	{Scheme: model.SchemeNTP, Strategy: "prompt-lookup"},
+}
+
+// StrategyRow is one strategy-matrix result row.
+type StrategyRow struct {
+	Model    string
+	Scheme   string
+	Strategy string
+	// TokensPerSec is the eq. 3 simulated speed over the prompt set.
+	TokensPerSec float64
+	// Speedup is versus the ntp row of the same model.
+	Speedup float64
+	// MeanAccepted is raw tokens emitted per decoding step.
+	MeanAccepted float64
+}
+
+// RunStrategyMatrix measures simulated generation speed for every
+// (scheme, strategy) pairing of StrategyMatrix under the Table II
+// protocol (greedy + T=0.8 per prompt, dispatch through the shared
+// worker pool). Models are trained once per scheme and reused across
+// strategies, so the matrix isolates the decoding strategy.
+func (r *Runner) RunStrategyMatrix() []StrategyRow {
+	var rows []StrategyRow
+	prompts := r.speedPrompts()
+	for _, cfg := range r.setup.Models {
+		tk := r.toks[cfg.Name]
+		trained := map[model.Scheme]*model.Model{}
+		speeds := map[string]float64{}
+		accepted := map[string]float64{}
+		for _, entry := range StrategyMatrix {
+			m := trained[entry.Scheme]
+			if m == nil {
+				m = model.Train(tk, cfg, entry.Scheme, r.examples)
+				trained[entry.Scheme] = m
+			}
+			reqs := make([]serve.Request, 0, 2*len(prompts))
+			for i, prompt := range prompts {
+				reqs = append(reqs,
+					serve.Request{Prompt: prompt, Options: core.Options{Strategy: entry.Strategy}},
+					serve.Request{Prompt: prompt, Options: core.Options{Strategy: entry.Strategy, Temperature: 0.8, Seed: int64(i)}})
+			}
+			eng := r.newEngine(m)
+			resps := eng.GenerateBatch(context.Background(), reqs)
+			eng.Close()
+			tokens := make([]int, len(resps))
+			secs := make([]float64, len(resps))
+			var rawTokens, steps float64
+			for i, resp := range resps {
+				if resp.Err != nil {
+					panic(resp.Err)
+				}
+				tokens[i] = len(resp.Result.CleanTokens)
+				secs[i] = resp.Result.SimulatedMS / 1000
+				rawTokens += float64(len(resp.Result.Tokens))
+				steps += float64(resp.Result.Steps)
+			}
+			speeds[entry.Strategy] = metrics.Speed(tokens, secs)
+			if steps > 0 {
+				accepted[entry.Strategy] = rawTokens / steps
+			}
+		}
+		for _, entry := range StrategyMatrix {
+			label := entry.Strategy
+			if s, err := core.ResolveStrategy(entry.Strategy, false); err == nil {
+				label = s.Name
+			}
+			rows = append(rows, StrategyRow{
+				Model:        cfg.Name,
+				Scheme:       entry.Scheme.String(),
+				Strategy:     label,
+				TokensPerSec: speeds[entry.Strategy],
+				Speedup:      metrics.Speedup(speeds[entry.Strategy], speeds["ntp"]),
+				MeanAccepted: accepted[entry.Strategy],
 			})
 		}
 	}

@@ -1,9 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/serve"
 )
 
 // quickSetup is small enough for CI but large enough that the trained
@@ -55,6 +59,86 @@ func TestTable2SpeedOrderingAndCalibration(t *testing.T) {
 	}
 	if byMethod["Medusa"].Speedup <= 1.5 {
 		t.Fatalf("Medusa speedup %f, want > 1.5", byMethod["Medusa"].Speedup)
+	}
+}
+
+func TestStrategyMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	r := NewRunner(quickSetup())
+	rows := r.RunStrategyMatrix()
+	if len(rows) != len(StrategyMatrix) {
+		t.Fatalf("rows = %d, want %d (one model in Quick setup)", len(rows), len(StrategyMatrix))
+	}
+	byStrategy := map[string]StrategyRow{}
+	for _, row := range rows {
+		byStrategy[row.Strategy] = row
+	}
+	ntp := byStrategy["NTP"]
+	if ntp.TokensPerSec < 80 || ntp.TokensPerSec > 86 {
+		t.Fatalf("NTP speed %f outside calibration band", ntp.TokensPerSec)
+	}
+	// The headline of the new axis: self-speculative prompt lookup
+	// accelerates the plain NTP backbone — no heads required.
+	pl := byStrategy["PromptLookup"]
+	if pl.TokensPerSec <= ntp.TokensPerSec {
+		t.Fatalf("PromptLookup %f tok/s not faster than NTP %f", pl.TokensPerSec, ntp.TokensPerSec)
+	}
+	if pl.Speedup <= 1 {
+		t.Fatalf("PromptLookup speedup %f, want > 1", pl.Speedup)
+	}
+	if pl.MeanAccepted <= 1 || ntp.MeanAccepted != 1 {
+		t.Fatalf("mean accepted: pl=%f ntp=%f", pl.MeanAccepted, ntp.MeanAccepted)
+	}
+	if byStrategy["Ours"].Speedup <= 1.5 || byStrategy["Medusa"].Speedup <= 1.5 {
+		t.Fatalf("legacy speculative rows regressed: %+v", rows)
+	}
+}
+
+// TestPromptLookupPassRateUnchanged pins the quality side of the new
+// strategy: greedy prompt-lookup decoding is lossless, so its pass
+// rates on the benchmark suites equal greedy NTP's exactly.
+func TestPromptLookupPassRateUnchanged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	r := NewRunner(quickSetup())
+	cfg := r.setup.Models[0]
+	m := model.Train(r.Tokenizer(cfg), cfg, model.SchemeNTP, r.Examples())
+	eng := r.newEngine(m)
+	defer eng.Close()
+
+	suite := bench.All()
+	mk := func(strategy string) []serve.Request {
+		reqs := make([]serve.Request, len(suite))
+		for i := range suite {
+			reqs[i] = serve.Request{Prompt: suite[i].Prompt, Options: core.Options{Strategy: strategy}}
+		}
+		return reqs
+	}
+	ntp := eng.GenerateBatch(context.Background(), mk("ntp"))
+	pl := eng.GenerateBatch(context.Background(), mk("prompt-lookup"))
+	ntpPass, plPass := 0, 0
+	for i := range suite {
+		if ntp[i].Err != nil || pl[i].Err != nil {
+			t.Fatalf("prompt %d failed: %v / %v", i, ntp[i].Err, pl[i].Err)
+		}
+		if pl[i].Result.Text != ntp[i].Result.Text {
+			t.Fatalf("prompt %d: greedy prompt-lookup diverged from NTP", i)
+		}
+		if bench.CheckSyntax(ntp[i].Result.Text) {
+			ntpPass++
+		}
+		if bench.CheckSyntax(pl[i].Result.Text) {
+			plPass++
+		}
+		if pl[i].Result.SimulatedMS > ntp[i].Result.SimulatedMS {
+			t.Fatalf("prompt %d: prompt-lookup simulated slower than NTP", i)
+		}
+	}
+	if ntpPass != plPass {
+		t.Fatalf("pass rate changed: ntp=%d pl=%d", ntpPass, plPass)
 	}
 }
 

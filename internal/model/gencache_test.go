@@ -1,0 +1,102 @@
+package model
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/tokenizer"
+)
+
+func cacheFixture(t *testing.T) (*Model, [][]int) {
+	t.Helper()
+	tk := tokenizer.Train(corpusText(), 400)
+	m := Train(tk, smallCfg(), SchemeOurs, trainExamples)
+	var prompts [][]int
+	for _, ex := range trainExamples {
+		prompts = append(prompts, append([]int{tokenizer.BosID}, tk.Encode(FormatPrompt(ex.Prompt))...))
+	}
+	return m, prompts
+}
+
+func TestGenCacheSharesSessions(t *testing.T) {
+	m, prompts := cacheFixture(t)
+	c := NewGenCache(8)
+	a := c.Gen(m, prompts[0])
+	b := c.Gen(m, prompts[0])
+	if a != b {
+		t.Fatal("repeat lookup did not share the session")
+	}
+	if other := c.Gen(m, prompts[1]); other == a {
+		t.Fatal("different prompts shared one session")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 1/2", hits, misses)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len=%d, want 2", c.Len())
+	}
+	// Cached and fresh sessions agree on prompt-derived state.
+	fresh := m.NewGen(prompts[0])
+	if a.NumSeeds() != fresh.NumSeeds() || a.PromptLen() != fresh.PromptLen() {
+		t.Fatal("cached session diverges from a fresh one")
+	}
+}
+
+func TestGenCacheEvicts(t *testing.T) {
+	m, prompts := cacheFixture(t)
+	c := NewGenCache(2)
+	g0 := c.Gen(m, prompts[0])
+	c.Gen(m, prompts[1])
+	c.Gen(m, prompts[0]) // refresh 0: prompt 1 is now LRU
+	c.Gen(m, prompts[2]) // evicts prompt 1
+	if c.Len() != 2 {
+		t.Fatalf("len=%d, want 2", c.Len())
+	}
+	if again := c.Gen(m, prompts[0]); again != g0 {
+		t.Fatal("recently-used session evicted")
+	}
+	hits, misses := c.Stats()
+	if misses != 3 { // prompts 0, 1, 2 first sightings
+		t.Fatalf("hits=%d misses=%d, want 3 misses", hits, misses)
+	}
+}
+
+func TestGenCacheForeignModelBypasses(t *testing.T) {
+	m, prompts := cacheFixture(t)
+	tk := tokenizer.Train(corpusText(), 400)
+	other := Train(tk, smallCfg(), SchemeNTP, trainExamples)
+	c := NewGenCache(8)
+	c.Gen(m, prompts[0]) // binds the cache to m
+	if c.Len() != 1 {
+		t.Fatalf("len=%d, want 1", c.Len())
+	}
+	c.Gen(other, prompts[0]) // foreign model: built, not cached
+	if c.Len() != 1 {
+		t.Fatal("foreign model's session entered the cache")
+	}
+}
+
+func TestGenCacheConcurrent(t *testing.T) {
+	m, prompts := cacheFixture(t)
+	c := NewGenCache(4)
+	var wg sync.WaitGroup
+	got := make([]*Gen, 32)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = c.Gen(m, prompts[i%len(prompts)])
+		}(i)
+	}
+	wg.Wait()
+	// After the dust settles every prompt maps to one stable session.
+	for i, g := range got {
+		if g == nil {
+			t.Fatalf("slot %d nil", i)
+		}
+		if g.PromptLen() != len(prompts[i%len(prompts)]) {
+			t.Fatalf("slot %d has wrong session", i)
+		}
+	}
+}

@@ -755,6 +755,10 @@ func (m *Model) Forward(seq []int) Forward {
 // diagnostics for tools and tests.
 func (g *Gen) NumSeeds() int { return len(g.seeds) }
 
+// PromptLen reports the number of prompt tokens the session was
+// prepared with (drafters use it to tell prompt from generated text).
+func (g *Gen) PromptLen() int { return g.promptLen }
+
 // KwDF exposes a keyword's document frequency (diagnostics).
 func (m *Model) KwDF(w string) int { return m.kwDF[w] }
 

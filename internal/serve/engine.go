@@ -4,11 +4,19 @@
 //
 // An Engine owns a pool of decoder workers over one trained model, a
 // bounded request queue with explicit backpressure, a micro-batcher
-// that groups queued prompts before dispatch, and an LRU cache keyed on
+// that groups queued prompts before dispatch, an LRU cache keyed on
 // (model, prompt, options, seed) that short-circuits repeat
-// generations. Decoding stays deterministic per seed regardless of
-// worker scheduling: each request carries its own RNG seed in
-// core.Options and the workers share nothing but the read-only model.
+// generations, a single-flight table that collapses concurrent
+// identical submissions onto one decode, and a shared prefix cache
+// (model.GenCache) that reuses prompt-derived session state across
+// requests. Decoding stays deterministic per seed regardless of worker
+// scheduling: each request carries its own RNG seed in core.Options and
+// the workers share nothing but the read-only model and the immutable
+// cached sessions.
+//
+// Requests choose their decoding strategy per call (core.Options.Mode
+// or the named Options.Strategy), so one daemon serves NTP, Medusa,
+// Ours and PromptLookup traffic side by side with per-strategy metrics.
 package serve
 
 import (
@@ -49,6 +57,16 @@ type Config struct {
 	// default (512), negative disables caching (the benchmark harness
 	// disables it so every decode pays its simulated cost).
 	CacheSize int
+	// PrefixCacheSize is the shared prompt-session cache capacity in
+	// prompts: 0 selects the default (256), negative disables it.
+	// Unlike the result LRU it never changes outputs — it only skips
+	// re-deriving prompt conditioning state — so it stays on for the
+	// benchmark harness.
+	PrefixCacheSize int
+	// NoDedup disables single-flight deduplication of identical
+	// concurrent requests (diagnostics; dedup never changes outputs
+	// because decodes are deterministic per (prompt, options, seed)).
+	NoDedup bool
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 512
+	}
+	if c.PrefixCacheSize == 0 {
+		c.PrefixCacheSize = 256
 	}
 	return c
 }
@@ -94,14 +115,19 @@ type Request struct {
 // Response is the outcome of one Request.
 type Response struct {
 	// Result is the generation (possibly partial if Err is a context
-	// error). Cached responses share one Result value across callers —
-	// treat it as immutable.
+	// error). Cached and deduplicated responses share one Result value
+	// across callers — treat it as immutable.
 	Result *core.Result
 	// Cached reports an LRU short-circuit (no decode ran).
 	Cached bool
+	// Deduped reports a single-flight share: an identical request was
+	// already decoding, and this response rode along on its result
+	// (no extra decode ran).
+	Deduped bool
 	// Err is the per-request error (context cancellation, ErrClosed).
 	Err error
-	// Wall is the worker's decode time (zero for cached responses).
+	// Wall is the worker's decode time (zero for cached responses; the
+	// leader's decode time for deduplicated ones).
 	Wall time.Duration
 }
 
@@ -110,17 +136,34 @@ type task struct {
 	req  Request
 	ctx  context.Context
 	done chan *Response // buffered(1): workers never block on delivery
+	// key and fl carry the single-flight registration when this task
+	// leads one; the worker resolves the flight on completion.
+	key cacheKey
+	fl  *flight
+}
+
+// flight is one in-progress decode that identical concurrent requests
+// share: followers block on done and read resp — x/sync/singleflight
+// semantics, including error sharing.
+type flight struct {
+	done chan struct{}
+	resp *Response
 }
 
 // Engine dispatches generation requests over a decoder worker pool.
 type Engine struct {
-	m       *model.Model
-	cfg     Config
-	queue   chan *task
-	batches chan []*task
-	cache   *lruCache // nil when disabled
-	quit    chan struct{}
-	wg      sync.WaitGroup
+	m        *model.Model
+	cfg      Config
+	queue    chan *task
+	batches  chan []*task
+	cache    *lruCache       // nil when disabled
+	genCache *model.GenCache // nil when disabled
+
+	flightMu sync.Mutex // guards inflight
+	inflight map[cacheKey]*flight
+
+	quit chan struct{}
+	wg   sync.WaitGroup
 
 	mu     sync.RWMutex // guards closed and the enqueue/Close handoff
 	closed bool
@@ -134,16 +177,20 @@ type Engine struct {
 func NewEngine(m *model.Model, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		m:       m,
-		cfg:     cfg,
-		queue:   make(chan *task, cfg.QueueSize),
-		batches: make(chan []*task, cfg.Workers),
-		quit:    make(chan struct{}),
+		m:        m,
+		cfg:      cfg,
+		queue:    make(chan *task, cfg.QueueSize),
+		batches:  make(chan []*task, cfg.Workers),
+		inflight: map[cacheKey]*flight{},
+		quit:     make(chan struct{}),
 	}
 	if cfg.CacheSize > 0 {
 		e.cache = newLRUCache(cfg.CacheSize)
 	}
-	e.st.perMode = map[string]*modeStats{}
+	if cfg.PrefixCacheSize > 0 {
+		e.genCache = model.NewGenCache(cfg.PrefixCacheSize)
+	}
+	e.st.perStrategy = map[string]*strategyStats{}
 	e.wg.Add(1)
 	go e.batcher()
 	for i := 0; i < cfg.Workers; i++ {
@@ -191,21 +238,41 @@ func (e *Engine) generateBatch(ctx context.Context, reqs []Request, wait bool) [
 		ctx = context.Background()
 	}
 	tasks := make([]*task, len(reqs))
+	flights := make([]*flight, len(reqs))
 	out := make([]*Response, len(reqs))
+	reqs = append([]Request(nil), reqs...) // canonicalized copy; the caller's slice stays untouched
 	for i, req := range reqs {
-		e.st.request(req.Options.Mode)
+		// Canonical options make equivalently-spelled requests share
+		// cache entries and flights (see core.Options.Canonical).
+		req.Options = req.Options.Canonical()
+		reqs[i] = req
+		e.st.request(req.Options.StrategyLabel())
 		if resp := e.cacheLookup(req); resp != nil {
 			out[i] = resp
 			continue
 		}
-		t, err := e.enqueue(ctx, req, wait)
+		t, f, err := e.startOrJoin(ctx, req, wait)
 		if err != nil {
 			out[i] = &Response{Err: err}
 			continue
 		}
-		tasks[i] = t
+		tasks[i], flights[i] = t, f
 	}
 	for i, t := range tasks {
+		if f := flights[i]; f != nil {
+			resp := waitFlight(ctx, f)
+			if leaderAborted(resp, ctx) {
+				// The leader's client died, not this item: decode
+				// fresh under the batch's own context (see resolve).
+				fresh, err := e.resolve(ctx, reqs[i], wait)
+				if err != nil {
+					fresh = &Response{Err: err}
+				}
+				resp = fresh
+			}
+			out[i] = resp
+			continue
+		}
 		if t == nil {
 			continue
 		}
@@ -234,28 +301,122 @@ func (e *Engine) submit(ctx context.Context, req Request, wait bool) (*Response,
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	e.st.request(req.Options.Mode)
+	// Canonical options make equivalently-spelled requests share cache
+	// entries and flights (see core.Options.Canonical).
+	req.Options = req.Options.Canonical()
+	e.st.request(req.Options.StrategyLabel())
 	if resp := e.cacheLookup(req); resp != nil {
 		return resp, nil
 	}
-	t, err := e.enqueue(ctx, req, wait)
+	return e.resolve(ctx, req, wait)
+}
+
+// resolve runs the submission flow after accounting and cache lookup:
+// lead a decode or join an identical in-flight one, then wait. A
+// follower whose flight fails with the LEADER's context error — the
+// leader's client went away, not ours — retries with a fresh
+// submission rather than inheriting a cancellation it did not cause;
+// each retry either becomes the new leader (decoding under this
+// caller's own live context) or joins a newer flight, so the loop
+// always makes progress.
+func (e *Engine) resolve(ctx context.Context, req Request, wait bool) (*Response, error) {
+	for {
+		t, f, err := e.startOrJoin(ctx, req, wait)
+		if err != nil {
+			return nil, err
+		}
+		if f != nil {
+			resp := waitFlight(ctx, f)
+			if leaderAborted(resp, ctx) {
+				continue
+			}
+			return resp, resp.Err
+		}
+		if req.OnStep != nil {
+			// No early return for streaming requests: the caller's OnStep
+			// state must not outlive this call while a worker can still
+			// invoke it (see Request.OnStep).
+			resp := <-t.done
+			return resp, resp.Err
+		}
+		select {
+		case resp := <-t.done:
+			return resp, resp.Err
+		case <-ctx.Done():
+			// The task stays queued; the worker will observe the dead
+			// context and discard it into the buffered done channel.
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// leaderAborted reports a follower outcome that reflects the flight
+// leader's context dying while this caller's own context is still
+// live. Non-context errors stay shared (deterministic decodes fail
+// identically on retry), as do this caller's own context errors.
+func leaderAborted(resp *Response, ctx context.Context) bool {
+	if resp.Err == nil || ctx.Err() != nil {
+		return false
+	}
+	return errors.Is(resp.Err, context.Canceled) || errors.Is(resp.Err, context.DeadlineExceeded)
+}
+
+// startOrJoin is the single-flight gate in front of the queue. The
+// first submission of a (prompt, options, seed) becomes the leader: its
+// task is enqueued carrying a registered flight. Identical submissions
+// arriving while the leader is in flight become followers: they get
+// the flight to wait on instead of a task, and no second decode runs.
+// Streaming requests and disabled dedup bypass the gate entirely.
+func (e *Engine) startOrJoin(ctx context.Context, req Request, wait bool) (*task, *flight, error) {
+	if e.cfg.NoDedup || req.OnStep != nil {
+		t, err := e.enqueue(ctx, req, wait, cacheKey{}, nil)
+		return t, nil, err
+	}
+	key := cacheKey{prompt: req.Prompt, opts: req.Options}
+	e.flightMu.Lock()
+	if f, ok := e.inflight[key]; ok {
+		e.flightMu.Unlock()
+		e.st.dedupHit(req.Options.StrategyLabel())
+		return nil, f, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	e.inflight[key] = f
+	e.flightMu.Unlock()
+	t, err := e.enqueue(ctx, req, wait, key, f)
 	if err != nil {
-		return nil, err
+		// Resolve the flight so followers that joined between the
+		// registration and this failure do not hang; they share the
+		// submission error (x/sync/singleflight semantics).
+		e.resolveFlight(key, f, &Response{Err: err})
+		return nil, nil, err
 	}
-	if req.OnStep != nil {
-		// No early return for streaming requests: the caller's OnStep
-		// state must not outlive this call while a worker can still
-		// invoke it (see Request.OnStep).
-		resp := <-t.done
-		return resp, resp.Err
-	}
+	return t, nil, nil
+}
+
+// resolveFlight publishes a leader's outcome to its followers and
+// retires the registration. The map delete precedes the broadcast so a
+// request arriving after completion starts a fresh decode (or hits the
+// LRU) instead of joining a finished flight.
+func (e *Engine) resolveFlight(key cacheKey, f *flight, resp *Response) {
+	e.flightMu.Lock()
+	delete(e.inflight, key)
+	e.flightMu.Unlock()
+	f.resp = resp
+	close(f.done)
+}
+
+// waitFlight blocks a follower on its leader's outcome. The response
+// is a per-follower copy (the Result pointer is shared and immutable)
+// flagged Deduped; a follower whose own context dies first detaches
+// with the context error.
+func waitFlight(ctx context.Context, f *flight) *Response {
 	select {
-	case resp := <-t.done:
-		return resp, resp.Err
+	case <-f.done:
+		r := *f.resp
+		r.Deduped = true
+		return &r
 	case <-ctx.Done():
-		// The task stays queued; the worker will observe the dead
-		// context and discard it into the buffered done channel.
-		return nil, ctx.Err()
+		return &Response{Err: ctx.Err()}
 	}
 }
 
@@ -266,7 +427,7 @@ func (e *Engine) cacheLookup(req Request) *Response {
 		return nil
 	}
 	if res, ok := e.cache.get(cacheKey{prompt: req.Prompt, opts: req.Options}); ok {
-		e.st.cacheHit(req.Options.Mode)
+		e.st.cacheHit(req.Options.StrategyLabel())
 		return &Response{Result: res, Cached: true}
 	}
 	e.st.cacheMiss()
@@ -277,8 +438,8 @@ func (e *Engine) cacheLookup(req Request) *Response {
 // send so Close's write lock cannot proceed while a submission is in
 // flight — after Close acquires it, the queue's contents are final and
 // can be drained exactly once.
-func (e *Engine) enqueue(ctx context.Context, req Request, wait bool) (*task, error) {
-	t := &task{req: req, ctx: ctx, done: make(chan *Response, 1)}
+func (e *Engine) enqueue(ctx context.Context, req Request, wait bool, key cacheKey, fl *flight) (*task, error) {
+	t := &task{req: req, ctx: ctx, done: make(chan *Response, 1), key: key, fl: fl}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
@@ -389,11 +550,11 @@ func (e *Engine) drain() {
 	}
 }
 
-// worker owns one decoder and serves batches until the batcher closes
-// the feed.
+// worker owns one decoder — sharing the engine's prefix cache — and
+// serves batches until the batcher closes the feed.
 func (e *Engine) worker() {
 	defer e.wg.Done()
-	dec := core.NewDecoder(e.m)
+	dec := core.NewDecoder(e.m).WithGenCache(e.genCache)
 	for batch := range e.batches {
 		for _, t := range batch {
 			e.serveTask(dec, t)
@@ -401,11 +562,13 @@ func (e *Engine) worker() {
 	}
 }
 
-// serveTask runs one generation and delivers its Response.
+// serveTask runs one generation and delivers its Response — to the
+// submitting caller and, when the task leads a single-flight, to every
+// follower sharing it.
 func (e *Engine) serveTask(dec *core.Decoder, t *task) {
 	if err := t.ctx.Err(); err != nil {
 		e.st.cancel()
-		t.done <- &Response{Err: err}
+		e.finish(t, &Response{Err: err})
 		return
 	}
 	start := time.Now()
@@ -417,12 +580,22 @@ func (e *Engine) serveTask(dec *core.Decoder, t *task) {
 		} else {
 			e.st.fail()
 		}
-		t.done <- &Response{Result: res, Err: err, Wall: wall}
+		e.finish(t, &Response{Result: res, Err: err, Wall: wall})
 		return
 	}
 	if e.cache != nil && t.req.OnStep == nil {
 		e.cache.add(cacheKey{prompt: t.req.Prompt, opts: t.req.Options}, res)
 	}
-	e.st.complete(t.req.Options.Mode, res, wall)
-	t.done <- &Response{Result: res, Wall: wall}
+	e.st.complete(t.req.Options.StrategyLabel(), res, wall)
+	e.finish(t, &Response{Result: res, Wall: wall})
+}
+
+// finish delivers a task's response, resolving its single-flight first
+// so followers observe the outcome even if the leading caller already
+// detached.
+func (e *Engine) finish(t *task, resp *Response) {
+	if t.fl != nil {
+		e.resolveFlight(t.key, t.fl, resp)
+	}
+	t.done <- resp
 }

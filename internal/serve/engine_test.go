@@ -208,7 +208,7 @@ func TestQueueFullBackpressure(t *testing.T) {
 	successes := 0
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		_, err := eng.enqueue(ctx, Request{Prompt: prompts[1], Options: testOptions(int64(successes))}, false)
+		_, err := eng.enqueue(ctx, Request{Prompt: prompts[1], Options: testOptions(int64(successes))}, false, cacheKey{}, nil)
 		if err == nil {
 			successes++
 		} else if errors.Is(err, ErrQueueFull) && successes >= 3 {
@@ -393,6 +393,318 @@ func TestCloseDrainsThenRejects(t *testing.T) {
 	}
 	if _, err := eng.TryGenerate(context.Background(), Request{Prompt: prompts[1], Options: testOptions(2)}); !errors.Is(err, ErrClosed) {
 		t.Errorf("TryGenerate after Close: err=%v, want ErrClosed", err)
+	}
+}
+
+// TestSingleFlightDedup is the dedup acceptance scenario: N concurrent
+// identical submissions (same prompt+options+seed) perform exactly one
+// decode. The single worker is wedged behind a gated streaming request
+// first, so every follower provably joins while the leader is still in
+// flight — no timing luck involved — and the race detector sees the
+// whole exchange.
+func TestSingleFlightDedup(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 1, QueueSize: 16, BatchSize: 1, CacheSize: -1})
+	defer eng.Close()
+	ctx := context.Background()
+
+	release := make(chan struct{})
+	var once sync.Once
+	started := make(chan struct{})
+	gate := func(core.StepEvent) {
+		once.Do(func() { close(started) })
+		<-release
+	}
+	gatedErr := make(chan error, 1)
+	go func() {
+		_, err := eng.Generate(ctx, Request{Prompt: prompts[0], Options: testOptions(1), OnStep: gate})
+		gatedErr <- err
+	}()
+	<-started // worker stalled: everything below queues behind it
+
+	const clients = 8
+	req := Request{Prompt: prompts[1], Options: testOptions(7)}
+	resps := make([]*Response, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp, err := eng.Generate(ctx, req)
+			if err != nil {
+				t.Errorf("client %d: %v", c, err)
+				return
+			}
+			resps[c] = resp
+		}(c)
+	}
+	// All clients must be registered (leader) or joined (followers)
+	// before the worker is released.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		mt := eng.Metrics()
+		if mt.DedupHits == clients-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dedup joins never completed: %+v", mt)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if err := <-gatedErr; err != nil {
+		t.Fatalf("gated request failed: %v", err)
+	}
+
+	leaders, followers := 0, 0
+	for c, resp := range resps {
+		if resp == nil || resp.Result == nil {
+			t.Fatalf("client %d got no result", c)
+		}
+		if resp.Result != resps[0].Result {
+			t.Errorf("client %d does not share the single decode's Result", c)
+		}
+		if resp.Deduped {
+			followers++
+		} else {
+			leaders++
+		}
+	}
+	if leaders != 1 || followers != clients-1 {
+		t.Errorf("leaders=%d followers=%d, want 1/%d", leaders, followers, clients-1)
+	}
+	mt := eng.Metrics()
+	// Exactly two decodes ran in total: the gated one and the shared one.
+	if mt.Completed != 2 {
+		t.Errorf("completed=%d, want exactly 2 (gate + one shared decode)", mt.Completed)
+	}
+	if mt.DedupHits != clients-1 {
+		t.Errorf("dedup_hits=%d, want %d", mt.DedupHits, clients-1)
+	}
+	if mt.Inflight != 0 {
+		t.Errorf("inflight=%d after completion, want 0", mt.Inflight)
+	}
+	// A later identical request starts fresh (the flight was retired);
+	// with the LRU disabled it really decodes again.
+	again, err := eng.Generate(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Deduped || again.Cached {
+		t.Errorf("post-completion request joined a dead flight: %+v", again)
+	}
+	if again.Result.Text != resps[0].Result.Text {
+		t.Error("re-decode diverged from the shared decode")
+	}
+}
+
+// TestDedupLeaderCancelFollowerSurvives: a follower must not inherit
+// the leader's context cancellation — when the leader's client goes
+// away mid-flight, the follower retries under its own live context and
+// still gets a full result.
+func TestDedupLeaderCancelFollowerSurvives(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 1, QueueSize: 16, BatchSize: 1, CacheSize: -1})
+	defer eng.Close()
+
+	release := make(chan struct{})
+	var once sync.Once
+	started := make(chan struct{})
+	gate := func(core.StepEvent) {
+		once.Do(func() { close(started) })
+		<-release
+	}
+	gatedErr := make(chan error, 1)
+	go func() {
+		_, err := eng.Generate(context.Background(), Request{Prompt: prompts[0], Options: testOptions(1), OnStep: gate})
+		gatedErr <- err
+	}()
+	<-started // worker wedged: the leader below stays queued
+
+	req := Request{Prompt: prompts[1], Options: testOptions(7)}
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := eng.Generate(leaderCtx, req)
+		leaderErr <- err
+	}()
+	// The leader is registered once its flight exists.
+	waitFor := func(cond func(Metrics) bool, what string) {
+		for deadline := time.Now().Add(10 * time.Second); ; {
+			if cond(eng.Metrics()) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never happened", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor(func(mt Metrics) bool { return mt.Inflight == 1 }, "leader registration")
+
+	followerResp := make(chan *Response, 1)
+	followerErr := make(chan error, 1)
+	go func() {
+		resp, err := eng.Generate(context.Background(), req)
+		followerResp <- resp
+		followerErr <- err
+	}()
+	waitFor(func(mt Metrics) bool { return mt.DedupHits == 1 }, "follower join")
+
+	cancelLeader()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err=%v, want context.Canceled", err)
+	}
+	close(release) // worker drains the gate, then the dead leader task, then the retry
+
+	if err := <-followerErr; err != nil {
+		t.Fatalf("follower inherited the leader's fate: %v", err)
+	}
+	resp := <-followerResp
+	if resp == nil || resp.Result == nil || resp.Result.Text == "" {
+		t.Fatalf("follower got no result: %+v", resp)
+	}
+	direct := core.NewDecoder(m).Generate(prompts[1], testOptions(7))
+	if resp.Result.Text != direct.Text {
+		t.Error("follower's retried decode diverges from direct decode")
+	}
+}
+
+// TestDedupDisabled pins the NoDedup escape hatch: the same wedge as
+// above yields one decode per client.
+func TestDedupDisabled(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 1, QueueSize: 16, BatchSize: 1, CacheSize: -1, NoDedup: true})
+	defer eng.Close()
+
+	const clients = 4
+	reqs := make([]Request, clients)
+	for i := range reqs {
+		reqs[i] = Request{Prompt: prompts[1], Options: testOptions(7)}
+	}
+	resps := eng.GenerateBatch(context.Background(), reqs)
+	for i, resp := range resps {
+		if resp.Err != nil {
+			t.Fatalf("client %d: %v", i, resp.Err)
+		}
+		if resp.Deduped {
+			t.Errorf("client %d deduped with dedup disabled", i)
+		}
+	}
+	mt := eng.Metrics()
+	if mt.Completed != clients || mt.DedupHits != 0 {
+		t.Errorf("completed=%d dedup_hits=%d, want %d/0", mt.Completed, mt.DedupHits, clients)
+	}
+}
+
+// TestDedupWithinBatch: identical items inside one GenerateBatch share
+// one decode too (the flight registers at submission, before waiting).
+func TestDedupWithinBatch(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 2, CacheSize: -1})
+	defer eng.Close()
+	reqs := []Request{
+		{Prompt: prompts[2], Options: testOptions(3)},
+		{Prompt: prompts[2], Options: testOptions(3)},
+		{Prompt: prompts[2], Options: testOptions(4)}, // different seed: own decode
+	}
+	resps := eng.GenerateBatch(context.Background(), reqs)
+	for i, resp := range resps {
+		if resp.Err != nil {
+			t.Fatalf("item %d: %v", i, resp.Err)
+		}
+	}
+	if resps[0].Result.Text != resps[1].Result.Text {
+		t.Error("identical batch items diverged")
+	}
+	mt := eng.Metrics()
+	if mt.Completed != 2 || mt.DedupHits != 1 {
+		t.Errorf("completed=%d dedup_hits=%d, want 2/1", mt.Completed, mt.DedupHits)
+	}
+}
+
+// TestCacheSharedAcrossStrategySpellings: the LRU and single-flight
+// keys are canonicalized, so "pl", "prompt-lookup" and the display
+// name share one cache entry.
+func TestCacheSharedAcrossStrategySpellings(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 1, CacheSize: 8})
+	defer eng.Close()
+	ctx := context.Background()
+	mk := func(name string) Request {
+		return Request{Prompt: prompts[0], Options: core.Options{Strategy: name, MaxNewTokens: 32, Seed: 6}}
+	}
+	first, err := eng.Generate(ctx, mk("prompt-lookup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alias := range []string{"pl", "PromptLookup", "promptlookup"} {
+		resp, err := eng.Generate(ctx, mk(alias))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Cached || resp.Result != first.Result {
+			t.Errorf("spelling %q did not share the cached decode", alias)
+		}
+	}
+	// The mode spelling of a named strategy shares too.
+	if _, err := eng.Generate(ctx, Request{Prompt: prompts[0], Options: core.Options{Mode: core.ModeOurs, MaxNewTokens: 32, Seed: 6}}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := eng.Generate(ctx, Request{Prompt: prompts[0], Options: core.Options{Strategy: "ours", MaxNewTokens: 32, Seed: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Error("mode and strategy spellings of Ours did not share a cache entry")
+	}
+	if got := eng.Metrics().Completed; got != 2 {
+		t.Errorf("completed=%d, want 2 (one per distinct decode)", got)
+	}
+}
+
+// TestPrefixCacheReuse pins cross-request prefix reuse: repeat decodes
+// of one prompt under different seeds rebuild nothing but the RNG.
+func TestPrefixCacheReuse(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 1, CacheSize: -1})
+	defer eng.Close()
+	for seed := int64(0); seed < 3; seed++ {
+		if _, err := eng.Generate(context.Background(), Request{Prompt: prompts[0], Options: testOptions(seed)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mt := eng.Metrics()
+	if mt.PrefixCacheMisses != 1 || mt.PrefixCacheHits != 2 {
+		t.Errorf("prefix cache hits=%d misses=%d, want 2/1", mt.PrefixCacheHits, mt.PrefixCacheMisses)
+	}
+	if mt.PrefixCacheEntries != 1 {
+		t.Errorf("prefix cache entries=%d, want 1", mt.PrefixCacheEntries)
+	}
+}
+
+// TestEngineStrategyRouting runs the new named strategy through the
+// full engine path and checks its per-strategy accounting.
+func TestEngineStrategyRouting(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 2, CacheSize: -1})
+	defer eng.Close()
+	opts := core.Options{Strategy: "prompt-lookup", MaxNewTokens: 48}
+	resp, err := eng.Generate(context.Background(), Request{Prompt: prompts[0], Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := core.NewDecoder(m).Generate(prompts[0], opts)
+	if resp.Result.Text != direct.Text {
+		t.Error("engine prompt-lookup decode diverges from direct decode")
+	}
+	mt := eng.Metrics()
+	sm, ok := mt.PerStrategy["PromptLookup"]
+	if !ok {
+		t.Fatalf("per-strategy metrics missing PromptLookup: %v", mt.PerStrategy)
+	}
+	if sm.Requests != 1 || sm.Completed != 1 {
+		t.Errorf("PromptLookup accounting: %+v", sm)
 	}
 }
 

@@ -19,6 +19,7 @@ type stats struct {
 
 	cacheHits   uint64
 	cacheMisses uint64
+	dedupHits   uint64
 
 	batches      uint64
 	batchedTasks uint64
@@ -29,46 +30,54 @@ type stats struct {
 	wall        time.Duration
 	simMS       float64
 
-	perMode map[string]*modeStats
+	perStrategy map[string]*strategyStats
 }
 
-type modeStats struct {
+type strategyStats struct {
 	requests    uint64
 	completed   uint64
 	cacheHits   uint64
+	dedupHits   uint64
 	steps       uint64
 	rawTokens   uint64
 	cleanTokens uint64
 	simMS       float64
 }
 
-func (s *stats) mode(m core.Mode) *modeStats {
-	ms := s.perMode[m.String()]
-	if ms == nil {
-		ms = &modeStats{}
-		s.perMode[m.String()] = ms
+func (s *stats) strategy(label string) *strategyStats {
+	ss := s.perStrategy[label]
+	if ss == nil {
+		ss = &strategyStats{}
+		s.perStrategy[label] = ss
 	}
-	return ms
+	return ss
 }
 
-func (s *stats) request(m core.Mode) {
+func (s *stats) request(label string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.requests++
-	s.mode(m).requests++
+	s.strategy(label).requests++
 }
 
-func (s *stats) cacheHit(m core.Mode) {
+func (s *stats) cacheHit(label string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cacheHits++
-	s.mode(m).cacheHits++
+	s.strategy(label).cacheHits++
 }
 
 func (s *stats) cacheMiss() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.cacheMisses++
+}
+
+func (s *stats) dedupHit(label string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dedupHits++
+	s.strategy(label).dedupHits++
 }
 
 func (s *stats) reject() {
@@ -96,7 +105,7 @@ func (s *stats) batch(n int) {
 	s.batchedTasks += uint64(n)
 }
 
-func (s *stats) complete(m core.Mode, res *core.Result, wall time.Duration) {
+func (s *stats) complete(label string, res *core.Result, wall time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.completed++
@@ -105,22 +114,26 @@ func (s *stats) complete(m core.Mode, res *core.Result, wall time.Duration) {
 	s.steps += uint64(res.Steps)
 	s.wall += wall
 	s.simMS += res.SimulatedMS
-	ms := s.mode(m)
-	ms.completed++
-	ms.steps += uint64(res.Steps)
-	ms.rawTokens += uint64(len(res.Tokens))
-	ms.cleanTokens += uint64(len(res.CleanTokens))
-	ms.simMS += res.SimulatedMS
+	ss := s.strategy(label)
+	ss.completed++
+	ss.steps += uint64(res.Steps)
+	ss.rawTokens += uint64(len(res.Tokens))
+	ss.cleanTokens += uint64(len(res.CleanTokens))
+	ss.simMS += res.SimulatedMS
 }
 
-// ModeMetrics is the per-decoding-mode slice of a metrics snapshot.
-type ModeMetrics struct {
-	// Requests counts submissions (including cache hits).
+// StrategyMetrics is the per-decoding-strategy slice of a metrics
+// snapshot, keyed by the strategy's display name ("NTP", "Medusa",
+// "Ours", "PromptLookup").
+type StrategyMetrics struct {
+	// Requests counts submissions (including cache and dedup hits).
 	Requests uint64 `json:"requests"`
-	// Completed counts finished decodes (cache hits excluded).
+	// Completed counts finished decodes (cache/dedup hits excluded).
 	Completed uint64 `json:"completed"`
 	// CacheHits counts LRU short-circuits.
 	CacheHits uint64 `json:"cache_hits"`
+	// DedupHits counts single-flight shares (no decode ran).
+	DedupHits uint64 `json:"dedup_hits"`
 	// MeanAccepted is tokens emitted per decoding step — the paper's
 	// mean accepted length, the quantity speculative decoding raises.
 	MeanAccepted float64 `json:"mean_accepted"`
@@ -145,6 +158,18 @@ type Metrics struct {
 	// CacheEntries is the current LRU population.
 	CacheEntries int `json:"cache_entries"`
 
+	// DedupHits counts single-flight shares: concurrent identical
+	// submissions that rode along on one decode.
+	DedupHits uint64 `json:"dedup_hits"`
+	// Inflight is the current single-flight table population.
+	Inflight int `json:"inflight"`
+
+	// PrefixCacheHits / PrefixCacheMisses count shared prompt-session
+	// reuse across requests; PrefixCacheEntries is the population.
+	PrefixCacheHits    uint64 `json:"prefix_cache_hits"`
+	PrefixCacheMisses  uint64 `json:"prefix_cache_misses"`
+	PrefixCacheEntries int    `json:"prefix_cache_entries"`
+
 	Batches uint64 `json:"batches"`
 	// MeanBatchSize is tasks per dispatched micro-batch.
 	MeanBatchSize float64 `json:"mean_batch_size"`
@@ -165,7 +190,10 @@ type Metrics struct {
 	// TokensPerSecSim is clean tokens over simulated GPU seconds.
 	TokensPerSecSim float64 `json:"tokens_per_sec_sim"`
 
-	PerMode map[string]ModeMetrics `json:"per_mode"`
+	// PerStrategy groups counters by decoding strategy. PerMode is the
+	// same map under the legacy key for pre-strategy consumers.
+	PerStrategy map[string]StrategyMetrics `json:"per_strategy"`
+	PerMode     map[string]StrategyMetrics `json:"per_mode"`
 }
 
 // Metrics snapshots the engine's counters.
@@ -180,19 +208,27 @@ func (e *Engine) Metrics() Metrics {
 		Rejected:    e.st.rejected,
 		CacheHits:   e.st.cacheHits,
 		CacheMisses: e.st.cacheMisses,
+		DedupHits:   e.st.dedupHits,
 		Batches:     e.st.batches,
 		QueueDepth:  len(e.queue),
 		Workers:     e.cfg.Workers,
 		CleanTokens: e.st.cleanTokens,
 		Steps:       e.st.steps,
 		WallSeconds: e.st.wall.Seconds(),
-		PerMode:     map[string]ModeMetrics{},
+		PerStrategy: map[string]StrategyMetrics{},
 	}
 	if lookups := m.CacheHits + m.CacheMisses; lookups > 0 {
 		m.CacheHitRate = float64(m.CacheHits) / float64(lookups)
 	}
 	if e.cache != nil {
 		m.CacheEntries = e.cache.len()
+	}
+	e.flightMu.Lock()
+	m.Inflight = len(e.inflight)
+	e.flightMu.Unlock()
+	if e.genCache != nil {
+		m.PrefixCacheHits, m.PrefixCacheMisses = e.genCache.Stats()
+		m.PrefixCacheEntries = e.genCache.Len()
 	}
 	if m.Batches > 0 {
 		m.MeanBatchSize = float64(e.st.batchedTasks) / float64(m.Batches)
@@ -206,19 +242,21 @@ func (e *Engine) Metrics() Metrics {
 	if e.st.simMS > 0 {
 		m.TokensPerSecSim = float64(m.CleanTokens) / (e.st.simMS / 1000)
 	}
-	for name, ms := range e.st.perMode {
-		mm := ModeMetrics{
-			Requests:  ms.requests,
-			Completed: ms.completed,
-			CacheHits: ms.cacheHits,
+	for name, ss := range e.st.perStrategy {
+		sm := StrategyMetrics{
+			Requests:  ss.requests,
+			Completed: ss.completed,
+			CacheHits: ss.cacheHits,
+			DedupHits: ss.dedupHits,
 		}
-		if ms.steps > 0 {
-			mm.MeanAccepted = float64(ms.rawTokens) / float64(ms.steps)
+		if ss.steps > 0 {
+			sm.MeanAccepted = float64(ss.rawTokens) / float64(ss.steps)
 		}
-		if ms.simMS > 0 {
-			mm.TokensPerSecSim = float64(ms.cleanTokens) / (ms.simMS / 1000)
+		if ss.simMS > 0 {
+			sm.TokensPerSecSim = float64(ss.cleanTokens) / (ss.simMS / 1000)
 		}
-		m.PerMode[name] = mm
+		m.PerStrategy[name] = sm
 	}
+	m.PerMode = m.PerStrategy
 	return m
 }

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// writePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE pair per family,
+// per-strategy families labelled {strategy="..."}. Counter families
+// carry the _total suffix; point-in-time values are gauges.
+func writePrometheus(w io.Writer, m Metrics, uptimeS float64, modelName string) {
+	c := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP vgend_%s %s\n# TYPE vgend_%s counter\nvgend_%s %d\n", name, help, name, name, v)
+	}
+	g := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP vgend_%s %s\n# TYPE vgend_%s gauge\nvgend_%s %g\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(w, "# HELP vgend_info Build/model identity (value is always 1).\n# TYPE vgend_info gauge\nvgend_info{model=%q} 1\n", modelName)
+	g("uptime_seconds", "Seconds since the server started.", uptimeS)
+
+	c("requests_total", "Generation submissions, including cache and dedup hits.", m.Requests)
+	c("completed_total", "Finished decodes (cache/dedup hits excluded).", m.Completed)
+	c("canceled_total", "Decodes ended by context cancellation.", m.Canceled)
+	c("failed_total", "Decodes ended by non-context errors.", m.Failed)
+	c("rejected_total", "Backpressure rejections (queue full).", m.Rejected)
+
+	c("cache_hits_total", "Result LRU hits.", m.CacheHits)
+	c("cache_misses_total", "Result LRU misses.", m.CacheMisses)
+	g("cache_entries", "Current result LRU population.", float64(m.CacheEntries))
+
+	c("dedup_hits_total", "Single-flight shares of identical in-flight requests.", m.DedupHits)
+	g("inflight", "Current single-flight table population.", float64(m.Inflight))
+
+	c("prefix_cache_hits_total", "Shared prompt-session reuses.", m.PrefixCacheHits)
+	c("prefix_cache_misses_total", "Prompt-session builds.", m.PrefixCacheMisses)
+	g("prefix_cache_entries", "Current prompt-session cache population.", float64(m.PrefixCacheEntries))
+
+	c("batches_total", "Dispatched micro-batches.", m.Batches)
+	g("mean_batch_size", "Tasks per dispatched micro-batch.", m.MeanBatchSize)
+	g("queue_depth", "Requests waiting in the queue.", float64(m.QueueDepth))
+	g("workers", "Decoder worker pool size.", float64(m.Workers))
+
+	c("clean_tokens_total", "Clean tokens generated.", m.CleanTokens)
+	c("steps_total", "Decoding steps (forward passes).", m.Steps)
+	g("mean_accepted", "Raw tokens emitted per decoding step.", m.MeanAccepted)
+	// Monotonic float accumulation: a counter, despite not being integral.
+	fmt.Fprintf(w, "# HELP vgend_wall_seconds_total Summed worker decode time in seconds.\n# TYPE vgend_wall_seconds_total counter\nvgend_wall_seconds_total %g\n", m.WallSeconds)
+	g("tokens_per_sec_wall", "Clean tokens per worker-busy-second.", m.TokensPerSecWall)
+	g("tokens_per_sec_sim", "Clean tokens per simulated GPU second (paper eq. 3).", m.TokensPerSecSim)
+
+	// Per-strategy families, strategies sorted for stable scrapes.
+	names := make([]string, 0, len(m.PerStrategy))
+	for name := range m.PerStrategy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	sc := func(name, help string, pick func(StrategyMetrics) uint64) {
+		fmt.Fprintf(w, "# HELP vgend_%s %s\n# TYPE vgend_%s counter\n", name, help, name)
+		for _, s := range names {
+			fmt.Fprintf(w, "vgend_%s{strategy=%q} %d\n", name, s, pick(m.PerStrategy[s]))
+		}
+	}
+	sg := func(name, help string, pick func(StrategyMetrics) float64) {
+		fmt.Fprintf(w, "# HELP vgend_%s %s\n# TYPE vgend_%s gauge\n", name, help, name)
+		for _, s := range names {
+			fmt.Fprintf(w, "vgend_%s{strategy=%q} %g\n", name, s, pick(m.PerStrategy[s]))
+		}
+	}
+	if len(names) > 0 {
+		sc("strategy_requests_total", "Submissions per decoding strategy.", func(s StrategyMetrics) uint64 { return s.Requests })
+		sc("strategy_completed_total", "Finished decodes per strategy.", func(s StrategyMetrics) uint64 { return s.Completed })
+		sc("strategy_cache_hits_total", "Result LRU hits per strategy.", func(s StrategyMetrics) uint64 { return s.CacheHits })
+		sc("strategy_dedup_hits_total", "Single-flight shares per strategy.", func(s StrategyMetrics) uint64 { return s.DedupHits })
+		sg("strategy_mean_accepted", "Tokens per decoding step per strategy.", func(s StrategyMetrics) float64 { return s.MeanAccepted })
+		sg("strategy_tokens_per_sec_sim", "Simulated tokens/s per strategy.", func(s StrategyMetrics) float64 { return s.TokensPerSecSim })
+	}
+}
+
+// wantsPrometheus reports whether the request asked for the text
+// exposition format: ?format=prometheus, or an Accept header that
+// looks like a Prometheus scraper's (OpenMetrics, or text/plain when
+// the client did not also ask for JSON — axios-style defaults of
+// "application/json, text/plain, */*" keep the JSON shape). The JSON
+// shape stays the default.
+func wantsPrometheus(format, accept string) bool {
+	if format == "prometheus" {
+		return true
+	}
+	if format != "" {
+		return false
+	}
+	accept = strings.ToLower(accept)
+	if strings.Contains(accept, "openmetrics") {
+		return true
+	}
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+}

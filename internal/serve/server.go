@@ -46,6 +46,10 @@ type GenerateRequest struct {
 	Prompts []string `json:"prompts,omitempty"`
 	// Mode is "ours" (default), "medusa" or "ntp".
 	Mode string `json:"mode,omitempty"`
+	// Strategy selects a decoding strategy by name ("ntp", "medusa",
+	// "ours", "prompt-lookup"); it supersedes Mode when set, and is the
+	// only way to reach strategies the legacy mode enum cannot name.
+	Strategy string `json:"strategy,omitempty"`
 	// Temperature 0 decodes greedily.
 	Temperature float64 `json:"temperature,omitempty"`
 	// MaxNewTokens bounds the generation (0 = model default).
@@ -86,17 +90,27 @@ func parseMode(s string) (core.Mode, error) {
 }
 
 func (gr GenerateRequest) options() (core.Options, error) {
-	mode, err := parseMode(gr.Mode)
-	if err != nil {
-		return core.Options{}, err
-	}
-	return core.Options{
-		Mode:         mode,
+	opts := core.Options{
 		Temperature:  gr.Temperature,
 		MaxNewTokens: gr.MaxNewTokens,
 		TopK:         gr.TopK,
 		Seed:         gr.Seed,
-	}, nil
+	}
+	if gr.Strategy != "" {
+		// Validate at the API edge so a typo is a 400, not a queued
+		// request that fails at decode time.
+		if _, err := core.ResolveStrategy(gr.Strategy, false); err != nil {
+			return core.Options{}, err
+		}
+		opts.Strategy = gr.Strategy
+		return opts, nil
+	}
+	mode, err := parseMode(gr.Mode)
+	if err != nil {
+		return core.Options{}, err
+	}
+	opts.Mode = mode
+	return opts, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -145,7 +159,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	modeName := opts.Mode.String()
+	modeName := opts.StrategyLabel()
 
 	switch {
 	case gr.Stream && batch:
@@ -250,7 +264,7 @@ func (s *Server) streamGenerate(w http.ResponseWriter, r *http.Request, prompt s
 		return
 	}
 	out := resultJSON(resp)
-	out.Mode = opts.Mode.String()
+	out.Mode = opts.StrategyLabel()
 	_ = enc.Encode(streamLine{Done: true, Result: &out})
 	if flusher != nil {
 		flusher.Flush()
@@ -270,9 +284,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	uptime := time.Since(s.start).Seconds()
+	modelName := s.engine.Model().Config().Name
+	// Prometheus text exposition on request (?format=prometheus or an
+	// Accept header a scraper would send); JSON stays the default.
+	if wantsPrometheus(r.URL.Query().Get("format"), r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		writePrometheus(w, s.engine.Metrics(), uptime, modelName)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_s": time.Since(s.start).Seconds(),
-		"model":    s.engine.Model().Config().Name,
+		"uptime_s": uptime,
+		"model":    modelName,
 		"engine":   s.engine.Metrics(),
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -248,6 +249,104 @@ func TestServerStreamClientDisconnect(t *testing.T) {
 	cancel() // drop the connection with the decode still running
 	// Cleanup closes the engine, which waits for the worker to finish
 	// the abandoned decode; any unsafe write surfaces under -race.
+}
+
+func TestServerStrategyField(t *testing.T) {
+	srv, eng := testServer(t, Config{Workers: 2, CacheSize: -1})
+	resp := postJSON(t, srv.URL+"/v1/generate", GenerateRequest{
+		Prompt: fixPrompts[0], Strategy: "prompt-lookup", MaxNewTokens: 48, Seed: 5,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	got := decodeBody[GenerateResult](t, resp)
+	if got.Mode != "PromptLookup" {
+		t.Errorf("mode label %q, want PromptLookup", got.Mode)
+	}
+	direct := core.NewDecoder(eng.Model()).Generate(fixPrompts[0],
+		core.Options{Strategy: "prompt-lookup", MaxNewTokens: 48, Seed: 5})
+	if got.Text != direct.Text {
+		t.Error("HTTP prompt-lookup decode diverges from direct decode")
+	}
+	// Unknown strategy name is a 400 at the API edge.
+	bad := postJSON(t, srv.URL+"/v1/generate", GenerateRequest{Prompt: "a", Strategy: "warp"})
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown strategy: status %d, want 400", bad.StatusCode)
+	}
+}
+
+func TestServerMetricsPrometheus(t *testing.T) {
+	srv, _ := testServer(t, Config{Workers: 2, CacheSize: 8})
+	// Generate something so counters are non-trivial.
+	postJSON(t, srv.URL+"/v1/generate", GenerateRequest{
+		Prompt: fixPrompts[0], Mode: "ours", MaxNewTokens: 32, Seed: 2,
+	}).Body.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain exposition", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE vgend_requests_total counter",
+		"vgend_requests_total 1",
+		"vgend_dedup_hits_total 0",
+		"vgend_prefix_cache_misses_total 1",
+		`vgend_strategy_requests_total{strategy="Ours"} 1`,
+		"vgend_workers 2",
+		"vgend_info{model=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n%s", want, body)
+		}
+	}
+
+	// A Prometheus-style Accept header negotiates the same format…
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5")
+	negotiated, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	negotiated.Body.Close()
+	if ct := negotiated.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Accept negotiation returned %q", ct)
+	}
+	// …a JSON-preferring client that merely lists text/plain (axios
+	// default) keeps JSON…
+	jsonReq, _ := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	jsonReq.Header.Set("Accept", "application/json, text/plain, */*")
+	jsonResp, err := http.DefaultClient.Do(jsonReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonResp.Body.Close()
+	if ct := jsonResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("JSON-preferring Accept returned %q", ct)
+	}
+	// …and a bare GET keeps the JSON shape.
+	plain, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2 := decodeBody[struct {
+		Engine Metrics `json:"engine"`
+	}](t, plain)
+	if body2.Engine.Requests != 1 {
+		t.Errorf("JSON metrics requests=%d, want 1", body2.Engine.Requests)
+	}
 }
 
 func TestServerHealthz(t *testing.T) {
