@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Byte-identical legacy-mode outputs through the drafter/verifier
 # pipeline (fixtures captured from the pre-refactor loop). Regenerate
@@ -22,11 +22,11 @@ race:
 golden:
 	$(GO) test -run TestGolden -v ./internal/core/
 
-# Engine wall-clock throughput + strategy matrix smoke; CI uploads
-# bench_output.txt as an artifact. Run `go test -bench=. ./...` for the
-# full paper harness.
+# Engine wall-clock throughput + strategy matrix + fleet routing
+# smoke; CI uploads bench_output.txt as an artifact. Run `go test
+# -bench=. ./...` for the full paper harness.
 bench:
-	set -o pipefail; $(GO) test -run '^$$' -bench='BenchmarkEngine|BenchmarkStrategyMatrix' -benchtime=1x ./... | tee bench_output.txt
+	set -o pipefail; $(GO) test -run '^$$' -bench='BenchmarkEngine|BenchmarkStrategyMatrix|BenchmarkFleetRouting' -benchtime=1x ./... | tee bench_output.txt
 
 fmt:
 	gofmt -w .
@@ -41,5 +41,9 @@ vet:
 # Train and serve the generation daemon on :8080.
 serve:
 	$(GO) run ./cmd/vgend
+
+# Train once, serve a 4-replica fleet with the full shedding chain.
+serve-fleet:
+	$(GO) run ./cmd/vgend -replicas 4 -shed-policy deadline,priority,budget
 
 ci: build fmt-check vet race golden bench

@@ -330,6 +330,34 @@ func BenchmarkAblationAcceptance(b *testing.B) {
 	}
 }
 
+// --- Fleet routing: measured wall-clock load scenario per routing
+// policy (CI smoke target for the cluster layer). ---
+
+// BenchmarkFleetRouting drives the shared-prefix workload at a
+// 4-replica fleet once per routing policy and reports the fleet
+// cache-hit rate, client-side p95 latency and requests/s — the table
+// where prefix-affinity must beat random routing on cache hits.
+func BenchmarkFleetRouting(b *testing.B) {
+	setup(b)
+	m := models["CodeLlama/Ours"]
+	prompts := speedPrompts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.FleetBench(m, prompts, experiments.FleetBenchConfig{
+			Replicas: 4, Clients: 6, Rounds: 8, Prompts: 6,
+			Routers: []string{"prefix-affinity", "least-loaded", "round-robin", "random"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			b.ReportMetric(row.CacheHitRate, row.Router+"_hit_rate")
+			b.ReportMetric(row.P95WallMS, row.Router+"_p95_ms")
+			b.ReportMetric(row.ThroughputRPS, row.Router+"_rps")
+		}
+	}
+}
+
 // --- Engine wall-clock benchmarks (real CPU throughput, not the cost
 // model): tokens generated per real second of decoder work. ---
 

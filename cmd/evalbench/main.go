@@ -3,14 +3,16 @@
 //
 // Usage:
 //
-//	evalbench -exp table1|table2|matrix|fig1|fig5|fig6|all [-quick]
+//	evalbench -exp table1|table2|matrix|fleet|fig1|fig5|fig6|all [-quick]
 //	          [-items N] [-samples N] [-seed N]
 //
 // -quick selects the scaled-down setup (one model, one data size, few
 // samples); the default is the full harness described in DESIGN.md.
 // "matrix" runs the strategy matrix: every decoding strategy (the
 // legacy three plus self-speculative prompt lookup) under the Table II
-// protocol.
+// protocol, with measured wall-clock ms/token next to the simulated
+// speedup. "fleet" runs the multi-replica load scenario: measured
+// wall-clock throughput and latency percentiles per routing policy.
 package main
 
 import (
@@ -24,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, matrix, fig1, fig5, fig6 or all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, matrix, fleet, fig1, fig5, fig6 or all")
 	quick := flag.Bool("quick", false, "scaled-down setup (fast smoke run)")
 	items := flag.Int("items", 0, "override corpus item count")
 	samples := flag.Int("samples", 0, "override samples per prompt per temperature")
@@ -89,6 +91,15 @@ func main() {
 		fmt.Println("## Strategy matrix — tokens/s per decoding strategy")
 		printMatrix(runner.RunStrategyMatrix())
 	}
+	if want("fleet") {
+		fmt.Println("## Fleet bench — measured wall-clock throughput/latency per routing policy")
+		rows, err := runner.RunFleetBench(experiments.FleetBenchConfig{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet bench: %v\n", err)
+			os.Exit(1)
+		}
+		printFleetBench(rows)
+	}
 	if want("fig1") && t1 != nil && t2 != nil {
 		fmt.Println("## Fig. 1 — speed vs pass@10 (RTLLM, first model)")
 		for _, pt := range experiments.Fig1(t1, t2, setup.Models[0].Name) {
@@ -113,18 +124,30 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("# total %v\n", time.Since(t0).Round(time.Second))
-	if *exp != "all" && !want("table1") && !want("table2") && !want("matrix") && !want("fig1") && !want("fig5") && !want("fig6") {
+	if *exp != "all" && !want("table1") && !want("table2") && !want("matrix") && !want("fleet") && !want("fig1") && !want("fig5") && !want("fig6") {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
 }
 
 func printMatrix(rows []experiments.StrategyRow) {
-	fmt.Printf("%-14s %-8s %-13s %14s %9s %9s\n", "model", "scheme", "strategy", "speed (tok/s)", "speedup", "accepted")
-	fmt.Println(strings.Repeat("-", 72))
+	fmt.Printf("%-14s %-8s %-13s %14s %9s %9s %12s\n", "model", "scheme", "strategy", "speed (tok/s)", "speedup", "accepted", "wall ms/tok")
+	fmt.Println(strings.Repeat("-", 85))
 	for _, r := range rows {
-		fmt.Printf("%-14s %-8s %-13s %14.2f %9.2f %9.2f\n",
-			r.Model, r.Scheme, r.Strategy, r.TokensPerSec, r.Speedup, r.MeanAccepted)
+		fmt.Printf("%-14s %-8s %-13s %14.2f %9.2f %9.2f %12.4f\n",
+			r.Model, r.Scheme, r.Strategy, r.TokensPerSec, r.Speedup, r.MeanAccepted, r.WallMSPerToken)
+	}
+	fmt.Println()
+}
+
+func printFleetBench(rows []experiments.FleetBenchRow) {
+	fmt.Printf("%-16s %8s %8s %9s %9s %8s %8s %8s %8s\n",
+		"router", "requests", "hit-rate", "pfx-rate", "dedup", "rps", "p50 ms", "p95 ms", "p99 ms")
+	fmt.Println(strings.Repeat("-", 92))
+	for _, r := range rows {
+		fmt.Printf("%-16s %8d %8.3f %9.3f %9d %8.1f %8.2f %8.2f %8.2f\n",
+			r.Router, r.Requests, r.CacheHitRate, r.PrefixHitRate, r.DedupHits,
+			r.ThroughputRPS, r.P50WallMS, r.P95WallMS, r.P99WallMS)
 	}
 	fmt.Println()
 }

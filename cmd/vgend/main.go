@@ -1,7 +1,8 @@
 // Command vgend is the Verilog generation daemon: it trains the
-// simulated speculative-decoding model once at startup, then serves
-// generations over HTTP through the internal/serve engine (worker
-// pool, micro-batching, LRU cache).
+// simulated speculative-decoding model(s) once at startup, then serves
+// generations over HTTP — through a single internal/serve engine, or
+// in fleet mode through an internal/cluster fleet of engine replicas
+// with prefix-affinity routing and pluggable load shedding.
 //
 // Endpoints:
 //
@@ -10,24 +11,37 @@
 //	                     "prompt-lookup"} routes the request to any
 //	                     registered decoding strategy (default: the
 //	                     legacy "mode" field, default "ours");
-//	                     {"stream": true} switches to NDJSON streaming
-//	                     of decoding steps (single prompt only).
-//	GET  /healthz      — liveness plus model/pool identity.
-//	GET  /metrics      — engine counters: requests, cache hit rate,
-//	                     single-flight dedup hits, prefix-cache reuse,
-//	                     tokens/s, mean accepted length per strategy.
-//	                     JSON by default; ?format=prometheus (or a
-//	                     Prometheus Accept header) selects the text
-//	                     exposition format.
+//	                     {"model": "codellama"} targets one backbone in
+//	                     fleet mode; {"priority": "high"|"normal"|
+//	                     "low"} and {"client": "..."} feed the
+//	                     load-shedding policies; {"stream": true}
+//	                     switches to NDJSON streaming (single prompt).
+//	GET  /healthz      — liveness plus model/pool (or fleet) identity.
+//	GET  /metrics      — engine counters (fleet mode adds per-replica
+//	                     detail, shed and routing counters). JSON by
+//	                     default; ?format=prometheus (or a Prometheus
+//	                     Accept header) selects the text exposition.
 //
-// Identical concurrent requests (same prompt, options and seed) are
-// collapsed onto one decode by the engine's single-flight table, and
-// prompt conditioning state is shared across requests through the
-// prefix cache.
+// Fleet mode starts when -replicas > 1, -models lists more than one
+// spec (or one with a default strategy), a -shed-policy is set or a
+// non-default -router is chosen; with none of those the daemon runs
+// the exact single-engine path of previous releases. Replica specs are
+// model[:scheme[:default-strategy]], e.g.
+//
+//	vgend -replicas 4 -shed-policy deadline,priority,budget
+//	vgend -models codellama:ours,codet5p:ntp:prompt-lookup -router prefix-affinity
+//
+// Requests are routed per prefix-affinity consistent hashing (with a
+// least-loaded fallback), so shared-prefix traffic concentrates where
+// its caches are warm; shed requests always get an explicit 429/503
+// with a Retry-After header.
 //
 // Usage: vgend [-addr :8080] [-model codellama|codet5p] [-scheme ours]
 // [-items 3400] [-workers N] [-queue N] [-batch N] [-cache N]
-// [-prefix-cache N] [-no-dedup]
+// [-prefix-cache N] [-no-dedup] [-replicas N] [-models specs]
+// [-router prefix-affinity|least-loaded|round-robin|random]
+// [-shed-policy none|deadline,priority,budget] [-budget-tps N]
+// [-budget-burst N]
 package main
 
 import (
@@ -38,14 +52,73 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/model"
 	"repro/internal/serve"
 	"repro/internal/tokenizer"
 )
+
+// replicaSpec is one parsed -models entry.
+type replicaSpec struct {
+	model, scheme, strategy string
+}
+
+func parseModelConfig(name string) (model.Config, error) {
+	switch name {
+	case "codellama":
+		return model.CodeLlamaSim(), nil
+	case "codet5p":
+		return model.CodeT5pSim(), nil
+	}
+	return model.Config{}, fmt.Errorf("unknown model %q (want codellama or codet5p)", name)
+}
+
+func parseScheme(name string) (model.Scheme, error) {
+	switch name {
+	case "ours":
+		return model.SchemeOurs, nil
+	case "medusa":
+		return model.SchemeMedusa, nil
+	case "ntp":
+		return model.SchemeNTP, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want ours, medusa or ntp)", name)
+}
+
+// parseModels splits -models ("codellama:ours,codet5p:ntp:prompt-lookup")
+// into replica specs; defaults fill omitted fields.
+func parseModels(s, defaultModel, defaultScheme string) ([]replicaSpec, error) {
+	if s == "" {
+		return []replicaSpec{{model: defaultModel, scheme: defaultScheme}}, nil
+	}
+	var specs []replicaSpec
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		spec := replicaSpec{model: parts[0], scheme: defaultScheme}
+		if len(parts) > 1 && parts[1] != "" {
+			spec.scheme = parts[1]
+		}
+		if len(parts) > 2 && parts[2] != "" {
+			spec.strategy = parts[2]
+		}
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("bad replica spec %q (want model[:scheme[:strategy]])", entry)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "vgend: %v\n", err)
+	os.Exit(2)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -53,39 +126,71 @@ func main() {
 	schemeName := flag.String("scheme", "ours", "training scheme: ours, medusa or ntp")
 	items := flag.Int("items", 3400, "corpus items to train on")
 	seed := flag.Int64("seed", 1, "corpus/training seed")
-	workers := flag.Int("workers", 0, "decoder workers (0 = GOMAXPROCS)")
-	queue := flag.Int("queue", 256, "request queue bound")
+	workers := flag.Int("workers", 0, "decoder workers per replica (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 256, "request queue bound per replica")
 	batch := flag.Int("batch", 8, "micro-batch size")
 	window := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch linger")
-	cache := flag.Int("cache", 512, "LRU cache entries (negative disables)")
-	prefixCache := flag.Int("prefix-cache", 256, "prompt-session cache entries (negative disables)")
+	cache := flag.Int("cache", 512, "LRU cache entries per replica (negative disables)")
+	prefixCache := flag.Int("prefix-cache", 256, "prompt-session cache entries per replica (negative disables)")
 	noDedup := flag.Bool("no-dedup", false, "disable single-flight dedup of identical in-flight requests")
+	replicas := flag.Int("replicas", 1, "fleet size (replicas cycle through -models specs)")
+	modelsFlag := flag.String("models", "", "replica specs model[:scheme[:strategy]], comma-separated (empty: -model/-scheme)")
+	routerName := flag.String("router", "prefix-affinity", "fleet routing: prefix-affinity, least-loaded, round-robin or random")
+	shedPolicy := flag.String("shed-policy", "none", "admission chain: none, or a comma list of deadline, priority, budget")
+	budgetTPS := flag.Float64("budget-tps", 0, "budget policy: sustained tokens/s per client (0 = default)")
+	budgetBurst := flag.Float64("budget-burst", 0, "budget policy: burst tokens per client (0 = default)")
 	flag.Parse()
 
-	var cfg model.Config
-	switch *modelName {
-	case "codellama":
-		cfg = model.CodeLlamaSim()
-	case "codet5p":
-		cfg = model.CodeT5pSim()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q (want codellama or codet5p)\n", *modelName)
-		os.Exit(2)
+	specs, err := parseModels(*modelsFlag, *modelName, *schemeName)
+	if err != nil {
+		fail(err)
 	}
-	var scheme model.Scheme
-	switch *schemeName {
-	case "ours":
-		scheme = model.SchemeOurs
-	case "medusa":
-		scheme = model.SchemeMedusa
-	case "ntp":
-		scheme = model.SchemeNTP
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scheme %q (want ours, medusa or ntp)\n", *schemeName)
-		os.Exit(2)
+	// Validate every flag-derived choice before the expensive corpus
+	// build: a typo must fail in milliseconds, not after training.
+	type resolvedSpec struct {
+		replicaSpec
+		cfg model.Config
+		sch model.Scheme
+	}
+	resolved := make([]resolvedSpec, len(specs))
+	for i, spec := range specs {
+		cfg, err := parseModelConfig(spec.model)
+		if err != nil {
+			fail(err)
+		}
+		scheme, err := parseScheme(spec.scheme)
+		if err != nil {
+			fail(err)
+		}
+		if spec.strategy != "" {
+			if _, err := core.ResolveStrategy(spec.strategy, false); err != nil {
+				fail(err)
+			}
+		}
+		resolved[i] = resolvedSpec{replicaSpec: spec, cfg: cfg, sch: scheme}
+	}
+	policies, err := cluster.ParsePolicies(*shedPolicy, *budgetTPS, *budgetBurst)
+	if err != nil {
+		fail(err)
+	}
+	router, err := cluster.NewRouter(*routerName)
+	if err != nil {
+		fail(err)
+	}
+	// A non-default router is an explicit ask for the cluster layer,
+	// even with one replica — silently ignoring it would leave the
+	// operator believing a routing policy is active.
+	fleetMode := *replicas > 1 || len(specs) > 1 || len(policies) > 0 ||
+		specs[0].strategy != "" || *routerName != "prefix-affinity"
+	n := *replicas
+	if n < len(specs) {
+		n = len(specs)
 	}
 
-	fmt.Fprintf(os.Stderr, "# building corpus (%d items) and training %s/%v...\n", *items, cfg.Name, scheme)
+	// One corpus; one tokenizer per backbone; one trained model per
+	// distinct (backbone, scheme) pair — replicas sharing a pair share
+	// the immutable trained model but keep their own engine and caches.
+	fmt.Fprintf(os.Stderr, "# building corpus (%d items)...\n", *items)
 	start := time.Now()
 	examples, stats := dataset.BuildCorpus(dataset.CorpusOptions{Seed: *seed, Items: *items})
 	var corpus []string
@@ -93,11 +198,24 @@ func main() {
 	for _, ex := range examples[:limit] {
 		corpus = append(corpus, model.FormatPrompt(ex.Prompt)+ex.Code)
 	}
-	tk := tokenizer.Train(corpus, cfg.VocabSize)
-	m := model.Train(tk, cfg, scheme, examples)
+	toks := map[string]*tokenizer.Tokenizer{}
+	trained := map[string]*model.Model{}
+	for _, spec := range resolved {
+		key := spec.model + "/" + spec.sch.String()
+		if trained[key] != nil {
+			continue
+		}
+		tk := toks[spec.model]
+		if tk == nil {
+			tk = tokenizer.Train(corpus, spec.cfg.VocabSize)
+			toks[spec.model] = tk
+		}
+		fmt.Fprintf(os.Stderr, "# training %s/%v...\n", spec.cfg.Name, spec.sch)
+		trained[key] = model.Train(tk, spec.cfg, spec.sch, examples)
+	}
 	fmt.Fprintf(os.Stderr, "# %s\n# trained in %s\n", stats, time.Since(start).Round(time.Millisecond))
 
-	eng := serve.NewEngine(m, serve.Config{
+	engCfg := serve.Config{
 		Workers:         *workers,
 		QueueSize:       *queue,
 		BatchSize:       *batch,
@@ -105,8 +223,46 @@ func main() {
 		CacheSize:       *cache,
 		PrefixCacheSize: *prefixCache,
 		NoDedup:         *noDedup,
-	})
-	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(eng).Handler()}
+	}
+
+	var backend serve.Backend
+	var closeBackend func()
+	if !fleetMode {
+		// Single-engine path: byte-identical to previous releases, no
+		// cluster layer in the request path at all.
+		eng := serve.NewEngine(trained[resolved[0].model+"/"+resolved[0].sch.String()], engCfg)
+		backend, closeBackend = eng, eng.Close
+		fmt.Fprintf(os.Stderr, "# vgend serving %s/%s on %s (%d workers)\n",
+			resolved[0].model, resolved[0].scheme, *addr, eng.Workers())
+	} else {
+		replicaSpecs := make([]cluster.ReplicaSpec, n)
+		for i := range replicaSpecs {
+			spec := resolved[i%len(resolved)]
+			replicaSpecs[i] = cluster.ReplicaSpec{
+				Name:            fmt.Sprintf("r%d:%s/%s", i, spec.model, spec.scheme),
+				Model:           trained[spec.model+"/"+spec.sch.String()],
+				Engine:          engCfg,
+				DefaultStrategy: spec.strategy,
+			}
+		}
+		fleet, err := cluster.New(replicaSpecs, cluster.Config{Router: router, Policies: policies})
+		if err != nil {
+			fail(err)
+		}
+		backend, closeBackend = fleet, fleet.Close
+		names := make([]string, 0, len(policies))
+		for _, p := range policies {
+			names = append(names, p.Name())
+		}
+		shed := "none"
+		if len(names) > 0 {
+			shed = strings.Join(names, ",")
+		}
+		fmt.Fprintf(os.Stderr, "# vgend fleet: %d replicas, router %s, shed %s, serving on %s\n",
+			n, router.Name(), shed, *addr)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewBackendServer(backend).Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -120,14 +276,13 @@ func main() {
 		_ = srv.Shutdown(shutdownCtx)
 	}()
 
-	fmt.Fprintf(os.Stderr, "# vgend serving %s/%v on %s (%d workers)\n", cfg.Name, scheme, *addr, eng.Workers())
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "vgend: %v\n", err)
 		os.Exit(1)
 	}
 	// ListenAndServe returned ErrServerClosed, so Shutdown is in
 	// flight; wait for it to finish draining handlers before tearing
-	// the engine down.
+	// the backend down.
 	<-shutdownDone
-	eng.Close()
+	closeBackend()
 }

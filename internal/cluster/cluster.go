@@ -1,0 +1,377 @@
+// Package cluster is the serving fleet above internal/serve: N
+// replicas — each its own serve.Engine wrapping its own model instance
+// (possibly different backbones, training schemes or default decoding
+// strategies) — behind one front door.
+//
+// Three concerns live here and nowhere else:
+//
+//   - Routing: which replica serves a request. The default policy is
+//     prefix-affinity consistent hashing (rendezvous form) with a
+//     least-loaded fallback, so shared-prefix workloads concentrate on
+//     one replica where its result LRU, prefix GenCache and
+//     single-flight table can actually hit; round-robin, random and
+//     pure least-loaded routers exist for comparison and as the
+//     fleet-bench control group.
+//   - Admission: whether a routed request may enter its replica's
+//     queue. Pluggable ShedPolicy chains (deadline, priority classes,
+//     per-client token budgets) run inside the engine's Admit hook —
+//     after the single-flight registration — so a shed leader
+//     publishes its drop and followers retry on their own behalf. A
+//     shed request always gets an explicit error carrying a
+//     Retry-After hint; nothing is dropped silently.
+//   - Aggregation: fleet-level metrics — per-replica engine snapshots
+//     plus fleet-wide sums, shed/routing counters and a decode-time
+//     EWMA — in JSON and Prometheus forms.
+//
+// A Fleet implements serve.Backend, so cmd/vgend serves it over the
+// same HTTP handlers as a single engine. With one replica and no
+// policies the fleet adds nothing to the decode path: outputs are
+// byte-identical to the bare engine's (pinned by TestSingleReplicaByteIdentical).
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// ReplicaSpec describes one fleet member before construction.
+type ReplicaSpec struct {
+	// Name identifies the replica in routing, metrics and responses
+	// (defaults to "r<i>:<model>/<scheme>").
+	Name string
+	// Model is the trained backbone this replica decodes with.
+	// Replicas may share one *model.Model (it is read-only after
+	// training); each still gets its own engine and caches.
+	Model *model.Model
+	// Engine sizes the replica's serve.Engine. The Admit hook is owned
+	// by the fleet and must be nil here.
+	Engine serve.Config
+	// DefaultStrategy, when set, replaces the fleet-wide default for
+	// requests that named neither a mode nor a strategy (see
+	// serve.Request.NoExplicitStrategy). Explicit choices always win.
+	DefaultStrategy string
+}
+
+// Config assembles a Fleet.
+type Config struct {
+	// Router picks replicas (default: prefix-affinity).
+	Router Router
+	// Policies is the admission chain, applied in order; empty admits
+	// everything (the engines' queue-full backstop still rejects).
+	Policies []ShedPolicy
+}
+
+// Replica is one running fleet member.
+type Replica struct {
+	name            string
+	modelName       string
+	scheme          string
+	defaultStrategy string
+	eng             *serve.Engine
+
+	routed   atomic.Uint64 // requests routed here
+	inflight atomic.Int64  // routed and not yet answered
+}
+
+// Name returns the replica's identity.
+func (r *Replica) Name() string { return r.name }
+
+// Engine exposes the replica's engine (tests and the fleet bench read
+// its metrics directly).
+func (r *Replica) Engine() *serve.Engine { return r.eng }
+
+// load is the replica's current backlog: queued plus routed-but-
+// unanswered requests. Routers order replicas by it.
+func (r *Replica) load() int {
+	return r.eng.QueueDepth() + int(r.inflight.Load())
+}
+
+// Fleet owns the replicas and fronts them with routing and admission.
+type Fleet struct {
+	replicas []*Replica
+	byModel  map[string][]*Replica
+	router   Router
+	policies []ShedPolicy
+
+	st fleetStats
+}
+
+// fleetStats accumulates fleet-level counters under one mutex.
+type fleetStats struct {
+	mu             sync.Mutex
+	requests       uint64
+	shedByPolicy   map[string]uint64
+	shedByPriority map[string]uint64
+	unknownModel   uint64
+	// meanDecodeMS is an EWMA of completed decode wall times; admission
+	// deadline math runs on it.
+	meanDecodeMS float64
+}
+
+// New builds and starts a fleet. Each spec's engine is created here so
+// the fleet can install its admission hook; specs must not set one.
+func New(specs []ReplicaSpec, cfg Config) (*Fleet, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: fleet needs at least one replica")
+	}
+	if cfg.Router == nil {
+		cfg.Router = newPrefixAffinity()
+	}
+	f := &Fleet{
+		byModel:  map[string][]*Replica{},
+		router:   cfg.Router,
+		policies: cfg.Policies,
+	}
+	f.st.shedByPolicy = map[string]uint64{}
+	f.st.shedByPriority = map[string]uint64{}
+	for i, spec := range specs {
+		if spec.Model == nil {
+			return nil, fmt.Errorf("cluster: replica %d has no model", i)
+		}
+		if spec.Engine.Admit != nil {
+			return nil, fmt.Errorf("cluster: replica %d sets Engine.Admit (owned by the fleet)", i)
+		}
+		if spec.DefaultStrategy != "" {
+			if _, err := core.ResolveStrategy(spec.DefaultStrategy, false); err != nil {
+				return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
+			}
+		}
+		r := &Replica{
+			modelName:       spec.Model.Config().Name,
+			scheme:          spec.Model.Scheme().String(),
+			defaultStrategy: spec.DefaultStrategy,
+		}
+		r.name = spec.Name
+		if r.name == "" {
+			r.name = fmt.Sprintf("r%d:%s/%s", i, r.modelName, r.scheme)
+		}
+		engCfg := spec.Engine
+		if len(f.policies) > 0 {
+			engCfg.Admit = f.admitFunc(r)
+		}
+		r.eng = serve.NewEngine(spec.Model, engCfg)
+		f.replicas = append(f.replicas, r)
+		for _, key := range modelKeys(r.modelName) {
+			f.byModel[key] = append(f.byModel[key], r)
+		}
+	}
+	return f, nil
+}
+
+// modelKeys lists the spellings a replica's model answers to: the
+// config name, case-folded, plus the daemon-flag alias without the
+// "-sim" suffix ("CodeT5p-sim" serves both "codet5p-sim" and
+// "codet5p").
+func modelKeys(name string) []string {
+	lower := strings.ToLower(name)
+	keys := []string{lower}
+	if trimmed := strings.TrimSuffix(lower, "-sim"); trimmed != lower {
+		keys = append(keys, trimmed)
+	}
+	return keys
+}
+
+// Replicas exposes the fleet members in construction order.
+func (f *Fleet) Replicas() []*Replica { return f.replicas }
+
+// Router reports the active routing policy's name.
+func (f *Fleet) Router() string { return f.router.Name() }
+
+// Close drains and stops every replica engine.
+func (f *Fleet) Close() {
+	for _, r := range f.replicas {
+		r.eng.Close()
+	}
+}
+
+// admitFunc binds the policy chain to one replica: the engine calls it
+// for every submission that would consume a queue slot.
+func (f *Fleet) admitFunc(r *Replica) func(ctx context.Context, req serve.Request) error {
+	return func(ctx context.Context, req serve.Request) error {
+		load := f.loadAt(r)
+		for _, p := range f.policies {
+			if err := p.Admit(ctx, req, load); err != nil {
+				f.st.mu.Lock()
+				f.st.shedByPolicy[p.Name()]++
+				f.st.shedByPriority[req.Priority.String()]++
+				f.st.mu.Unlock()
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// loadAt snapshots the admission Load for one replica.
+func (f *Fleet) loadAt(r *Replica) Load {
+	l := Load{
+		QueueDepth: r.eng.QueueDepth(),
+		QueueCap:   r.eng.QueueCap(),
+		Workers:    r.eng.Workers(),
+		Inflight:   int(r.inflight.Load()),
+	}
+	for _, o := range f.replicas {
+		l.FleetQueueDepth += o.eng.QueueDepth()
+		l.FleetInflight += int(o.inflight.Load())
+	}
+	f.st.mu.Lock()
+	l.MeanDecodeMS = f.st.meanDecodeMS
+	f.st.mu.Unlock()
+	return l
+}
+
+// candidates returns the replicas serving the request's model (all of
+// them for an empty model), or an ErrUnknownModel-wrapped error.
+func (f *Fleet) candidates(modelName string) ([]*Replica, error) {
+	if modelName == "" {
+		return f.replicas, nil
+	}
+	if reps := f.byModel[strings.ToLower(modelName)]; len(reps) > 0 {
+		return reps, nil
+	}
+	f.st.mu.Lock()
+	f.st.unknownModel++
+	f.st.mu.Unlock()
+	return nil, fmt.Errorf("%w: %q", serve.ErrUnknownModel, modelName)
+}
+
+// route picks the serving replica and applies its default-strategy
+// substitution to the request. The replica's inflight counter is
+// incremented HERE, not at submission, so load-aware routers see each
+// routed-but-not-yet-submitted request — in particular, items earlier
+// in a batch raise the load later items are routed by. Every caller
+// must decrement after the engine answers.
+func (f *Fleet) route(req serve.Request) (*Replica, serve.Request, error) {
+	f.st.mu.Lock()
+	f.st.requests++
+	f.st.mu.Unlock()
+	cands, err := f.candidates(req.Model)
+	if err != nil {
+		return nil, req, err
+	}
+	r := f.router.Pick(affinityKey(req.Prompt), cands)
+	if r.defaultStrategy != "" && req.NoExplicitStrategy {
+		req.Options.Strategy = r.defaultStrategy
+		req.Options.Mode = 0
+	}
+	r.routed.Add(1)
+	r.inflight.Add(1)
+	return r, req, nil
+}
+
+// observe folds one outcome into the fleet's decode-time EWMA.
+func (f *Fleet) observe(resp *serve.Response) {
+	if resp == nil || resp.Err != nil || resp.Cached || resp.Deduped || resp.Wall <= 0 {
+		return
+	}
+	wallMS := float64(resp.Wall) / float64(time.Millisecond)
+	f.st.mu.Lock()
+	if f.st.meanDecodeMS == 0 {
+		f.st.meanDecodeMS = wallMS
+	} else {
+		f.st.meanDecodeMS = 0.8*f.st.meanDecodeMS + 0.2*wallMS
+	}
+	f.st.mu.Unlock()
+}
+
+// tag returns a per-caller copy of resp carrying the serving replica's
+// name. A copy, not a mutation: the engine may still share the
+// original with single-flight followers.
+func tag(resp *serve.Response, r *Replica) *serve.Response {
+	if resp == nil {
+		return nil
+	}
+	tagged := *resp
+	tagged.Replica = r.name
+	return &tagged
+}
+
+// Generate routes one request and blocks for a queue slot if the
+// replica is saturated (admission policies still apply).
+func (f *Fleet) Generate(ctx context.Context, req serve.Request) (*serve.Response, error) {
+	return f.generate(ctx, req, true)
+}
+
+// TryGenerate implements serve.Backend: Generate with fail-fast
+// backpressure.
+func (f *Fleet) TryGenerate(ctx context.Context, req serve.Request) (*serve.Response, error) {
+	return f.generate(ctx, req, false)
+}
+
+func (f *Fleet) generate(ctx context.Context, req serve.Request, wait bool) (*serve.Response, error) {
+	r, req, err := f.route(req)
+	if err != nil {
+		return nil, err
+	}
+	defer r.inflight.Add(-1)
+	var resp *serve.Response
+	if wait {
+		resp, err = r.eng.Generate(ctx, req)
+	} else {
+		resp, err = r.eng.TryGenerate(ctx, req)
+	}
+	f.observe(resp)
+	return tag(resp, r), err
+}
+
+// GenerateBatch routes every item, dispatches the per-replica groups
+// concurrently (each through the engine's own batch path, so items
+// within a group are in flight together), and reassembles responses
+// index-for-index.
+func (f *Fleet) GenerateBatch(ctx context.Context, reqs []serve.Request) []*serve.Response {
+	return f.generateBatch(ctx, reqs, true)
+}
+
+// TryGenerateBatch implements serve.Backend: GenerateBatch with
+// fail-fast backpressure per item.
+func (f *Fleet) TryGenerateBatch(ctx context.Context, reqs []serve.Request) []*serve.Response {
+	return f.generateBatch(ctx, reqs, false)
+}
+
+func (f *Fleet) generateBatch(ctx context.Context, reqs []serve.Request, wait bool) []*serve.Response {
+	out := make([]*serve.Response, len(reqs))
+	groups := map[*Replica][]int{}
+	routed := make([]serve.Request, len(reqs))
+	for i, req := range reqs {
+		r, rr, err := f.route(req)
+		if err != nil {
+			out[i] = &serve.Response{Err: err}
+			continue
+		}
+		routed[i] = rr
+		groups[r] = append(groups[r], i)
+	}
+	var wg sync.WaitGroup
+	for r, idxs := range groups {
+		wg.Add(1)
+		go func(r *Replica, idxs []int) {
+			defer wg.Done()
+			// route already counted these items into inflight.
+			defer r.inflight.Add(int64(-len(idxs)))
+			sub := make([]serve.Request, len(idxs))
+			for j, i := range idxs {
+				sub[j] = routed[i]
+			}
+			var resps []*serve.Response
+			if wait {
+				resps = r.eng.GenerateBatch(ctx, sub)
+			} else {
+				resps = r.eng.TryGenerateBatch(ctx, sub)
+			}
+			for j, i := range idxs {
+				f.observe(resps[j])
+				out[i] = tag(resps[j], r)
+			}
+		}(r, idxs)
+	}
+	wg.Wait()
+	return out
+}

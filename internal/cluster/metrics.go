@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/serve"
+)
+
+// ReplicaMetrics is one replica's slice of a fleet snapshot.
+type ReplicaMetrics struct {
+	Name   string `json:"name"`
+	Model  string `json:"model"`
+	Scheme string `json:"scheme"`
+	// DefaultStrategy is the replica's substitution for requests that
+	// named no strategy (empty = fleet default).
+	DefaultStrategy string `json:"default_strategy,omitempty"`
+	// Routed counts requests the router sent here; Inflight is how many
+	// of them are not yet answered.
+	Routed   uint64 `json:"routed"`
+	Inflight int64  `json:"inflight"`
+	// Engine is the replica engine's own snapshot.
+	Engine serve.Metrics `json:"engine"`
+}
+
+// Metrics is a point-in-time fleet snapshot: per-replica detail plus
+// fleet-wide aggregates.
+type Metrics struct {
+	Router   string `json:"router"`
+	Replicas int    `json:"replicas"`
+	// Requests counts fleet submissions (before routing/admission).
+	Requests uint64 `json:"requests"`
+	// Shed* count admission drops; UnknownModel counts routing failures.
+	Shed           uint64            `json:"shed"`
+	ShedByPolicy   map[string]uint64 `json:"shed_by_policy"`
+	ShedByPriority map[string]uint64 `json:"shed_by_priority"`
+	UnknownModel   uint64            `json:"unknown_model"`
+	// AffinityPicks/SpillPicks split prefix-affinity routing decisions
+	// (zero for other routers).
+	AffinityPicks uint64 `json:"affinity_picks"`
+	SpillPicks    uint64 `json:"spill_picks"`
+	// MeanDecodeMS is the decode-time EWMA admission math runs on.
+	MeanDecodeMS float64 `json:"mean_decode_ms"`
+	// Fleet aggregates every replica engine's counters (rates
+	// recomputed over the sums).
+	Fleet serve.Metrics `json:"fleet"`
+	// PerReplica lists each member in fleet order.
+	PerReplica []ReplicaMetrics `json:"per_replica"`
+}
+
+// routerStats is implemented by routers that split their decisions
+// (prefix affinity's affine vs spill counters).
+type routerStats interface {
+	Stats() (affine, spill uint64)
+}
+
+// Metrics snapshots the fleet.
+func (f *Fleet) Metrics() Metrics {
+	m := Metrics{
+		Router:         f.router.Name(),
+		Replicas:       len(f.replicas),
+		ShedByPolicy:   map[string]uint64{},
+		ShedByPriority: map[string]uint64{},
+	}
+	f.st.mu.Lock()
+	m.Requests = f.st.requests
+	m.UnknownModel = f.st.unknownModel
+	m.MeanDecodeMS = f.st.meanDecodeMS
+	for k, v := range f.st.shedByPolicy {
+		m.ShedByPolicy[k] = v
+		m.Shed += v
+	}
+	for k, v := range f.st.shedByPriority {
+		m.ShedByPriority[k] = v
+	}
+	f.st.mu.Unlock()
+	if rs, ok := f.router.(routerStats); ok {
+		m.AffinityPicks, m.SpillPicks = rs.Stats()
+	}
+	engines := make([]serve.Metrics, 0, len(f.replicas))
+	for _, r := range f.replicas {
+		em := r.eng.Metrics()
+		engines = append(engines, em)
+		m.PerReplica = append(m.PerReplica, ReplicaMetrics{
+			Name:            r.name,
+			Model:           r.modelName,
+			Scheme:          r.scheme,
+			DefaultStrategy: r.defaultStrategy,
+			Routed:          r.routed.Load(),
+			Inflight:        r.inflight.Load(),
+			Engine:          em,
+		})
+	}
+	m.Fleet = aggregate(engines)
+	return m
+}
+
+// aggregate folds per-replica engine snapshots into one fleet-wide
+// engine-shaped snapshot: counters sum, populations sum, and the
+// derived rates are recomputed over the sums. Two means are only
+// recoverable as weighted combinations of exposed fields —
+// MeanAccepted weighted by steps, TokensPerSecSim via the implied
+// simulated seconds — which is exactly how the per-engine values were
+// derived in the first place.
+func aggregate(ms []serve.Metrics) serve.Metrics {
+	var a serve.Metrics
+	a.PerStrategy = map[string]serve.StrategyMetrics{}
+	var steps, accepted, simSeconds float64
+	stratSteps := map[string]float64{}
+	stratAccepted := map[string]float64{}
+	stratSimSeconds := map[string]float64{}
+	for _, m := range ms {
+		a.Requests += m.Requests
+		a.Completed += m.Completed
+		a.Canceled += m.Canceled
+		a.Failed += m.Failed
+		a.Rejected += m.Rejected
+		a.Shed += m.Shed
+		a.QueueWaitSeconds += m.QueueWaitSeconds
+		if m.QueueWaitMaxSeconds > a.QueueWaitMaxSeconds {
+			a.QueueWaitMaxSeconds = m.QueueWaitMaxSeconds
+		}
+		a.CacheHits += m.CacheHits
+		a.CacheMisses += m.CacheMisses
+		a.CacheEntries += m.CacheEntries
+		a.DedupHits += m.DedupHits
+		a.Inflight += m.Inflight
+		a.PrefixCacheHits += m.PrefixCacheHits
+		a.PrefixCacheMisses += m.PrefixCacheMisses
+		a.PrefixCacheEntries += m.PrefixCacheEntries
+		a.Batches += m.Batches
+		a.QueueDepth += m.QueueDepth
+		a.Workers += m.Workers
+		a.CleanTokens += m.CleanTokens
+		a.Steps += m.Steps
+		a.WallSeconds += m.WallSeconds
+		a.MeanBatchSize += m.MeanBatchSize * float64(m.Batches)
+		steps += float64(m.Steps)
+		accepted += m.MeanAccepted * float64(m.Steps)
+		if m.TokensPerSecSim > 0 {
+			simSeconds += float64(m.CleanTokens) / m.TokensPerSecSim
+		}
+		for name, sm := range m.PerStrategy {
+			agg := a.PerStrategy[name]
+			agg.Requests += sm.Requests
+			agg.Completed += sm.Completed
+			agg.CacheHits += sm.CacheHits
+			agg.DedupHits += sm.DedupHits
+			// Recover this engine's per-strategy clean tokens from its
+			// simulated speed, as above.
+			if sm.TokensPerSecSim > 0 && sm.MeanAccepted > 0 {
+				// steps are not exposed per strategy; weight by completed
+				// decodes instead (each decode contributes one mean).
+				w := float64(sm.Completed)
+				stratSteps[name] += w
+				stratAccepted[name] += sm.MeanAccepted * w
+				stratSimSeconds[name] += w / sm.TokensPerSecSim
+			}
+			a.PerStrategy[name] = agg
+		}
+	}
+	if lookups := a.CacheHits + a.CacheMisses; lookups > 0 {
+		a.CacheHitRate = float64(a.CacheHits) / float64(lookups)
+	}
+	if a.Batches > 0 {
+		a.MeanBatchSize /= float64(a.Batches)
+	} else {
+		a.MeanBatchSize = 0
+	}
+	if steps > 0 {
+		a.MeanAccepted = accepted / steps
+	}
+	if a.WallSeconds > 0 {
+		a.TokensPerSecWall = float64(a.CleanTokens) / a.WallSeconds
+	}
+	if simSeconds > 0 {
+		a.TokensPerSecSim = float64(a.CleanTokens) / simSeconds
+	}
+	for name, agg := range a.PerStrategy {
+		if w := stratSteps[name]; w > 0 {
+			agg.MeanAccepted = stratAccepted[name] / w
+		}
+		// Per-strategy simulated speed: completed-weighted harmonic
+		// combination (approximate — per-strategy token counts are not
+		// exposed — but consistent across replicas of similar traffic).
+		if s := stratSimSeconds[name]; s > 0 {
+			agg.TokensPerSecSim = stratSteps[name] / s
+		}
+		a.PerStrategy[name] = agg
+	}
+	a.PerMode = a.PerStrategy
+	return a
+}
+
+// Healthz implements serve.Backend: fleet liveness with per-replica
+// identity (the uptime key is added by the handler).
+func (f *Fleet) Healthz() map[string]any {
+	replicas := make([]map[string]any, 0, len(f.replicas))
+	for _, r := range f.replicas {
+		replicas = append(replicas, map[string]any{
+			"name":        r.name,
+			"model":       r.modelName,
+			"scheme":      r.scheme,
+			"workers":     r.eng.Workers(),
+			"queue_depth": r.eng.QueueDepth(),
+		})
+	}
+	seen := map[string]bool{}
+	var models []string
+	for _, r := range f.replicas {
+		if !seen[r.modelName] {
+			seen[r.modelName] = true
+			models = append(models, r.modelName)
+		}
+	}
+	sort.Strings(models)
+	return map[string]any{
+		"status":   "ok",
+		"router":   f.router.Name(),
+		"models":   models,
+		"replicas": replicas,
+	}
+}
+
+// MetricsBody implements serve.Backend: the JSON /metrics body (sans
+// uptime).
+func (f *Fleet) MetricsBody() map[string]any {
+	return map[string]any{"cluster": f.Metrics()}
+}
+
+// WritePrometheusTo implements serve.Backend: the fleet-wide aggregate
+// in the engine's exposition shape (so single-engine dashboards keep
+// working against a fleet), followed by fleet-only families labelled
+// per replica / policy / priority.
+func (f *Fleet) WritePrometheusTo(w io.Writer, uptimeS float64) {
+	m := f.Metrics()
+	modelNames := ""
+	for i, r := range m.PerReplica {
+		if i > 0 {
+			modelNames += ","
+		}
+		modelNames += r.Model
+	}
+	serve.WriteEnginePrometheus(w, m.Fleet, uptimeS, modelNames)
+
+	g := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP vgend_fleet_%s %s\n# TYPE vgend_fleet_%s gauge\nvgend_fleet_%s %g\n", name, help, name, name, v)
+	}
+	c := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP vgend_fleet_%s %s\n# TYPE vgend_fleet_%s counter\nvgend_fleet_%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP vgend_fleet_info Fleet identity (value is always 1).\n# TYPE vgend_fleet_info gauge\nvgend_fleet_info{router=%q} 1\n", m.Router)
+	g("replicas", "Fleet replica count.", float64(m.Replicas))
+	c("requests_total", "Fleet submissions before routing/admission.", m.Requests)
+	c("shed_total", "Admission-control drops across all policies.", m.Shed)
+	c("unknown_model_total", "Requests naming a model no replica serves.", m.UnknownModel)
+	c("affinity_picks_total", "Prefix-affinity picks kept on the affine replica.", m.AffinityPicks)
+	c("spill_picks_total", "Prefix-affinity picks spilled to least-loaded.", m.SpillPicks)
+	g("mean_decode_ms", "EWMA of decode wall time (admission estimate).", m.MeanDecodeMS)
+
+	labelled := func(name, help, labelKey string, vals map[string]uint64) {
+		if len(vals) == 0 {
+			return
+		}
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "# HELP vgend_fleet_%s %s\n# TYPE vgend_fleet_%s counter\n", name, help, name)
+		for _, k := range keys {
+			fmt.Fprintf(w, "vgend_fleet_%s{%s=%q} %d\n", name, labelKey, k, vals[k])
+		}
+	}
+	labelled("shed_by_policy_total", "Admission drops per shedding policy.", "policy", m.ShedByPolicy)
+	labelled("shed_by_priority_total", "Admission drops per priority class.", "priority", m.ShedByPriority)
+
+	fmt.Fprintf(w, "# HELP vgend_replica_routed_total Requests routed per replica.\n# TYPE vgend_replica_routed_total counter\n")
+	for _, r := range m.PerReplica {
+		fmt.Fprintf(w, "vgend_replica_routed_total{replica=%q,model=%q} %d\n", r.Name, r.Model, r.Routed)
+	}
+	fmt.Fprintf(w, "# HELP vgend_replica_queue_depth Queued requests per replica.\n# TYPE vgend_replica_queue_depth gauge\n")
+	for _, r := range m.PerReplica {
+		fmt.Fprintf(w, "vgend_replica_queue_depth{replica=%q} %d\n", r.Name, r.Engine.QueueDepth)
+	}
+	fmt.Fprintf(w, "# HELP vgend_replica_cache_hit_rate Result-LRU hit rate per replica.\n# TYPE vgend_replica_cache_hit_rate gauge\n")
+	for _, r := range m.PerReplica {
+		fmt.Fprintf(w, "vgend_replica_cache_hit_rate{replica=%q} %g\n", r.Name, r.Engine.CacheHitRate)
+	}
+}

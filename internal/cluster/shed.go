@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Load is the snapshot an admission policy decides on: the routed
+// replica's backlog plus fleet-wide aggregates. All quantities are
+// read at admission time — policies must tolerate slight staleness
+// (counters move while they look).
+type Load struct {
+	// QueueDepth / QueueCap / Workers / Inflight describe the routed
+	// replica: queued requests, queue capacity, decoder workers, and
+	// requests currently inside the engine (queued or decoding).
+	QueueDepth int
+	QueueCap   int
+	Workers    int
+	Inflight   int
+	// FleetQueueDepth and FleetInflight aggregate over every replica.
+	FleetQueueDepth int
+	FleetInflight   int
+	// MeanDecodeMS is the fleet's EWMA of recent decode wall times —
+	// the per-request service-time estimate deadline math runs on
+	// (zero until the first decode completes).
+	MeanDecodeMS float64
+}
+
+// estWait estimates how long until the admitting request completes:
+// the replica's backlog (Inflight already counts the request itself —
+// the fleet increments before submission) served in worker-sized
+// waves, at the mean decode time per wave.
+func (l Load) estWait() time.Duration {
+	if l.MeanDecodeMS <= 0 || l.Workers <= 0 {
+		return 0
+	}
+	backlog := l.Inflight
+	if backlog < 1 {
+		backlog = 1
+	}
+	waves := float64(backlog) / float64(l.Workers)
+	return time.Duration(waves * l.MeanDecodeMS * float64(time.Millisecond))
+}
+
+// ShedPolicy decides whether a routed request may enter its replica's
+// queue. A non-nil return must be a *serve.ShedError so the HTTP layer
+// can answer 429 + Retry-After; policies run in chain order and the
+// first refusal wins.
+type ShedPolicy interface {
+	// Name is the flag/metrics spelling of the policy.
+	Name() string
+	// Admit returns nil to accept the request or a *serve.ShedError to
+	// drop it.
+	Admit(ctx context.Context, req serve.Request, load Load) error
+}
+
+// ParsePolicies resolves a comma-separated policy chain ("none",
+// "deadline", "priority", "budget", or combinations like
+// "deadline,priority"). budgetTPS/budgetBurst parameterize the budget
+// policy when it appears.
+func ParsePolicies(spec string, budgetTPS, budgetBurst float64) ([]ShedPolicy, error) {
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	var out []ShedPolicy
+	for _, name := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(name) {
+		case "deadline":
+			out = append(out, DeadlinePolicy{})
+		case "priority":
+			out = append(out, PriorityPolicy{})
+		case "budget":
+			out = append(out, NewBudgetPolicy(budgetTPS, budgetBurst))
+		case "none", "":
+			// explicit no-op entries are allowed in a chain
+		default:
+			return nil, fmt.Errorf("unknown shed policy %q (want none, deadline, priority or budget)", name)
+		}
+	}
+	return out, nil
+}
+
+// retryAfterFor turns a backlog estimate into a client backoff hint
+// (floored at one second: sub-second hints round to a meaningless 0 in
+// the Retry-After header).
+func retryAfterFor(load Load) time.Duration {
+	if wait := load.estWait(); wait > time.Second {
+		return wait
+	}
+	return time.Second
+}
+
+// DeadlinePolicy sheds requests that cannot meet their own deadline:
+// when the context's deadline expires before the estimated queue wait
+// elapses, decoding would only produce a result nobody is waiting for.
+// Dropping at admission returns the error while the client can still
+// act on it and spends zero decode work on the corpse. Requests
+// without a deadline are always admitted.
+type DeadlinePolicy struct{}
+
+// Name implements ShedPolicy.
+func (DeadlinePolicy) Name() string { return "deadline" }
+
+// Admit implements ShedPolicy.
+func (DeadlinePolicy) Admit(ctx context.Context, _ serve.Request, load Load) error {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	wait := load.estWait()
+	if wait == 0 || time.Now().Add(wait).Before(deadline) {
+		return nil
+	}
+	return &serve.ShedError{
+		Policy:     "deadline",
+		Reason:     fmt.Sprintf("estimated queue wait %s exceeds the request deadline", wait.Round(time.Millisecond)),
+		RetryAfter: retryAfterFor(load),
+	}
+}
+
+// PriorityPolicy sheds by admission class as the routed replica's
+// queue fills: low-priority requests stop being admitted at half
+// occupancy, normal ones near saturation, and high-priority requests
+// ride until the queue-full backstop itself rejects them. The
+// occupancy thresholds leave headroom so the classes above always find
+// slots the class below was denied.
+type PriorityPolicy struct{}
+
+// Occupancy thresholds (queued / capacity) above which a class sheds.
+const (
+	priorityLowSheds    = 0.5
+	priorityNormalSheds = 0.85
+)
+
+// Name implements ShedPolicy.
+func (PriorityPolicy) Name() string { return "priority" }
+
+// Admit implements ShedPolicy.
+func (PriorityPolicy) Admit(_ context.Context, req serve.Request, load Load) error {
+	if load.QueueCap <= 0 {
+		return nil
+	}
+	occupancy := float64(load.QueueDepth) / float64(load.QueueCap)
+	limit := 0.0
+	switch req.Priority {
+	case serve.PriorityLow:
+		limit = priorityLowSheds
+	case serve.PriorityNormal:
+		limit = priorityNormalSheds
+	default: // PriorityHigh: only the queue-full backstop sheds it
+		return nil
+	}
+	if occupancy < limit {
+		return nil
+	}
+	return &serve.ShedError{
+		Policy:     "priority",
+		Reason:     fmt.Sprintf("%s-priority admission suspended at %.0f%% queue occupancy", req.Priority, 100*occupancy),
+		RetryAfter: retryAfterFor(load),
+	}
+}
+
+// BudgetPolicy throttles each client to a sustained token rate with a
+// burst allowance — one token bucket per Request.Client, charged at
+// admission by the request's token budget (MaxNewTokens, or a default
+// when unbounded). It is the fairness policy: one chatty client
+// exhausts its own bucket, not the fleet.
+type BudgetPolicy struct {
+	// TokensPerSec refills each bucket; Burst caps it.
+	TokensPerSec float64
+	Burst        float64
+	// DefaultCost charges requests that set no MaxNewTokens.
+	DefaultCost float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // injectable clock for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Budget policy defaults: a client may burst three default-cost
+// requests, then sustain one per DefaultCost/TokensPerSec seconds.
+const (
+	defaultBudgetTPS   = 400
+	defaultBudgetBurst = 1200
+	defaultTokenCost   = 400
+)
+
+// NewBudgetPolicy builds a per-client token-budget policy; zero
+// arguments select the defaults.
+func NewBudgetPolicy(tokensPerSec, burst float64) *BudgetPolicy {
+	if tokensPerSec <= 0 {
+		tokensPerSec = defaultBudgetTPS
+	}
+	if burst <= 0 {
+		burst = defaultBudgetBurst
+	}
+	return &BudgetPolicy{
+		TokensPerSec: tokensPerSec,
+		Burst:        burst,
+		DefaultCost:  defaultTokenCost,
+		buckets:      map[string]*bucket{},
+		now:          time.Now,
+	}
+}
+
+// Name implements ShedPolicy.
+func (p *BudgetPolicy) Name() string { return "budget" }
+
+// Admit implements ShedPolicy.
+func (p *BudgetPolicy) Admit(_ context.Context, req serve.Request, _ Load) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Lazy defaults so a struct-literal BudgetPolicy (the exported
+	// fields invite it) works like a NewBudgetPolicy one instead of
+	// panicking on the nil map/clock or dividing by a zero rate.
+	if p.TokensPerSec <= 0 {
+		p.TokensPerSec = defaultBudgetTPS
+	}
+	if p.Burst <= 0 {
+		p.Burst = defaultBudgetBurst
+	}
+	if p.DefaultCost <= 0 {
+		p.DefaultCost = defaultTokenCost
+	}
+	if p.buckets == nil {
+		p.buckets = map[string]*bucket{}
+	}
+	if p.now == nil {
+		p.now = time.Now
+	}
+	cost := float64(req.Options.MaxNewTokens)
+	if cost <= 0 {
+		cost = p.DefaultCost
+	}
+	now := p.now()
+	// Bound the table: a client census beyond this is either a test
+	// artifact or an abuse pattern; resetting forgives at worst one
+	// burst per client, it never blocks anyone.
+	if len(p.buckets) > 8192 {
+		p.buckets = map[string]*bucket{}
+	}
+	b := p.buckets[req.Client]
+	if b == nil {
+		b = &bucket{tokens: p.Burst, last: now}
+		p.buckets[req.Client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * p.TokensPerSec
+	if b.tokens > p.Burst {
+		b.tokens = p.Burst
+	}
+	b.last = now
+	if b.tokens >= cost {
+		b.tokens -= cost
+		return nil
+	}
+	wait := time.Duration((cost - b.tokens) / p.TokensPerSec * float64(time.Second))
+	return &serve.ShedError{
+		Policy:     "budget",
+		Reason:     fmt.Sprintf("client %q over its token budget (%.0f tokens short)", req.Client, cost-b.tokens),
+		RetryAfter: wait,
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -417,6 +418,13 @@ type StrategyRow struct {
 	Speedup float64
 	// MeanAccepted is raw tokens emitted per decoding step.
 	MeanAccepted float64
+	// WallMSPerToken is measured wall-clock decoder milliseconds per
+	// clean token — real CPU cost next to the simulated speedup, the
+	// honest accounting "Speculative Decoding: Performance or
+	// Illusion?" calls for. On this substrate drafting is nearly free,
+	// so strategies that cut step counts also cut wall-clock; on a GPU
+	// the two columns can diverge, which is exactly why both are shown.
+	WallMSPerToken float64
 }
 
 // RunStrategyMatrix measures simulated generation speed for every
@@ -432,6 +440,7 @@ func (r *Runner) RunStrategyMatrix() []StrategyRow {
 		trained := map[model.Scheme]*model.Model{}
 		speeds := map[string]float64{}
 		accepted := map[string]float64{}
+		wallPerToken := map[string]float64{}
 		for _, entry := range StrategyMatrix {
 			m := trained[entry.Scheme]
 			if m == nil {
@@ -449,7 +458,7 @@ func (r *Runner) RunStrategyMatrix() []StrategyRow {
 			eng.Close()
 			tokens := make([]int, len(resps))
 			secs := make([]float64, len(resps))
-			var rawTokens, steps float64
+			var rawTokens, steps, cleanTokens, wallMS float64
 			for i, resp := range resps {
 				if resp.Err != nil {
 					panic(resp.Err)
@@ -458,10 +467,15 @@ func (r *Runner) RunStrategyMatrix() []StrategyRow {
 				secs[i] = resp.Result.SimulatedMS / 1000
 				rawTokens += float64(len(resp.Result.Tokens))
 				steps += float64(resp.Result.Steps)
+				cleanTokens += float64(len(resp.Result.CleanTokens))
+				wallMS += float64(resp.Wall) / float64(time.Millisecond)
 			}
 			speeds[entry.Strategy] = metrics.Speed(tokens, secs)
 			if steps > 0 {
 				accepted[entry.Strategy] = rawTokens / steps
+			}
+			if cleanTokens > 0 {
+				wallPerToken[entry.Strategy] = wallMS / cleanTokens
 			}
 		}
 		for _, entry := range StrategyMatrix {
@@ -470,12 +484,13 @@ func (r *Runner) RunStrategyMatrix() []StrategyRow {
 				label = s.Name
 			}
 			rows = append(rows, StrategyRow{
-				Model:        cfg.Name,
-				Scheme:       entry.Scheme.String(),
-				Strategy:     label,
-				TokensPerSec: speeds[entry.Strategy],
-				Speedup:      metrics.Speedup(speeds[entry.Strategy], speeds["ntp"]),
-				MeanAccepted: accepted[entry.Strategy],
+				Model:          cfg.Name,
+				Scheme:         entry.Scheme.String(),
+				Strategy:       label,
+				TokensPerSec:   speeds[entry.Strategy],
+				Speedup:        metrics.Speedup(speeds[entry.Strategy], speeds["ntp"]),
+				MeanAccepted:   accepted[entry.Strategy],
+				WallMSPerToken: wallPerToken[entry.Strategy],
 			})
 		}
 	}

@@ -94,6 +94,13 @@ func TestStrategyMatrix(t *testing.T) {
 	if byStrategy["Ours"].Speedup <= 1.5 || byStrategy["Medusa"].Speedup <= 1.5 {
 		t.Fatalf("legacy speculative rows regressed: %+v", rows)
 	}
+	// The honest-accounting column: every row carries a measured
+	// wall-clock cost per token alongside its simulated speedup.
+	for _, row := range rows {
+		if row.WallMSPerToken <= 0 {
+			t.Errorf("%s: wall ms/token missing: %+v", row.Strategy, row)
+		}
+	}
 }
 
 // TestPromptLookupPassRateUnchanged pins the quality side of the new

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFleetBenchAffinityWinsCacheHits is the fleet-bench acceptance
+// gate: on a shared-prefix workload, prefix-affinity routing beats
+// random routing on fleet cache-hit rate, and the measured wall-clock
+// columns are populated (throughput, latency percentiles ordered).
+func TestFleetBenchAffinityWinsCacheHits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	r := NewRunner(quickSetup())
+	rows, err := r.RunFleetBench(FleetBenchConfig{
+		Replicas: 4,
+		Clients:  6,
+		Rounds:   8,
+		Prompts:  6,
+		Routers:  []string{"prefix-affinity", "random"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	byRouter := map[string]FleetBenchRow{}
+	for _, row := range rows {
+		byRouter[row.Router] = row
+		if row.Requests != 48 {
+			t.Errorf("%s: requests=%d, want 48", row.Router, row.Requests)
+		}
+		if row.ThroughputRPS <= 0 || row.MeanWallMS <= 0 {
+			t.Errorf("%s: unmeasured wall-clock: %+v", row.Router, row)
+		}
+		if row.P50WallMS > row.P95WallMS || row.P95WallMS > row.P99WallMS {
+			t.Errorf("%s: percentiles out of order: %+v", row.Router, row)
+		}
+	}
+	affinity, random := byRouter["prefix-affinity"], byRouter["random"]
+	if affinity.CacheHitRate <= random.CacheHitRate {
+		t.Errorf("affinity cache-hit rate %.3f not better than random %.3f",
+			affinity.CacheHitRate, random.CacheHitRate)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{0.25, 3}, {0.5, 5}, {0.9, 9}, {0.99, 10}, {1.0, 10}}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("percentile(%.2f) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}

@@ -22,7 +22,9 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,7 +40,82 @@ var (
 	ErrQueueFull = errors.New("serve: request queue full")
 	// ErrClosed is returned for submissions after Close.
 	ErrClosed = errors.New("serve: engine closed")
+	// ErrUnknownModel is wrapped by fleet routing when a request names a
+	// model no replica serves; the HTTP layer turns it into 400. It
+	// lives here (not in internal/cluster) so the HTTP error mapping
+	// needs no dependency on the cluster layer.
+	ErrUnknownModel = errors.New("serve: no replica serves the requested model")
 )
+
+// ShedError is an admission-control rejection: the request was dropped
+// by a load-shedding policy before consuming a queue slot or decode
+// work. The HTTP layer maps it to 429 with a Retry-After header.
+type ShedError struct {
+	// Policy names the shedding policy that dropped the request
+	// ("deadline", "priority", "budget").
+	Policy string
+	// Reason is the human-readable drop explanation.
+	Reason string
+	// RetryAfter is the suggested client backoff.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("serve: request shed by %s policy: %s (retry after %s)", e.Policy, e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+// RetryAfterSeconds renders the backoff as whole seconds for the HTTP
+// Retry-After header (minimum 1: a zero header is meaningless to
+// clients).
+func (e *ShedError) RetryAfterSeconds() int {
+	s := int(e.RetryAfter / time.Second)
+	if e.RetryAfter%time.Second != 0 {
+		s++
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Priority is a request's admission class. The zero value is
+// PriorityNormal, so requests that never think about priorities get the
+// middle class. Engines ignore priority entirely — it exists for
+// cluster-level admission policies, which shed lower classes first
+// under load.
+type Priority int
+
+// Priority classes, shed in reverse order (Low first, High last).
+const (
+	PriorityNormal Priority = iota
+	PriorityHigh
+	PriorityLow
+)
+
+// String names the class as the HTTP API spells it.
+func (p Priority) String() string {
+	switch p {
+	case PriorityHigh:
+		return "high"
+	case PriorityLow:
+		return "low"
+	}
+	return "normal"
+}
+
+// ParsePriority parses the HTTP API spelling of a priority class; empty
+// selects PriorityNormal.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "normal":
+		return PriorityNormal, nil
+	case "high":
+		return PriorityHigh, nil
+	case "low":
+		return PriorityLow, nil
+	}
+	return 0, fmt.Errorf("unknown priority %q (want high, normal or low)", s)
+}
 
 // Config sizes an Engine. Zero values select defaults.
 type Config struct {
@@ -67,6 +144,15 @@ type Config struct {
 	// concurrent requests (diagnostics; dedup never changes outputs
 	// because decodes are deterministic per (prompt, options, seed)).
 	NoDedup bool
+	// Admit, if set, gates every submission that would consume a queue
+	// slot: a non-nil error (typically a *ShedError) rejects the
+	// request before it is enqueued. Cache hits and single-flight
+	// followers bypass the gate — they consume no decode work. The
+	// cluster layer installs its load-shedding policy chain here, after
+	// the single-flight registration, so a shed leader resolves its
+	// flight with the shed error and followers retry on their own
+	// behalf (see resolve).
+	Admit func(ctx context.Context, req Request) error
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +196,22 @@ type Request struct {
 	// loop polls the context every forward pass, so that wait stays
 	// short.
 	OnStep core.StepFn
+	// Model names the backbone this request wants ("codellama",
+	// "codet5p"); empty accepts any. A single Engine — bound to exactly
+	// one model — ignores it; a cluster.Fleet routes on it and fails
+	// with ErrUnknownModel when no replica serves the name.
+	Model string
+	// Priority is the request's admission class. Engines ignore it;
+	// cluster shedding policies drop lower classes first under load.
+	Priority Priority
+	// Client identifies the submitter for per-client budget policies
+	// (empty submitters share one anonymous bucket).
+	Client string
+	// NoExplicitStrategy marks a request that named neither a decoding
+	// mode nor a strategy — its Options carry the fleet-wide default. A
+	// fleet replica configured with its own DefaultStrategy substitutes
+	// that for such requests; explicit choices are never overridden.
+	NoExplicitStrategy bool
 }
 
 // Response is the outcome of one Request.
@@ -129,6 +231,14 @@ type Response struct {
 	// Wall is the worker's decode time (zero for cached responses; the
 	// leader's decode time for deduplicated ones).
 	Wall time.Duration
+	// Strategy is the canonical display name of the strategy that
+	// decoded this response ("NTP", "Medusa", "Ours", "PromptLookup").
+	// It reflects per-replica default-strategy substitution, which the
+	// submitting request cannot see.
+	Strategy string
+	// Replica names the fleet replica that served this response (empty
+	// outside fleet mode).
+	Replica string
 }
 
 // task is one queued request with its completion channel.
@@ -136,6 +246,9 @@ type task struct {
 	req  Request
 	ctx  context.Context
 	done chan *Response // buffered(1): workers never block on delivery
+	// enqueued is when the task entered the queue; the worker accounts
+	// the pickup delay as queue-wait time.
+	enqueued time.Time
 	// key and fl carry the single-flight registration when this task
 	// leads one; the worker resolves the flight on completion.
 	key cacheKey
@@ -210,6 +323,10 @@ func (e *Engine) Workers() int { return e.cfg.Workers }
 // yet picked up by the batcher).
 func (e *Engine) QueueDepth() int { return len(e.queue) }
 
+// QueueCap reports the bounded queue's capacity (admission policies
+// compute occupancy against it).
+func (e *Engine) QueueCap() int { return cap(e.queue) }
+
 // Generate runs one request, blocking for a queue slot if the engine is
 // saturated. The returned error (context cancellation, ErrClosed) is
 // also recorded on the Response when one exists.
@@ -242,6 +359,10 @@ func (e *Engine) generateBatch(ctx context.Context, reqs []Request, wait bool) [
 	out := make([]*Response, len(reqs))
 	reqs = append([]Request(nil), reqs...) // canonicalized copy; the caller's slice stays untouched
 	for i, req := range reqs {
+		if err := e.modelMismatch(req); err != nil {
+			out[i] = &Response{Err: err}
+			continue
+		}
 		// Canonical options make equivalently-spelled requests share
 		// cache entries and flights (see core.Options.Canonical).
 		req.Options = req.Options.Canonical()
@@ -261,9 +382,10 @@ func (e *Engine) generateBatch(ctx context.Context, reqs []Request, wait bool) [
 	for i, t := range tasks {
 		if f := flights[i]; f != nil {
 			resp := waitFlight(ctx, f)
-			if leaderAborted(resp, ctx) {
-				// The leader's client died, not this item: decode
-				// fresh under the batch's own context (see resolve).
+			if leaderAborted(resp, ctx) || leaderShed(resp) {
+				// The leader's client died (or its submission was shed),
+				// not this item's: decode fresh under the batch's own
+				// context and admission fate (see resolve).
 				fresh, err := e.resolve(ctx, reqs[i], wait)
 				if err != nil {
 					fresh = &Response{Err: err}
@@ -297,9 +419,29 @@ func (e *Engine) TryGenerateBatch(ctx context.Context, reqs []Request) []*Respon
 	return e.generateBatch(ctx, reqs, false)
 }
 
+// modelMismatch reports a request naming a backbone other than this
+// engine's (matching the fleet's spellings: config name or the
+// daemon-flag alias without "-sim", case-folded). A single engine must
+// refuse such requests rather than silently answer with the wrong
+// model — the same contract a fleet enforces by routing.
+func (e *Engine) modelMismatch(req Request) error {
+	if req.Model == "" {
+		return nil
+	}
+	want := strings.ToLower(req.Model)
+	own := strings.ToLower(e.m.Config().Name)
+	if want == own || want == strings.TrimSuffix(own, "-sim") {
+		return nil
+	}
+	return fmt.Errorf("%w: %q (this engine serves %s)", ErrUnknownModel, req.Model, e.m.Config().Name)
+}
+
 func (e *Engine) submit(ctx context.Context, req Request, wait bool) (*Response, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := e.modelMismatch(req); err != nil {
+		return nil, err
 	}
 	// Canonical options make equivalently-spelled requests share cache
 	// entries and flights (see core.Options.Canonical).
@@ -327,7 +469,7 @@ func (e *Engine) resolve(ctx context.Context, req Request, wait bool) (*Response
 		}
 		if f != nil {
 			resp := waitFlight(ctx, f)
-			if leaderAborted(resp, ctx) {
+			if leaderAborted(resp, ctx) || leaderShed(resp) {
 				continue
 			}
 			return resp, resp.Err
@@ -359,6 +501,19 @@ func leaderAborted(resp *Response, ctx context.Context) bool {
 		return false
 	}
 	return errors.Is(resp.Err, context.Canceled) || errors.Is(resp.Err, context.DeadlineExceeded)
+}
+
+// leaderShed reports a follower outcome where the flight leader's
+// SUBMISSION was refused — shed by an admission policy or bounced off a
+// full queue. That fate belongs to the leader's arrival, not to the
+// decode (none ever ran), so followers retry on their own behalf and
+// face admission themselves rather than inheriting a drop they were
+// never charged for. Each retry either leads a fresh submission (whose
+// own shed error it rightfully owns) or joins a newer flight, so the
+// retry loop always makes progress.
+func leaderShed(resp *Response) bool {
+	var shed *ShedError
+	return errors.Is(resp.Err, ErrQueueFull) || errors.As(resp.Err, &shed)
 }
 
 // startOrJoin is the single-flight gate in front of the queue. The
@@ -428,7 +583,7 @@ func (e *Engine) cacheLookup(req Request) *Response {
 	}
 	if res, ok := e.cache.get(cacheKey{prompt: req.Prompt, opts: req.Options}); ok {
 		e.st.cacheHit(req.Options.StrategyLabel())
-		return &Response{Result: res, Cached: true}
+		return &Response{Result: res, Cached: true, Strategy: req.Options.StrategyLabel()}
 	}
 	e.st.cacheMiss()
 	return nil
@@ -445,6 +600,17 @@ func (e *Engine) enqueue(ctx context.Context, req Request, wait bool, key cacheK
 	if e.closed {
 		return nil, ErrClosed
 	}
+	// Admission control sits in front of the queue: a shed request
+	// never holds a slot, and because the single-flight registration
+	// already happened, a shed leader publishes its drop to followers
+	// (who then retry for themselves — see leaderShed).
+	if e.cfg.Admit != nil {
+		if err := e.cfg.Admit(ctx, req); err != nil {
+			e.st.shed()
+			return nil, err
+		}
+	}
+	t.enqueued = time.Now()
 	if wait {
 		select {
 		case e.queue <- t:
@@ -566,9 +732,11 @@ func (e *Engine) worker() {
 // submitting caller and, when the task leads a single-flight, to every
 // follower sharing it.
 func (e *Engine) serveTask(dec *core.Decoder, t *task) {
+	e.st.queueWait(time.Since(t.enqueued))
+	label := t.req.Options.StrategyLabel()
 	if err := t.ctx.Err(); err != nil {
 		e.st.cancel()
-		e.finish(t, &Response{Err: err})
+		e.finish(t, &Response{Err: err, Strategy: label})
 		return
 	}
 	start := time.Now()
@@ -580,14 +748,14 @@ func (e *Engine) serveTask(dec *core.Decoder, t *task) {
 		} else {
 			e.st.fail()
 		}
-		e.finish(t, &Response{Result: res, Err: err, Wall: wall})
+		e.finish(t, &Response{Result: res, Err: err, Wall: wall, Strategy: label})
 		return
 	}
 	if e.cache != nil && t.req.OnStep == nil {
 		e.cache.add(cacheKey{prompt: t.req.Prompt, opts: t.req.Options}, res)
 	}
-	e.st.complete(t.req.Options.StrategyLabel(), res, wall)
-	e.finish(t, &Response{Result: res, Wall: wall})
+	e.st.complete(label, res, wall)
+	e.finish(t, &Response{Result: res, Wall: wall, Strategy: label})
 }
 
 // finish delivers a task's response, resolving its single-flight first

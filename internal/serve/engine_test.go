@@ -683,6 +683,96 @@ func TestPrefixCacheReuse(t *testing.T) {
 	}
 }
 
+// TestQueueWaitAccounting pins the queue-wait metrics: with one worker
+// and several concurrent requests, later tasks provably sit behind the
+// pool, and both the sum and the max surface in the snapshot.
+func TestQueueWaitAccounting(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 1, CacheSize: -1})
+	defer eng.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if _, err := eng.Generate(context.Background(), Request{Prompt: prompts[c], Options: testOptions(int64(c))}); err != nil {
+				t.Errorf("client %d: %v", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	mt := eng.Metrics()
+	if mt.QueueWaitSeconds <= 0 {
+		t.Errorf("queue_wait_s=%f, want > 0", mt.QueueWaitSeconds)
+	}
+	if mt.QueueWaitMaxSeconds <= 0 || mt.QueueWaitMaxSeconds > mt.QueueWaitSeconds {
+		t.Errorf("queue_wait_max_s=%f out of range (sum %f)", mt.QueueWaitMaxSeconds, mt.QueueWaitSeconds)
+	}
+}
+
+// TestAdmitHookSheds pins the engine-side admission gate: a refusing
+// Admit hook sheds before any queue slot is consumed, the shed counter
+// moves, and cache hits bypass the gate entirely (they cost nothing).
+func TestAdmitHookSheds(t *testing.T) {
+	m, prompts := fixture(t)
+	var allow atomic.Bool
+	allow.Store(true)
+	eng := NewEngine(m, Config{Workers: 1, CacheSize: 8, Admit: func(ctx context.Context, req Request) error {
+		if allow.Load() {
+			return nil
+		}
+		return &ShedError{Policy: "test", Reason: "closed for business", RetryAfter: 2 * time.Second}
+	}})
+	defer eng.Close()
+	ctx := context.Background()
+	req := Request{Prompt: prompts[0], Options: testOptions(1)}
+
+	if _, err := eng.Generate(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	allow.Store(false)
+	var shed *ShedError
+	if _, err := eng.Generate(ctx, Request{Prompt: prompts[1], Options: testOptions(2)}); !errors.As(err, &shed) {
+		t.Fatalf("err=%v, want ShedError", err)
+	}
+	if shed.RetryAfterSeconds() != 2 {
+		t.Errorf("RetryAfterSeconds=%d, want 2", shed.RetryAfterSeconds())
+	}
+	// The earlier result is cached; a repeat bypasses admission.
+	resp, err := eng.Generate(ctx, req)
+	if err != nil || !resp.Cached {
+		t.Errorf("cached repeat should bypass admission: %v %+v", err, resp)
+	}
+	if got := eng.Metrics().Shed; got != 1 {
+		t.Errorf("shed=%d, want 1", got)
+	}
+}
+
+// TestEngineModelMismatch: a single engine must refuse requests that
+// name a different backbone instead of silently answering with its
+// own; its own name routes under both the config and flag spellings.
+func TestEngineModelMismatch(t *testing.T) {
+	m, prompts := fixture(t) // CodeT5p-sim
+	eng := NewEngine(m, Config{Workers: 1, CacheSize: -1})
+	defer eng.Close()
+	ctx := context.Background()
+	for _, ok := range []string{"", "codet5p", "CodeT5p-sim", "codet5p-sim"} {
+		if _, err := eng.Generate(ctx, Request{Prompt: prompts[0], Model: ok, Options: testOptions(1)}); err != nil {
+			t.Errorf("model %q refused: %v", ok, err)
+		}
+	}
+	if _, err := eng.Generate(ctx, Request{Prompt: prompts[0], Model: "codellama", Options: testOptions(1)}); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("foreign model err=%v, want ErrUnknownModel", err)
+	}
+	resps := eng.GenerateBatch(ctx, []Request{
+		{Prompt: prompts[1], Options: testOptions(2)},
+		{Prompt: prompts[1], Model: "codellama", Options: testOptions(3)},
+	})
+	if resps[0].Err != nil || !errors.Is(resps[1].Err, ErrUnknownModel) {
+		t.Errorf("batch mismatch handling: %v / %v", resps[0].Err, resps[1].Err)
+	}
+}
+
 // TestEngineStrategyRouting runs the new named strategy through the
 // full engine path and checks its per-strategy accounting.
 func TestEngineStrategyRouting(t *testing.T) {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"io"
 	"sync"
 	"time"
 
@@ -16,6 +17,10 @@ type stats struct {
 	canceled  uint64
 	failed    uint64
 	rejected  uint64
+	shedded   uint64
+
+	queueWaitSum time.Duration
+	queueWaitMax time.Duration
 
 	cacheHits   uint64
 	cacheMisses uint64
@@ -86,6 +91,25 @@ func (s *stats) reject() {
 	s.rejected++
 }
 
+func (s *stats) shed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shedded++
+}
+
+// queueWait accounts the delay between a task entering the queue and a
+// worker picking it up (recorded for every dequeued task, including
+// ones whose context died while waiting — that wait is precisely the
+// signal).
+func (s *stats) queueWait(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queueWaitSum += d
+	if d > s.queueWaitMax {
+		s.queueWaitMax = d
+	}
+}
+
 func (s *stats) cancel() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -150,6 +174,16 @@ type Metrics struct {
 	Failed    uint64 `json:"failed"`
 	// Rejected counts TryGenerate backpressure rejections (HTTP 503s).
 	Rejected uint64 `json:"rejected"`
+	// Shed counts admission-control drops (Config.Admit refusals —
+	// HTTP 429s in fleet mode).
+	Shed uint64 `json:"shed"`
+
+	// QueueWaitSeconds is the summed queue-wait time (enqueue to worker
+	// pickup) of every dequeued task; QueueWaitMaxSeconds is the worst
+	// single wait observed. Together with Completed they expose how
+	// long requests sit behind the worker pool under load.
+	QueueWaitSeconds    float64 `json:"queue_wait_s"`
+	QueueWaitMaxSeconds float64 `json:"queue_wait_max_s"`
 
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
@@ -201,21 +235,24 @@ func (e *Engine) Metrics() Metrics {
 	e.st.mu.Lock()
 	defer e.st.mu.Unlock()
 	m := Metrics{
-		Requests:    e.st.requests,
-		Completed:   e.st.completed,
-		Canceled:    e.st.canceled,
-		Failed:      e.st.failed,
-		Rejected:    e.st.rejected,
-		CacheHits:   e.st.cacheHits,
-		CacheMisses: e.st.cacheMisses,
-		DedupHits:   e.st.dedupHits,
-		Batches:     e.st.batches,
-		QueueDepth:  len(e.queue),
-		Workers:     e.cfg.Workers,
-		CleanTokens: e.st.cleanTokens,
-		Steps:       e.st.steps,
-		WallSeconds: e.st.wall.Seconds(),
-		PerStrategy: map[string]StrategyMetrics{},
+		Requests:            e.st.requests,
+		Completed:           e.st.completed,
+		Canceled:            e.st.canceled,
+		Failed:              e.st.failed,
+		Rejected:            e.st.rejected,
+		Shed:                e.st.shedded,
+		QueueWaitSeconds:    e.st.queueWaitSum.Seconds(),
+		QueueWaitMaxSeconds: e.st.queueWaitMax.Seconds(),
+		CacheHits:           e.st.cacheHits,
+		CacheMisses:         e.st.cacheMisses,
+		DedupHits:           e.st.dedupHits,
+		Batches:             e.st.batches,
+		QueueDepth:          len(e.queue),
+		Workers:             e.cfg.Workers,
+		CleanTokens:         e.st.cleanTokens,
+		Steps:               e.st.steps,
+		WallSeconds:         e.st.wall.Seconds(),
+		PerStrategy:         map[string]StrategyMetrics{},
 	}
 	if lookups := m.CacheHits + m.CacheMisses; lookups > 0 {
 		m.CacheHitRate = float64(m.CacheHits) / float64(lookups)
@@ -259,4 +296,33 @@ func (e *Engine) Metrics() Metrics {
 	}
 	m.PerMode = m.PerStrategy
 	return m
+}
+
+// Healthz implements Backend: liveness plus model/pool identity (the
+// uptime key is added by the handler).
+func (e *Engine) Healthz() map[string]any {
+	return map[string]any{
+		"status":      "ok",
+		"model":       e.m.Config().Name,
+		"scheme":      e.m.Scheme().String(),
+		"workers":     e.Workers(),
+		"queue_depth": e.QueueDepth(),
+	}
+}
+
+// MetricsBody implements Backend: the JSON /metrics body (sans uptime).
+func (e *Engine) MetricsBody() map[string]any {
+	return map[string]any{"model": e.m.Config().Name, "engine": e.Metrics()}
+}
+
+// WritePrometheusTo implements Backend: the text exposition format.
+func (e *Engine) WritePrometheusTo(w io.Writer, uptimeS float64) {
+	writePrometheus(w, e.Metrics(), uptimeS, e.m.Config().Name)
+}
+
+// WriteEnginePrometheus renders any engine-shaped metrics snapshot in
+// the Prometheus text exposition format — the cluster layer reuses it
+// for its fleet-wide aggregate before appending fleet-only families.
+func WriteEnginePrometheus(w io.Writer, m Metrics, uptimeS float64, modelName string) {
+	writePrometheus(w, m, uptimeS, modelName)
 }

@@ -27,6 +27,10 @@ func writePrometheus(w io.Writer, m Metrics, uptimeS float64, modelName string) 
 	c("canceled_total", "Decodes ended by context cancellation.", m.Canceled)
 	c("failed_total", "Decodes ended by non-context errors.", m.Failed)
 	c("rejected_total", "Backpressure rejections (queue full).", m.Rejected)
+	c("shed_total", "Admission-control drops (load-shedding policies).", m.Shed)
+	// Monotonic float accumulation: a counter, despite not being integral.
+	fmt.Fprintf(w, "# HELP vgend_queue_wait_seconds_total Summed queue-wait time (enqueue to worker pickup) in seconds.\n# TYPE vgend_queue_wait_seconds_total counter\nvgend_queue_wait_seconds_total %g\n", m.QueueWaitSeconds)
+	g("queue_wait_max_seconds", "Worst single queue wait observed.", m.QueueWaitMaxSeconds)
 
 	c("cache_hits_total", "Result LRU hits.", m.CacheHits)
 	c("cache_misses_total", "Result LRU misses.", m.CacheMisses)

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -15,17 +17,41 @@ import (
 // get a 400 instead of an unbounded task allocation.
 const maxBatchPrompts = 128
 
-// Server exposes an Engine over HTTP: POST /v1/generate (single, batch
+// Backend is what the HTTP layer serves: a single Engine or a
+// multi-replica cluster.Fleet. Generation goes through the fail-fast
+// submission paths (backpressure must surface, not block the handler);
+// the health and metrics hooks let each backend report its own shape —
+// the Engine keeps the exact pre-fleet bodies, a Fleet adds per-replica
+// detail.
+type Backend interface {
+	TryGenerate(ctx context.Context, req Request) (*Response, error)
+	TryGenerateBatch(ctx context.Context, reqs []Request) []*Response
+	// Healthz returns the GET /healthz body; the handler adds uptime_s.
+	Healthz() map[string]any
+	// MetricsBody returns the GET /metrics JSON body; the handler adds
+	// uptime_s.
+	MetricsBody() map[string]any
+	// WritePrometheusTo renders the GET /metrics text exposition.
+	WritePrometheusTo(w io.Writer, uptimeS float64)
+}
+
+// Server exposes a Backend over HTTP: POST /v1/generate (single, batch
 // and NDJSON streaming), GET /healthz and GET /metrics. It is the
 // handler core of cmd/vgend, kept here so httptest can exercise it.
 type Server struct {
-	engine *Engine
-	start  time.Time
+	backend Backend
+	start   time.Time
 }
 
-// NewServer wraps an engine for HTTP serving.
+// NewServer wraps a single engine for HTTP serving.
 func NewServer(e *Engine) *Server {
-	return &Server{engine: e, start: time.Now()}
+	return NewBackendServer(e)
+}
+
+// NewBackendServer wraps any Backend (an Engine or a cluster.Fleet)
+// for HTTP serving.
+func NewBackendServer(b Backend) *Server {
+	return &Server{backend: b, start: time.Now()}
 }
 
 // Handler returns the route mux.
@@ -62,6 +88,17 @@ type GenerateRequest struct {
 	// Stream switches a single-prompt request to NDJSON: one line per
 	// decoding step, then a final {"done":true,...} summary line.
 	Stream bool `json:"stream,omitempty"`
+	// Model routes the request to replicas serving the named backbone
+	// in fleet mode ("codellama", "codet5p"); empty accepts any. An
+	// unknown name is a 400.
+	Model string `json:"model,omitempty"`
+	// Priority is the admission class: "high", "normal" (default) or
+	// "low". Load-shedding policies drop lower classes first; a shed
+	// request gets 429 with a Retry-After header.
+	Priority string `json:"priority,omitempty"`
+	// Client identifies the caller for per-client token-budget
+	// throttling (empty callers share one anonymous bucket).
+	Client string `json:"client,omitempty"`
 }
 
 // GenerateResult is one generation in a response body.
@@ -75,6 +112,10 @@ type GenerateResult struct {
 	TokensPerSec float64 `json:"tokens_per_sec"`
 	Cached       bool    `json:"cached"`
 	WallMS       float64 `json:"wall_ms"`
+	// Replica names the fleet replica that served this generation
+	// (omitted outside fleet mode, so single-engine responses are
+	// byte-identical to the pre-fleet daemon's).
+	Replica string `json:"replica,omitempty"`
 }
 
 func parseMode(s string) (core.Mode, error) {
@@ -123,11 +164,18 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-func resultJSON(resp *Response) GenerateResult {
+// resultJSON renders one response. The mode label prefers the
+// response's own strategy (which reflects per-replica default-strategy
+// substitution) and falls back to the request-side label.
+func resultJSON(resp *Response, requestLabel string) GenerateResult {
 	res := resp.Result
+	label := resp.Strategy
+	if label == "" {
+		label = requestLabel
+	}
 	return GenerateResult{
 		Text:         res.Text,
-		Mode:         "", // filled by caller (result does not know it)
+		Mode:         label,
 		Tokens:       len(res.CleanTokens),
 		Steps:        res.Steps,
 		MeanAccepted: res.MeanAccepted(),
@@ -135,6 +183,7 @@ func resultJSON(resp *Response) GenerateResult {
 		TokensPerSec: res.TokensPerSecond(),
 		Cached:       resp.Cached,
 		WallMS:       float64(resp.Wall) / float64(time.Millisecond),
+		Replica:      resp.Replica,
 	}
 }
 
@@ -159,22 +208,37 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	priority, err := ParsePriority(gr.Priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	modeName := opts.StrategyLabel()
+	mkReq := func(prompt string, o core.Options) Request {
+		return Request{
+			Prompt:  prompt,
+			Options: o,
+			Model:   gr.Model,
+			// Replica default-strategy substitution applies only when
+			// the caller named neither a mode nor a strategy.
+			NoExplicitStrategy: gr.Mode == "" && gr.Strategy == "",
+			Priority:           priority,
+			Client:             gr.Client,
+		}
+	}
 
 	switch {
 	case gr.Stream && batch:
 		writeError(w, http.StatusBadRequest, errors.New("streaming requires a single prompt"))
 	case gr.Stream:
-		s.streamGenerate(w, r, gr.Prompt, opts)
+		s.streamGenerate(w, r, mkReq(gr.Prompt, opts))
 	case single:
-		resp, err := s.engine.TryGenerate(r.Context(), Request{Prompt: gr.Prompt, Options: opts})
+		resp, err := s.backend.TryGenerate(r.Context(), mkReq(gr.Prompt, opts))
 		if err != nil {
 			s.writeEngineError(w, err)
 			return
 		}
-		out := resultJSON(resp)
-		out.Mode = modeName
-		writeJSON(w, http.StatusOK, out)
+		writeJSON(w, http.StatusOK, resultJSON(resp, modeName))
 	default:
 		if len(gr.Prompts) > maxBatchPrompts {
 			writeError(w, http.StatusBadRequest,
@@ -188,33 +252,61 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			// in one batch still explore, matching how a caller would
 			// seed sequential requests.
 			o.Seed += int64(i)
-			reqs[i] = Request{Prompt: p, Options: o}
+			reqs[i] = mkReq(p, o)
 		}
 		// Fail-fast enqueue: batches obey the same queue bound as
 		// single requests instead of blocking past it.
-		resps := s.engine.TryGenerateBatch(r.Context(), reqs)
+		resps := s.backend.TryGenerateBatch(r.Context(), reqs)
 		results := make([]GenerateResult, 0, len(resps))
 		for _, resp := range resps {
 			if resp.Err != nil {
 				s.writeEngineError(w, resp.Err)
 				return
 			}
-			out := resultJSON(resp)
-			out.Mode = modeName
-			results = append(results, out)
+			results = append(results, resultJSON(resp, modeName))
 		}
 		writeJSON(w, http.StatusOK, map[string][]GenerateResult{"results": results})
 	}
 }
 
-// writeEngineError maps engine submission errors to HTTP statuses:
-// queue-full backpressure is 503 with Retry-After, client cancellation
-// is 499 (nginx's convention), the rest 500.
+// writeRetryAfter is the shared overload-response helper: every path
+// that refuses work for load reasons — queue-full backpressure and
+// admission-control shedding alike — answers with an explicit status
+// and a Retry-After header, the contract load balancers and polite
+// clients expect.
+func writeRetryAfter(w http.ResponseWriter, status, seconds int, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(seconds))
+	writeError(w, status, err)
+}
+
+// writeSubmissionError maps the submission-refusal errors shared by
+// the JSON and streaming paths — admission shedding (429 with the
+// policy's Retry-After), queue-full backpressure (503 with
+// Retry-After) and unknown model (400) — and reports whether it owned
+// the error. These are exactly the failures that occur before any
+// response bytes exist, so the streaming handler can reuse the mapping
+// verbatim.
+func writeSubmissionError(w http.ResponseWriter, err error) bool {
+	var shed *ShedError
+	switch {
+	case errors.As(err, &shed):
+		writeRetryAfter(w, http.StatusTooManyRequests, shed.RetryAfterSeconds(), err)
+	case errors.Is(err, ErrQueueFull):
+		writeRetryAfter(w, http.StatusServiceUnavailable, 1, err)
+	case errors.Is(err, ErrUnknownModel):
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		return false
+	}
+	return true
+}
+
+// writeEngineError maps engine/fleet submission errors to HTTP
+// statuses: the shared submission refusals (see writeSubmissionError),
+// then client cancellation as 499 (nginx's convention), the rest 500.
 func (s *Server) writeEngineError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err)
+	case writeSubmissionError(w, err):
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -235,12 +327,12 @@ type streamLine struct {
 	Error  string          `json:"error,omitempty"`
 }
 
-func (s *Server) streamGenerate(w http.ResponseWriter, r *http.Request, prompt string, opts core.Options) {
+func (s *Server) streamGenerate(w http.ResponseWriter, r *http.Request, req Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	onStep := func(ev core.StepEvent) {
+	req.OnStep = func(ev core.StepEvent) {
 		// Runs on the engine worker goroutine. Safe: for streaming
 		// requests TryGenerate does not return — even when the client
 		// disconnects mid-decode — until the worker is finished and
@@ -252,19 +344,17 @@ func (s *Server) streamGenerate(w http.ResponseWriter, r *http.Request, prompt s
 			flusher.Flush()
 		}
 	}
-	resp, err := s.engine.TryGenerate(r.Context(), Request{Prompt: prompt, Options: opts, OnStep: onStep})
+	resp, err := s.backend.TryGenerate(r.Context(), req)
 	if err != nil {
-		if errors.Is(err, ErrQueueFull) {
-			// Nothing streamed yet: a clean 503 is still possible.
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
+		// Submission refusals happen before anything streamed, so a
+		// clean status response is still possible; anything else is
+		// reported as a final NDJSON error line.
+		if !writeSubmissionError(w, err) {
+			_ = enc.Encode(streamLine{Done: true, Error: err.Error()})
 		}
-		_ = enc.Encode(streamLine{Done: true, Error: err.Error()})
 		return
 	}
-	out := resultJSON(resp)
-	out.Mode = opts.StrategyLabel()
+	out := resultJSON(resp, req.Options.StrategyLabel())
 	_ = enc.Encode(streamLine{Done: true, Result: &out})
 	if flusher != nil {
 		flusher.Flush()
@@ -272,31 +362,22 @@ func (s *Server) streamGenerate(w http.ResponseWriter, r *http.Request, prompt s
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	cfg := s.engine.Model().Config()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"model":       cfg.Name,
-		"scheme":      s.engine.Model().Scheme().String(),
-		"workers":     s.engine.Workers(),
-		"queue_depth": s.engine.QueueDepth(),
-		"uptime_s":    time.Since(s.start).Seconds(),
-	})
+	body := s.backend.Healthz()
+	body["uptime_s"] = time.Since(s.start).Seconds()
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	uptime := time.Since(s.start).Seconds()
-	modelName := s.engine.Model().Config().Name
 	// Prometheus text exposition on request (?format=prometheus or an
 	// Accept header a scraper would send); JSON stays the default.
 	if wantsPrometheus(r.URL.Query().Get("format"), r.Header.Get("Accept")) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
-		writePrometheus(w, s.engine.Metrics(), uptime, modelName)
+		s.backend.WritePrometheusTo(w, uptime)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_s": uptime,
-		"model":    modelName,
-		"engine":   s.engine.Metrics(),
-	})
+	body := s.backend.MetricsBody()
+	body["uptime_s"] = uptime
+	writeJSON(w, http.StatusOK, body)
 }

@@ -303,6 +303,9 @@ func TestServerMetricsPrometheus(t *testing.T) {
 		"# TYPE vgend_requests_total counter",
 		"vgend_requests_total 1",
 		"vgend_dedup_hits_total 0",
+		"vgend_shed_total 0",
+		"vgend_queue_wait_seconds_total",
+		"vgend_queue_wait_max_seconds",
 		"vgend_prefix_cache_misses_total 1",
 		`vgend_strategy_requests_total{strategy="Ours"} 1`,
 		"vgend_workers 2",
@@ -370,6 +373,7 @@ func TestServerRequestValidation(t *testing.T) {
 		{"neither prompt nor prompts", GenerateRequest{}},
 		{"both prompt and prompts", GenerateRequest{Prompt: "a", Prompts: []string{"b"}}},
 		{"unknown mode", GenerateRequest{Prompt: "a", Mode: "warp"}},
+		{"unknown priority", GenerateRequest{Prompt: "a", Priority: "urgent"}},
 		{"stream with batch", GenerateRequest{Prompts: []string{"a", "b"}, Stream: true}},
 		{"oversized batch", GenerateRequest{Prompts: make([]string, maxBatchPrompts+1)}},
 	}
