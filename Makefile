@@ -5,7 +5,13 @@ GO ?= go
 # bash for pipefail: a failing benchmark must not hide behind tee.
 SHELL := /bin/bash
 
-.PHONY: build test race golden bench fmt fmt-check vet serve ci
+# Coverage floor for the packages the prefix-trie cache lives in
+# (internal/model + internal/serve). Recorded at 89.5% when the trie
+# landed; CI fails below the floor so cache/fork coverage cannot rot.
+COVER_FLOOR := 87.0
+COVER_PKGS := ./internal/model/ ./internal/serve/
+
+.PHONY: build test race golden differential cover fuzz bench fmt fmt-check vet serve ci
 
 build:
 	$(GO) build ./...
@@ -22,11 +28,34 @@ race:
 golden:
 	$(GO) test -run TestGolden -v ./internal/core/
 
-# Engine wall-clock throughput + strategy matrix + fleet routing
-# smoke; CI uploads bench_output.txt as an artifact. Run `go test
-# -bench=. ./...` for the full paper harness.
+# Byte-identical outputs across session-cache modes ({off, whole-prompt
+# LRU, token-prefix trie} × the full strategy matrix): the gate that
+# makes the prefix cache admissible at all.
+differential:
+	$(GO) test -run 'TestDifferentialCacheModes|TestForkedSessionByteIdentical' -v ./internal/experiments/ ./internal/core/
+
+# Coverage gate over the prefix-cache packages: fails if total coverage
+# of internal/model + internal/serve drops below COVER_FLOOR.
+cover:
+	$(GO) test -coverprofile=cover.out -covermode=atomic $(COVER_PKGS)
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "model+serve coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+	{ echo "coverage below floor" >&2; exit 1; }
+
+# Native fuzzing smoke: the trie lookup/insert invariant and the
+# Verilog lexer, each for a short budget on top of the committed seed
+# corpora (testdata/fuzz/). Run longer locally with -fuzztime.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTrieLookupInsert -fuzztime $(FUZZTIME) ./internal/model/
+	$(GO) test -run '^$$' -fuzz FuzzLexer -fuzztime $(FUZZTIME) ./internal/verilog/
+
+# Engine wall-clock throughput + strategy matrix + fleet routing +
+# prefix-cache smoke; CI uploads bench_output.txt as an artifact. Run
+# `go test -bench=. ./...` for the full paper harness.
 bench:
-	set -o pipefail; $(GO) test -run '^$$' -bench='BenchmarkEngine|BenchmarkStrategyMatrix|BenchmarkFleetRouting' -benchtime=1x ./... | tee bench_output.txt
+	set -o pipefail; $(GO) test -run '^$$' -bench='BenchmarkEngine|BenchmarkStrategyMatrix|BenchmarkFleetRouting|BenchmarkPrefixBench' -benchtime=1x ./... | tee bench_output.txt
 
 fmt:
 	gofmt -w .
@@ -46,4 +75,4 @@ serve:
 serve-fleet:
 	$(GO) run ./cmd/vgend -replicas 4 -shed-policy deadline,priority,budget
 
-ci: build fmt-check vet race golden bench
+ci: build fmt-check vet race golden differential cover fuzz bench

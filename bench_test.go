@@ -358,6 +358,27 @@ func BenchmarkFleetRouting(b *testing.B) {
 	}
 }
 
+// BenchmarkPrefixBench lands the prefix-cache comparison in the bench
+// artifact: prompt tokens recomputed per cache mode on the shared-stem
+// workload, plus the trie's partial-hit count. The trie row's
+// recomputed column sitting far below the whole-prompt row's is the
+// headline of the token-prefix trie cache.
+func BenchmarkPrefixBench(b *testing.B) {
+	setup(b)
+	m := models["CodeLlama/Ours"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.PrefixBench(m, experiments.PrefixBenchConfig{})
+		for _, row := range rows {
+			b.ReportMetric(float64(row.TokensRecomputed), row.Mode+"_recomputed_toks")
+			b.ReportMetric(row.HitRate, row.Mode+"_hit_rate")
+			if row.Mode == "trie" {
+				b.ReportMetric(float64(row.PartialHits), "trie_partial_hits")
+			}
+		}
+	}
+}
+
 // --- Engine wall-clock benchmarks (real CPU throughput, not the cost
 // model): tokens generated per real second of decoder work. ---
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	evalbench -exp table1|table2|matrix|fleet|fig1|fig5|fig6|all [-quick]
+//	evalbench -exp table1|table2|matrix|fleet|prefix|diff|fig1|fig5|fig6|all [-quick]
 //	          [-items N] [-samples N] [-seed N]
 //
 // -quick selects the scaled-down setup (one model, one data size, few
@@ -13,6 +13,9 @@
 // protocol, with measured wall-clock ms/token next to the simulated
 // speedup. "fleet" runs the multi-replica load scenario: measured
 // wall-clock throughput and latency percentiles per routing policy.
+// "prefix" compares session-preparation tokens recomputed across the
+// three prefix-cache modes on a shared-stem workload; "diff" asserts
+// all three modes decode byte-identically across the strategy matrix.
 package main
 
 import (
@@ -26,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, matrix, fleet, fig1, fig5, fig6 or all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, matrix, fleet, prefix, diff, fig1, fig5, fig6 or all")
 	quick := flag.Bool("quick", false, "scaled-down setup (fast smoke run)")
 	items := flag.Int("items", 0, "override corpus item count")
 	samples := flag.Int("samples", 0, "override samples per prompt per temperature")
@@ -100,6 +103,24 @@ func main() {
 		}
 		printFleetBench(rows)
 	}
+	if want("prefix") {
+		fmt.Println("## Prefix bench — session-prep tokens recomputed per prefix-cache mode (shared-stem workload)")
+		for _, row := range runner.RunPrefixBench(experiments.PrefixBenchConfig{}) {
+			fmt.Printf("  %-6s requests=%3d  prompt_toks=%6d  recomputed=%6d  saved=%6d  hits=%3d  partial=%3d  hit_rate=%.2f\n",
+				row.Mode, row.Requests, row.PromptTokens, row.TokensRecomputed,
+				row.TokensSaved, row.Hits, row.PartialHits, row.HitRate)
+		}
+		fmt.Println()
+	}
+	if want("diff") {
+		fmt.Println("## Differential — byte-identity of {off, whole, trie} session caches across the strategy matrix")
+		report, err := runner.RunDiffTest(experiments.DiffConfig{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "differential: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  clean: %d cases byte-identical, %d mid-prompt forks exercised\n\n", report.Cases, report.PartialHits)
+	}
 	if want("fig1") && t1 != nil && t2 != nil {
 		fmt.Println("## Fig. 1 — speed vs pass@10 (RTLLM, first model)")
 		for _, pt := range experiments.Fig1(t1, t2, setup.Models[0].Name) {
@@ -124,7 +145,7 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("# total %v\n", time.Since(t0).Round(time.Second))
-	if *exp != "all" && !want("table1") && !want("table2") && !want("matrix") && !want("fleet") && !want("fig1") && !want("fig5") && !want("fig6") {
+	if *exp != "all" && !want("table1") && !want("table2") && !want("matrix") && !want("fleet") && !want("prefix") && !want("diff") && !want("fig1") && !want("fig5") && !want("fig6") {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}

@@ -38,7 +38,8 @@
 //
 // Usage: vgend [-addr :8080] [-model codellama|codet5p] [-scheme ours]
 // [-items 3400] [-workers N] [-queue N] [-batch N] [-cache N]
-// [-prefix-cache N] [-no-dedup] [-replicas N] [-models specs]
+// [-prefix-cache trie|whole|off|N] [-prefix-cache-bytes N] [-no-dedup]
+// [-replicas N] [-models specs]
 // [-router prefix-affinity|least-loaded|round-robin|random]
 // [-shed-policy none|deadline,priority,budget] [-budget-tps N]
 // [-budget-burst N]
@@ -52,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -120,6 +122,25 @@ func fail(err error) {
 	os.Exit(2)
 }
 
+// parsePrefixCache maps the -prefix-cache flag onto the serve config:
+// the mode names trie/whole/off, or — for pre-trie deployments that
+// passed an entry count — a bare integer selecting whole-prompt mode
+// with that capacity (0 the default capacity, negative disables,
+// matching the old flag exactly).
+func parsePrefixCache(s string) (mode string, size int, err error) {
+	if n, perr := strconv.Atoi(s); perr == nil {
+		if n < 0 {
+			return serve.PrefixCacheOff, -1, nil
+		}
+		return serve.PrefixCacheWhole, n, nil
+	}
+	mode, err = serve.ParsePrefixCacheMode(s)
+	if mode == serve.PrefixCacheOff {
+		size = -1
+	}
+	return mode, size, err
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	modelName := flag.String("model", "codellama", "backbone: codellama or codet5p")
@@ -131,7 +152,9 @@ func main() {
 	batch := flag.Int("batch", 8, "micro-batch size")
 	window := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch linger")
 	cache := flag.Int("cache", 512, "LRU cache entries per replica (negative disables)")
-	prefixCache := flag.Int("prefix-cache", 256, "prompt-session cache entries per replica (negative disables)")
+	prefixCache := flag.String("prefix-cache", "trie",
+		"prompt-session cache per replica: trie (token-prefix trie, partial reuse), whole (whole-prompt LRU), off; a legacy integer selects whole mode with that capacity (negative disables)")
+	prefixCacheBytes := flag.Int64("prefix-cache-bytes", 0, "trie prefix-cache byte budget per replica (0 = 64 MiB)")
 	noDedup := flag.Bool("no-dedup", false, "disable single-flight dedup of identical in-flight requests")
 	replicas := flag.Int("replicas", 1, "fleet size (replicas cycle through -models specs)")
 	modelsFlag := flag.String("models", "", "replica specs model[:scheme[:strategy]], comma-separated (empty: -model/-scheme)")
@@ -168,6 +191,10 @@ func main() {
 			}
 		}
 		resolved[i] = resolvedSpec{replicaSpec: spec, cfg: cfg, sch: scheme}
+	}
+	prefixMode, prefixSize, err := parsePrefixCache(*prefixCache)
+	if err != nil {
+		fail(err)
 	}
 	policies, err := cluster.ParsePolicies(*shedPolicy, *budgetTPS, *budgetBurst)
 	if err != nil {
@@ -216,13 +243,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "# %s\n# trained in %s\n", stats, time.Since(start).Round(time.Millisecond))
 
 	engCfg := serve.Config{
-		Workers:         *workers,
-		QueueSize:       *queue,
-		BatchSize:       *batch,
-		BatchWindow:     *window,
-		CacheSize:       *cache,
-		PrefixCacheSize: *prefixCache,
-		NoDedup:         *noDedup,
+		Workers:          *workers,
+		QueueSize:        *queue,
+		BatchSize:        *batch,
+		BatchWindow:      *window,
+		CacheSize:        *cache,
+		PrefixCacheMode:  prefixMode,
+		PrefixCacheSize:  prefixSize,
+		PrefixCacheBytes: *prefixCacheBytes,
+		NoDedup:          *noDedup,
 	}
 
 	var backend serve.Backend

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestParsePrefixCache pins the flag's three spellings: mode names,
+// legacy entry counts (whole-prompt capacity, negative disables) and
+// rejection of typos.
+func TestParsePrefixCache(t *testing.T) {
+	cases := []struct {
+		in   string
+		mode string
+		size int
+		err  bool
+	}{
+		{in: "trie", mode: serve.PrefixCacheTrie},
+		{in: "whole", mode: serve.PrefixCacheWhole},
+		{in: "off", mode: serve.PrefixCacheOff, size: -1},
+		{in: "none", mode: serve.PrefixCacheOff, size: -1},
+		{in: "128", mode: serve.PrefixCacheWhole, size: 128},
+		{in: "-1", mode: serve.PrefixCacheOff, size: -1},
+		{in: "0", mode: serve.PrefixCacheWhole, size: 0},
+		{in: "lru", err: true},
+		{in: "trie:64", err: true},
+	}
+	for _, c := range cases {
+		mode, size, err := parsePrefixCache(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("%q: expected an error, got mode=%q size=%d", c.in, mode, size)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", c.in, err)
+			continue
+		}
+		if mode != c.mode || size != c.size {
+			t.Errorf("%q: got (%q, %d), want (%q, %d)", c.in, mode, size, c.mode, c.size)
+		}
+	}
+}

@@ -127,7 +127,9 @@ func aggregate(ms []serve.Metrics) serve.Metrics {
 		a.DedupHits += m.DedupHits
 		a.Inflight += m.Inflight
 		a.PrefixCacheHits += m.PrefixCacheHits
+		a.PrefixCachePartialHits += m.PrefixCachePartialHits
 		a.PrefixCacheMisses += m.PrefixCacheMisses
+		a.PrefixCacheTokensSaved += m.PrefixCacheTokensSaved
 		a.PrefixCacheEntries += m.PrefixCacheEntries
 		a.Batches += m.Batches
 		a.QueueDepth += m.QueueDepth
@@ -162,6 +164,9 @@ func aggregate(ms []serve.Metrics) serve.Metrics {
 	}
 	if lookups := a.CacheHits + a.CacheMisses; lookups > 0 {
 		a.CacheHitRate = float64(a.CacheHits) / float64(lookups)
+	}
+	if lookups := a.PrefixCacheHits + a.PrefixCachePartialHits + a.PrefixCacheMisses; lookups > 0 {
+		a.PrefixCacheHitRate = float64(a.PrefixCacheHits+a.PrefixCachePartialHits) / float64(lookups)
 	}
 	if a.Batches > 0 {
 		a.MeanBatchSize /= float64(a.Batches)
@@ -287,5 +292,16 @@ func (f *Fleet) WritePrometheusTo(w io.Writer, uptimeS float64) {
 	fmt.Fprintf(w, "# HELP vgend_replica_cache_hit_rate Result-LRU hit rate per replica.\n# TYPE vgend_replica_cache_hit_rate gauge\n")
 	for _, r := range m.PerReplica {
 		fmt.Fprintf(w, "vgend_replica_cache_hit_rate{replica=%q} %g\n", r.Name, r.Engine.CacheHitRate)
+	}
+	// The affinity router's concentration payoff is session reuse, and
+	// with the prefix trie most of that reuse is partial — so the
+	// per-replica rate counts partial hits, not just exact ones.
+	fmt.Fprintf(w, "# HELP vgend_replica_prefix_hit_rate Prompt-session reuse rate per replica (exact + partial prefix hits).\n# TYPE vgend_replica_prefix_hit_rate gauge\n")
+	for _, r := range m.PerReplica {
+		fmt.Fprintf(w, "vgend_replica_prefix_hit_rate{replica=%q} %g\n", r.Name, r.Engine.PrefixCacheHitRate)
+	}
+	fmt.Fprintf(w, "# HELP vgend_replica_prefix_tokens_saved_total Prompt tokens whose session preparation reuse skipped, per replica.\n# TYPE vgend_replica_prefix_tokens_saved_total counter\n")
+	for _, r := range m.PerReplica {
+		fmt.Fprintf(w, "vgend_replica_prefix_tokens_saved_total{replica=%q} %d\n", r.Name, r.Engine.PrefixCacheTokensSaved)
 	}
 }

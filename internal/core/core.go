@@ -278,12 +278,15 @@ type StepFn func(StepEvent)
 // session, repetition tracker) lives on the stack of each call, so a
 // single Decoder — or many Decoders sharing one Model — may decode
 // concurrently, provided the Model is no longer being trained. An
-// optional model.GenCache (WithGenCache) shares prompt-derived session
-// state across decodes of identical prompts; Gen values are immutable
-// after construction, so the cache changes nothing about outputs.
+// optional model.SessionCache (WithSessionCache) shares prompt-derived
+// session state across decodes: the whole-prompt LRU reuses identical
+// prompts, the prefix trie additionally forks mid-prompt sessions for
+// prompts sharing a token prefix. Gen values are immutable after
+// construction and a forked session equals a fresh build, so the cache
+// changes nothing about outputs.
 type Decoder struct {
 	m        *model.Model
-	genCache *model.GenCache
+	genCache model.SessionCache
 }
 
 // repState tracks generated clean-token n-grams for the no-repeat rule.
@@ -321,11 +324,23 @@ func (r *repState) push(id int) {
 // NewDecoder wraps a model for decoding.
 func NewDecoder(m *model.Model) *Decoder { return &Decoder{m: m} }
 
-// WithGenCache attaches a shared prompt-state cache: decodes of a
+// WithGenCache attaches a whole-prompt session cache (legacy spelling
+// of WithSessionCache, kept for embedders).
+func (d *Decoder) WithGenCache(c *model.GenCache) *Decoder {
+	if c == nil {
+		return d.WithSessionCache(nil)
+	}
+	return d.WithSessionCache(c)
+}
+
+// WithSessionCache attaches a shared prompt-state cache: decodes of a
 // prompt already seen (by any decoder sharing the cache) reuse its
 // prepared generation session instead of re-deriving keyword seeds,
-// copy sets and code-line marks. Returns the decoder for chaining.
-func (d *Decoder) WithGenCache(c *model.GenCache) *Decoder {
+// copy sets and code-line marks — and with a model.TrieCache, decodes
+// of a prompt sharing a token prefix with an earlier one fork the
+// cached prefix session and prepare only the suffix. Returns the
+// decoder for chaining.
+func (d *Decoder) WithSessionCache(c model.SessionCache) *Decoder {
 	d.genCache = c
 	return d
 }
@@ -364,8 +379,7 @@ func (d *Decoder) GenerateCtx(ctx context.Context, desc string, opts Options) (*
 // non-nil) is invoked after every decoding step with the tokens that
 // step emitted. Serving-layer NDJSON streaming is built on this.
 func (d *Decoder) GenerateStream(ctx context.Context, desc string, opts Options, onStep StepFn) (*Result, error) {
-	tk := d.m.Tokenizer()
-	promptIDs := append([]int{tokenizer.BosID}, tk.Encode(model.FormatPrompt(desc))...)
+	promptIDs := model.CanonicalPromptIDs(d.m.Tokenizer(), desc)
 	return d.generate(ctx, promptIDs, opts, onStep)
 }
 
@@ -383,6 +397,14 @@ func (d *Decoder) GenerateFrom(promptIDs []int, opts Options) *Result {
 // GenerateFromCtx is GenerateFrom with cancellation (see GenerateCtx).
 func (d *Decoder) GenerateFromCtx(ctx context.Context, promptIDs []int, opts Options) (*Result, error) {
 	return d.generate(ctx, promptIDs, opts, nil)
+}
+
+// GenerateStreamFrom is GenerateStream starting from explicit prompt
+// token ids. The serving layer tokenizes each prompt once — for its
+// canonical cache/single-flight key — and hands the ids straight to
+// the decode, so the hot path never re-encodes the same text.
+func (d *Decoder) GenerateStreamFrom(ctx context.Context, promptIDs []int, opts Options, onStep StepFn) (*Result, error) {
+	return d.generate(ctx, promptIDs, opts, onStep)
 }
 
 // generate is the decoding loop shared by all entry points — strategy

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestForkedSessionByteIdenticalAcrossStrategies pins the property the
+// prefix-trie cache rests on at the decode level: every registered
+// strategy — drafters and verifiers included — must produce
+// byte-identical output whether its session was built fresh, reused
+// whole, or forked from a cached mid-prompt prefix. The trie is
+// pre-warmed with truncated prompts so the decode under test really
+// does run on a Fork()ed session (asserted via the partial-hit
+// counter), exercising prompt-lookup's prompt/generated boundary and
+// the induction-copy machinery on forked state.
+func TestForkedSessionByteIdenticalAcrossStrategies(t *testing.T) {
+	schemes := map[string]model.Scheme{
+		"ntp":           model.SchemeNTP,
+		"medusa":        model.SchemeMedusa,
+		"ours":          model.SchemeOurs,
+		"prompt-lookup": model.SchemeNTP,
+	}
+	for strategy, scheme := range schemes {
+		m := trained(t, scheme)
+		tk := m.Tokenizer()
+		fresh := NewDecoder(m)
+		for pi, ex := range trainExamples {
+			ids := model.CanonicalPromptIDs(tk, ex.Prompt)
+			for _, cut := range []int{1, len(ids) / 3, len(ids) - 1} {
+				trie := model.NewTrieCache(0)
+				trie.Gen(m, ids[:cut]) // warm a strict prefix
+				forked := NewDecoder(m).WithSessionCache(trie)
+				for _, opts := range []Options{
+					{Strategy: strategy},
+					{Strategy: strategy, Temperature: 0.8, Seed: int64(7*pi + cut)},
+				} {
+					id := fmt.Sprintf("%s/prompt=%d/cut=%d/temp=%g", strategy, pi, cut, opts.Temperature)
+					want := fresh.Generate(ex.Prompt, opts)
+					got := forked.Generate(ex.Prompt, opts)
+					if got.Text != want.Text || got.Steps != want.Steps ||
+						got.SimulatedMS != want.SimulatedMS || got.TruncatedTokens != want.TruncatedTokens {
+						t.Fatalf("%s: forked-session decode diverged\n got: %q (steps %d)\nwant: %q (steps %d)",
+							id, got.Text, got.Steps, want.Text, want.Steps)
+					}
+					for j := range want.Tokens {
+						if got.Tokens[j] != want.Tokens[j] {
+							t.Fatalf("%s: token %d is %d, want %d", id, j, got.Tokens[j], want.Tokens[j])
+						}
+					}
+				}
+				st := trie.SessionStats()
+				if st.PartialHits == 0 {
+					t.Fatalf("%s/prompt=%d/cut=%d: decode never forked (stats %+v)", strategy, pi, cut, st)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// The differential harness is the quality half of the prefix-cache
+// story: "Speculative Decoding: Performance or Illusion?" shows serving
+// optimizations earn their speedups only if measured — and trusted —
+// honestly, and a session cache is only admissible if it provably
+// changes nothing about outputs. RunDiffTest decodes the full strategy
+// matrix three times — no session cache, whole-prompt LRU, token-prefix
+// trie — over a workload built to stress every reuse path (shared
+// stems, prefix extensions and truncations, exact repeats) and requires
+// byte-identical results per (prompt, strategy, seed). CI runs it as a
+// dedicated job next to the golden determinism gate.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// DiffConfig sizes the differential run.
+type DiffConfig struct {
+	// Families/Variants size the shared-stem workload (defaults 2 × 3).
+	Families, Variants int
+	// Seeds are the sampled-decode seeds per prompt; a greedy decode is
+	// always included (default: one seed).
+	Seeds []int64
+	// MaxNewTokens bounds each decode (default 48).
+	MaxNewTokens int
+}
+
+func (c DiffConfig) withDefaults() DiffConfig {
+	if c.Families <= 0 {
+		c.Families = 2
+	}
+	if c.Variants <= 0 {
+		c.Variants = 3
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []int64{7}
+	}
+	if c.MaxNewTokens <= 0 {
+		c.MaxNewTokens = 48
+	}
+	return c
+}
+
+// DiffReport summarizes a clean differential run.
+type DiffReport struct {
+	// Cases is the number of (prompt, strategy, seed) decodes compared
+	// (each decoded three times, once per cache mode).
+	Cases int
+	// PartialHits is the trie's partial-hit count across the run —
+	// proof the comparison actually exercised mid-prompt forks rather
+	// than trivially re-deriving every session.
+	PartialHits uint64
+}
+
+// diffModes labels the three session-cache configurations under test.
+var diffModes = []string{"off", "whole", "trie"}
+
+// RunDiffTest decodes every StrategyMatrix entry over the workload with
+// all three cache modes and returns an error on the first output
+// divergence. Caches persist across the whole workload within one
+// (model, scheme) pairing, so later prompts hit sessions forked from
+// earlier ones — the trie is compared in its working state, not cold.
+func (r *Runner) RunDiffTest(cfg DiffConfig) (DiffReport, error) {
+	cfg = cfg.withDefaults()
+	prompts := SharedStemPrompts(cfg.Families, cfg.Variants)
+	// Reuse-path stressors: an exact repeat, a prefix truncation and an
+	// extension of the first stem prompt.
+	prompts = append(prompts,
+		prompts[0],
+		prompts[0][:len(prompts[0])/2],
+		prompts[0]+" Add an active-high enable input en.",
+	)
+	var report DiffReport
+	for _, mcfg := range r.setup.Models {
+		tk := r.toks[mcfg.Name]
+		trained := map[model.Scheme]*model.Model{}
+		for _, entry := range StrategyMatrix {
+			m := trained[entry.Scheme]
+			if m == nil {
+				m = model.Train(tk, mcfg, entry.Scheme, r.examples)
+				trained[entry.Scheme] = m
+			}
+			trie := model.NewTrieCache(0)
+			decs := map[string]*core.Decoder{
+				"off":   core.NewDecoder(m),
+				"whole": core.NewDecoder(m).WithSessionCache(model.NewGenCache(256)),
+				"trie":  core.NewDecoder(m).WithSessionCache(trie),
+			}
+			var optsSet []core.Options
+			optsSet = append(optsSet, core.Options{Strategy: entry.Strategy, MaxNewTokens: cfg.MaxNewTokens})
+			for _, seed := range cfg.Seeds {
+				optsSet = append(optsSet, core.Options{
+					Strategy: entry.Strategy, Temperature: 0.8, Seed: seed, MaxNewTokens: cfg.MaxNewTokens,
+				})
+			}
+			for pi, prompt := range prompts {
+				for _, opts := range optsSet {
+					var ref *core.Result
+					for _, mode := range diffModes {
+						res := decs[mode].Generate(prompt, opts)
+						if mode == "off" {
+							ref = res
+							report.Cases++
+							continue
+						}
+						if err := sameResult(ref, res); err != nil {
+							return report, fmt.Errorf(
+								"%s/%s: cache mode %q diverged from cache-off on prompt %d (temp=%g seed=%d): %w",
+								mcfg.Name, entry.Strategy, mode, pi, opts.Temperature, opts.Seed, err)
+						}
+					}
+				}
+			}
+			report.PartialHits += trie.SessionStats().PartialHits
+		}
+	}
+	if report.PartialHits == 0 {
+		return report, fmt.Errorf("differential run never forked a mid-prompt session; the trie went untested")
+	}
+	return report, nil
+}
+
+// sameResult compares two decodes for byte identity — tokens, steps,
+// truncation accounting and the simulated cost model must all agree.
+func sameResult(want, got *core.Result) error {
+	if got.Text != want.Text {
+		return fmt.Errorf("text diverged\n got: %q\nwant: %q", got.Text, want.Text)
+	}
+	if len(got.Tokens) != len(want.Tokens) {
+		return fmt.Errorf("token count %d, want %d", len(got.Tokens), len(want.Tokens))
+	}
+	for i := range want.Tokens {
+		if got.Tokens[i] != want.Tokens[i] {
+			return fmt.Errorf("token %d is %d, want %d", i, got.Tokens[i], want.Tokens[i])
+		}
+	}
+	if got.Steps != want.Steps || got.TruncatedTokens != want.TruncatedTokens {
+		return fmt.Errorf("steps=%d truncated=%d, want steps=%d truncated=%d",
+			got.Steps, got.TruncatedTokens, want.Steps, want.TruncatedTokens)
+	}
+	if got.SimulatedMS != want.SimulatedMS {
+		return fmt.Errorf("simulated ms %v, want %v", got.SimulatedMS, want.SimulatedMS)
+	}
+	return nil
+}

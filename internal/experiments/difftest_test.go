@@ -1,0 +1,66 @@
+package experiments
+
+import "testing"
+
+// TestDifferentialCacheModes is the cache-admissibility gate CI runs
+// next to the golden determinism job: across the full strategy matrix,
+// decoding with the token-prefix trie cache (and with the whole-prompt
+// LRU) must be byte-identical to decoding with no session cache at all,
+// per (prompt, strategy, seed) — and the run must actually have forked
+// mid-prompt sessions, or it proved nothing.
+func TestDifferentialCacheModes(t *testing.T) {
+	r := NewRunner(quickSetup())
+	report, err := r.RunDiffTest(DiffConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 families × 3 variants + 3 stressors = 9 prompts; each decoded
+	// greedily plus once per seed, per strategy-matrix entry.
+	wantCases := len(StrategyMatrix) * 9 * 2
+	if report.Cases != wantCases {
+		t.Fatalf("compared %d cases, want %d", report.Cases, wantCases)
+	}
+	if report.PartialHits == 0 {
+		t.Fatal("differential run exercised no mid-prompt forks")
+	}
+	t.Logf("differential run clean: %d cases byte-identical across {off, whole, trie}, %d mid-prompt forks",
+		report.Cases, report.PartialHits)
+}
+
+// TestPrefixBenchTrieRecomputesFewer pins the performance half of the
+// acceptance criteria: on the shared-stem workload the trie cache must
+// recompute strictly fewer prompt tokens than the whole-prompt LRU
+// (which in turn must beat no cache at all), because only the trie can
+// reuse the stems that dominate the workload.
+func TestPrefixBenchTrieRecomputesFewer(t *testing.T) {
+	r := NewRunner(quickSetup())
+	rows := r.RunPrefixBench(PrefixBenchConfig{})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (off, whole, trie)", len(rows))
+	}
+	byMode := map[string]PrefixBenchRow{}
+	for _, row := range rows {
+		byMode[row.Mode] = row
+		t.Logf("%-6s requests=%d prompt_tokens=%d recomputed=%d saved=%d hits=%d partial=%d hit_rate=%.2f",
+			row.Mode, row.Requests, row.PromptTokens, row.TokensRecomputed,
+			row.TokensSaved, row.Hits, row.PartialHits, row.HitRate)
+	}
+	off, whole, trie := byMode["off"], byMode["whole"], byMode["trie"]
+	if off.TokensSaved != 0 || off.TokensRecomputed != off.PromptTokens {
+		t.Fatalf("cache-off saved tokens: %+v", off)
+	}
+	if whole.TokensRecomputed >= off.TokensRecomputed {
+		t.Fatalf("whole-prompt cache saved nothing: whole=%d off=%d",
+			whole.TokensRecomputed, off.TokensRecomputed)
+	}
+	if trie.TokensRecomputed >= whole.TokensRecomputed {
+		t.Fatalf("trie recomputed %d tokens, want fewer than whole-prompt's %d",
+			trie.TokensRecomputed, whole.TokensRecomputed)
+	}
+	if trie.PartialHits == 0 {
+		t.Fatal("trie saw no partial hits on a shared-stem workload")
+	}
+	if whole.PartialHits != 0 {
+		t.Fatalf("whole-prompt cache reported partial hits: %+v", whole)
+	}
+}

@@ -176,9 +176,10 @@ func driveFleet(fleet *cluster.Fleet, prompts []string, cfg FleetBenchConfig) (F
 		P95WallMS:     percentile(latencies, 0.95),
 		P99WallMS:     percentile(latencies, 0.99),
 	}
-	if lookups := engine.PrefixCacheHits + engine.PrefixCacheMisses; lookups > 0 {
-		row.PrefixHitRate = float64(engine.PrefixCacheHits) / float64(lookups)
-	}
+	// Partial hits count as reuse: with the trie cache, shared-prefix
+	// traffic mostly forks mid-prompt sessions rather than matching
+	// whole prompts.
+	row.PrefixHitRate = engine.PrefixCacheHitRate
 	return row, nil
 }
 

@@ -1,0 +1,78 @@
+package model
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/tokenizer"
+)
+
+// fuzzModel trains one small model shared by every fuzz execution (the
+// corpus drives the trie, not the training).
+var fuzzModel = sync.OnceValue(func() *Model {
+	tk := tokenizer.Train(corpusText(), 400)
+	return Train(tk, smallCfg(), SchemeOurs, trainExamples)
+})
+
+// FuzzTrieLookupInsert interprets the fuzz input as a batch of token
+// prompts (0xFF-separated; every other byte is a token id, so the
+// corpus freely spells special tokens, shared stems, duplicates and
+// prefix-of-each-other prompts) and checks the trie's one invariant:
+// whatever the insertion order, every returned session is equivalent to
+// a from-scratch m.NewGen of the same prompt, and re-lookups share it.
+// A byte budget derived from the input exercises eviction paths too.
+func FuzzTrieLookupInsert(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 10, 11, 12, 0xFF, 3, 10, 11, 13})          // shared stem, sibling tails
+	f.Add([]byte{3, 10, 11, 0xFF, 3, 10, 11, 12, 13, 14})      // prefix then extension
+	f.Add([]byte{3, 10, 11, 12, 13, 14, 0xFF, 3, 10, 11})      // extension then prefix
+	f.Add([]byte{0xFF, 0xFF, 3, 0xFF, 3})                      // empty prompts, duplicates
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 0, 1, 2, 0xFF, 0, 1, 2, 9}) // specials inside prompts
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := fuzzModel()
+		var prompts [][]int
+		cur := []int{}
+		for _, b := range data {
+			if b == 0xFF {
+				prompts = append(prompts, cur)
+				cur = []int{}
+				continue
+			}
+			cur = append(cur, int(b))
+		}
+		prompts = append(prompts, cur)
+		if len(prompts) > 16 {
+			prompts = prompts[:16]
+		}
+
+		// A small budget (but never absurdly small) keyed off the input
+		// length keeps eviction in play across the corpus.
+		budget := int64(1<<14 + len(data)*64)
+		c := NewTrieCache(budget)
+		got := make([]*Gen, len(prompts))
+		for i, ids := range prompts {
+			got[i] = c.Gen(m, ids)
+			want := m.NewGen(ids)
+			if genFingerprint(got[i]) != genFingerprint(want) {
+				t.Fatalf("prompt %d (%v): trie session diverges from fresh build", i, ids)
+			}
+			if got[i].PromptLen() != len(ids) {
+				t.Fatalf("prompt %d: session len %d, want %d", i, got[i].PromptLen(), len(ids))
+			}
+		}
+		// Second pass: repeats must stay correct (shared or rebuilt —
+		// eviction may have dropped any of them, correctness may not).
+		for i, ids := range prompts {
+			again := c.Gen(m, ids)
+			if genFingerprint(again) != genFingerprint(got[i]) {
+				t.Fatalf("prompt %d: re-lookup diverged", i)
+			}
+		}
+		// The trie's own retained state must spell real prefixes.
+		c.Walk(func(prefix []int, g *Gen) {
+			if g.PromptLen() != len(prefix) {
+				t.Fatalf("node path len %d holds session of len %d", len(prefix), g.PromptLen())
+			}
+		})
+	})
+}

@@ -25,6 +25,7 @@ type GenCache struct {
 	items map[uint64]*list.Element
 
 	hits, misses uint64
+	tokensSaved  uint64
 }
 
 type genEntry struct {
@@ -39,25 +40,6 @@ func NewGenCache(max int) *GenCache {
 		max = 256
 	}
 	return &GenCache{max: max, order: list.New(), items: map[uint64]*list.Element{}}
-}
-
-// promptKey hashes a prompt id sequence (FNV-1a over ids and length).
-func promptKey(promptIDs []int) uint64 {
-	h := uint64(14695981039346656037)
-	mixByte := func(b uint64) {
-		h ^= b & 0xFF
-		h *= 1099511628211
-	}
-	mix := func(v uint64) {
-		for s := 0; s < 32; s += 8 {
-			mixByte(v >> uint(s))
-		}
-	}
-	mix(uint64(len(promptIDs)))
-	for _, id := range promptIDs {
-		mix(uint64(id))
-	}
-	return h
 }
 
 // samePrompt guards against hash collisions: a hit must match the
@@ -86,12 +68,13 @@ func (c *GenCache) Gen(m *Model, promptIDs []int) *Gen {
 		c.mu.Unlock()
 		return m.NewGen(promptIDs)
 	}
-	key := promptKey(promptIDs)
+	key := PromptKey(promptIDs)
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*genEntry)
 		if samePrompt(e.prompt, promptIDs) {
 			c.order.MoveToFront(el)
 			c.hits++
+			c.tokensSaved += uint64(len(promptIDs))
 			g := e.gen
 			c.mu.Unlock()
 			return g
@@ -128,6 +111,20 @@ func (c *GenCache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// SessionStats implements SessionCache. A whole-prompt LRU can only
+// hit exactly, so PartialHits is always zero and an exact hit saves
+// the entire prompt's preparation.
+func (c *GenCache) SessionStats() SessionStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return SessionStats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		TokensSaved: c.tokensSaved,
+		Entries:     c.order.Len(),
+	}
 }
 
 // Len reports the current number of cached sessions.

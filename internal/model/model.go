@@ -355,74 +355,23 @@ type Gen struct {
 	// clipOff disables prompt clipping (session-free diagnostic use
 	// where the whole sequence is context).
 	clipOff bool
+	// fork is the resumable preparation tail for copy-on-extend forks
+	// (nil for session-free diagnostic Gens — see Forkable).
+	fork *forkState
 }
 
 // NewGen prepares a generation session for a prompt (token ids). The
 // prompt text is recovered via the tokenizer to extract conditioning
-// keywords.
+// keywords (with an IDF filter: keywords present in a large fraction of
+// training prompts — clk, rst, q, widths — retrieve a soup of every
+// family and only dilute the informative ones).
+//
+// NewGen is defined as a copy-on-extend Fork of the empty session, so
+// a session built fresh and a session assembled through any chain of
+// mid-prompt forks are the same computation — the property the prefix
+// trie cache's byte-identical guarantee rests on.
 func (m *Model) NewGen(promptIDs []int) *Gen {
-	g := &Gen{m: m, promptLen: len(promptIDs), promptToks: map[int]bool{}}
-	// IDF filter: keywords present in a large fraction of training
-	// prompts (clk, rst, q, widths) retrieve a soup of every family
-	// and only dilute the informative keywords.
-	for _, w := range Keywords(m.tok.DecodeClean(promptIDs)) {
-		if m.trained >= 50 && float64(m.kwDF[w]) > 0.15*float64(m.trained) {
-			continue
-		}
-		g.seeds = append(g.seeds, kwSeed(w))
-	}
-	for _, id := range promptIDs {
-		if tokenizer.IsSpecial(id) {
-			continue
-		}
-		if isContentToken(m.tok.Token(id)) {
-			g.promptToks[id] = true
-		}
-	}
-	g.codePos = markCodeLines(m.tok, promptIDs)
-	return g
-}
-
-// markCodeLines flags prompt positions on lines that look like verbatim
-// Verilog (a lowercase port keyword next to a parenthesis, or an
-// assign/endmodule statement). Natural-language spec lines — which
-// capitalize "Inputs:" and never contain lowercase header syntax — stay
-// unflagged, so prompt echoing cannot parrot prose.
-func markCodeLines(tok *tokenizer.Tokenizer, promptIDs []int) []bool {
-	out := make([]bool, len(promptIDs))
-	lineStart := 0
-	var line strings.Builder
-	flush := func(end int) {
-		t := strings.TrimSpace(line.String())
-		// Verbatim code lines are short and start with header syntax;
-		// prose spec sentences (which may mention "module" and contain
-		// parentheses) are long or start with capitalized words.
-		starts := strings.HasPrefix(t, "module ") || strings.HasPrefix(t, "input ") ||
-			strings.HasPrefix(t, "output ") || strings.HasPrefix(t, "assign ") ||
-			strings.HasPrefix(t, "endmodule") || strings.HasPrefix(t, "wire ") ||
-			strings.HasPrefix(t, "reg ")
-		codey := len(t) < 120 && starts &&
-			(strings.Contains(t, "(") || strings.Contains(t, ";") || t == "endmodule")
-		if codey {
-			for i := lineStart; i < end; i++ {
-				out[i] = true
-			}
-		}
-		line.Reset()
-		lineStart = end
-	}
-	for i, id := range promptIDs {
-		text := ""
-		if !tokenizer.IsSpecial(id) {
-			text = tok.Token(id)
-		}
-		line.WriteString(text)
-		if strings.Contains(text, "\n") {
-			flush(i + 1)
-		}
-	}
-	flush(len(promptIDs))
-	return out
+	return m.emptyGen().Fork(promptIDs)
 }
 
 // isContentOrCodePunct accepts identifier-like pieces plus the

@@ -1,0 +1,96 @@
+package model
+
+import (
+	"repro/internal/tokenizer"
+)
+
+// This file is the single home of prompt-key canonicalization. Every
+// layer that keys on a prompt — the decoder's own conditioning, the
+// serving layer's result-cache and single-flight keys, and the prefix
+// trie — derives its key through these helpers, so the key spaces can
+// never drift apart (previously the serving layer canonicalized on its
+// own and the session caches hashed raw id slices independently).
+
+// CanonicalPromptIDs renders a natural-language description into the
+// exact token-id sequence the decoder conditions on: <bos> plus the
+// BPE encoding of the Alpaca-style training template. Two descriptions
+// that tokenize identically are the same prompt everywhere — same
+// decode, same cache entry, same trie path.
+func CanonicalPromptIDs(tok *tokenizer.Tokenizer, desc string) []int {
+	return append([]int{tokenizer.BosID}, tok.Encode(FormatPrompt(desc))...)
+}
+
+// PromptKeyString packs a token-id sequence into a compact, collision-
+// free string key (4 little-endian bytes per id; length is implicit in
+// the fixed width). Unlike a hash it cannot conflate distinct prompts,
+// which matters for the serving result cache — a collision there would
+// return the wrong generation, not just rebuild a session. Handles any
+// byte content losslessly: ids derived from prompts with embedded NUL,
+// invalid UTF-8 or empty text all round-trip distinctly.
+func PromptKeyString(ids []int) string {
+	b := make([]byte, 0, 4*len(ids))
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
+// PromptKey hashes a prompt id sequence (FNV-1a over ids and length) —
+// the fast map key of the whole-prompt session cache, which guards the
+// hash with an exact prompt comparison (see GenCache).
+func PromptKey(promptIDs []int) uint64 {
+	h := uint64(14695981039346656037)
+	mixByte := func(b uint64) {
+		h ^= b & 0xFF
+		h *= 1099511628211
+	}
+	mix := func(v uint64) {
+		for s := 0; s < 32; s += 8 {
+			mixByte(v >> uint(s))
+		}
+	}
+	mix(uint64(len(promptIDs)))
+	for _, id := range promptIDs {
+		mix(uint64(id))
+	}
+	return h
+}
+
+// SessionStats is the common counter snapshot of a session cache.
+type SessionStats struct {
+	// Hits counts exact whole-prompt reuses; PartialHits counts reuses
+	// of a strict prefix (trie cache only — the whole-prompt LRU can
+	// only hit exactly); Misses counts from-scratch session builds.
+	Hits, PartialHits, Misses uint64
+	// TokensSaved is the total number of prompt tokens whose session
+	// preparation was skipped by reuse (full prompt length on an exact
+	// hit, matched prefix length on a partial hit).
+	TokensSaved uint64
+	// Entries is the current number of cached sessions; Bytes is the
+	// cache's estimated retained memory (trie cache only).
+	Entries int
+	Bytes   int64
+}
+
+// Lookups is the total number of cache probes.
+func (s SessionStats) Lookups() uint64 { return s.Hits + s.PartialHits + s.Misses }
+
+// HitRate is the fraction of lookups that reused any prefix (exact or
+// partial), 0 when idle.
+func (s SessionStats) HitRate() float64 {
+	if l := s.Lookups(); l > 0 {
+		return float64(s.Hits+s.PartialHits) / float64(l)
+	}
+	return 0
+}
+
+// SessionCache is a shared store of prepared generation sessions. Both
+// implementations — the whole-prompt LRU (GenCache) and the token-
+// prefix trie (TrieCache) — return sessions identical to m.NewGen's,
+// so a cache never changes decode outputs, only the work of preparing
+// them. Implementations are safe for concurrent use and the returned
+// *Gen is shared and immutable.
+type SessionCache interface {
+	Gen(m *Model, promptIDs []int) *Gen
+	SessionStats() SessionStats
+}

@@ -8,8 +8,11 @@
 // (model, prompt, options, seed) that short-circuits repeat
 // generations, a single-flight table that collapses concurrent
 // identical submissions onto one decode, and a shared prefix cache
-// (model.GenCache) that reuses prompt-derived session state across
-// requests. Decoding stays deterministic per seed regardless of worker
+// (model.SessionCache: a token-prefix trie by default, the legacy
+// whole-prompt LRU on request) that reuses prompt-derived session
+// state across requests — including partial reuse, where a prompt
+// sharing only a token prefix with earlier traffic forks the cached
+// prefix session and prepares just the suffix. Decoding stays deterministic per seed regardless of worker
 // scheduling: each request carries its own RNG seed in core.Options and
 // the workers share nothing but the read-only model and the immutable
 // cached sessions.
@@ -134,12 +137,24 @@ type Config struct {
 	// default (512), negative disables caching (the benchmark harness
 	// disables it so every decode pays its simulated cost).
 	CacheSize int
-	// PrefixCacheSize is the shared prompt-session cache capacity in
-	// prompts: 0 selects the default (256), negative disables it.
-	// Unlike the result LRU it never changes outputs — it only skips
-	// re-deriving prompt conditioning state — so it stays on for the
-	// benchmark harness.
+	// PrefixCacheMode selects the shared prompt-session cache
+	// implementation: PrefixCacheTrie (the default) keys sessions on
+	// true token prefixes and forks cached prefix sessions over only
+	// the uncached suffix; PrefixCacheWhole is the legacy whole-prompt
+	// LRU; PrefixCacheOff disables session caching. Whatever the mode,
+	// outputs are byte-identical — the cache only changes how much
+	// session preparation is recomputed (pinned by the differential
+	// harness in internal/experiments). NewEngine panics on any other
+	// spelling; validate external input with ParsePrefixCacheMode.
+	PrefixCacheMode string
+	// PrefixCacheSize is the whole-prompt cache capacity in prompts: 0
+	// selects the default (256). Negative disables session caching
+	// entirely (legacy spelling of PrefixCacheOff, honoured in every
+	// mode).
 	PrefixCacheSize int
+	// PrefixCacheBytes caps the trie cache's estimated retained memory
+	// (0 selects model.DefaultTrieBytes).
+	PrefixCacheBytes int64
 	// NoDedup disables single-flight deduplication of identical
 	// concurrent requests (diagnostics; dedup never changes outputs
 	// because decodes are deterministic per (prompt, options, seed)).
@@ -174,7 +189,35 @@ func (c Config) withDefaults() Config {
 	if c.PrefixCacheSize == 0 {
 		c.PrefixCacheSize = 256
 	}
+	if c.PrefixCacheMode == "" {
+		c.PrefixCacheMode = PrefixCacheTrie
+	}
 	return c
+}
+
+// Prefix-cache modes (Config.PrefixCacheMode, vgend -prefix-cache).
+const (
+	// PrefixCacheTrie is the token-prefix trie with copy-on-extend
+	// sessions (the default).
+	PrefixCacheTrie = "trie"
+	// PrefixCacheWhole is the legacy whole-prompt session LRU.
+	PrefixCacheWhole = "whole"
+	// PrefixCacheOff disables session caching.
+	PrefixCacheOff = "off"
+)
+
+// ParsePrefixCacheMode validates a prefix-cache mode name (empty
+// selects the trie default).
+func ParsePrefixCacheMode(s string) (string, error) {
+	switch s {
+	case "", PrefixCacheTrie:
+		return PrefixCacheTrie, nil
+	case PrefixCacheWhole:
+		return PrefixCacheWhole, nil
+	case PrefixCacheOff, "none":
+		return PrefixCacheOff, nil
+	}
+	return "", fmt.Errorf("unknown prefix-cache mode %q (want trie, whole or off)", s)
 }
 
 // Request is one generation to perform.
@@ -243,14 +286,19 @@ type Response struct {
 
 // task is one queued request with its completion channel.
 type task struct {
-	req  Request
-	ctx  context.Context
-	done chan *Response // buffered(1): workers never block on delivery
+	req Request
+	// promptIDs is the prompt's canonical tokenization, computed once at
+	// submission (it also derives key); the worker decodes from it
+	// directly instead of re-encoding the prompt text.
+	promptIDs []int
+	ctx       context.Context
+	done      chan *Response // buffered(1): workers never block on delivery
 	// enqueued is when the task entered the queue; the worker accounts
 	// the pickup delay as queue-wait time.
 	enqueued time.Time
-	// key and fl carry the single-flight registration when this task
-	// leads one; the worker resolves the flight on completion.
+	// key is the request's canonical cache key (always set); fl carries
+	// the single-flight registration when this task leads one, and the
+	// worker resolves the flight on completion.
 	key cacheKey
 	fl  *flight
 }
@@ -269,11 +317,20 @@ type Engine struct {
 	cfg      Config
 	queue    chan *task
 	batches  chan []*task
-	cache    *lruCache       // nil when disabled
-	genCache *model.GenCache // nil when disabled
+	cache    *lruCache          // nil when disabled
+	genCache model.SessionCache // nil when disabled; trie or whole-prompt LRU per cfg
 
 	flightMu sync.Mutex // guards inflight
 	inflight map[cacheKey]*flight
+
+	// memoMu guards keyMemo, a prompt-string → canonical-token-ids memo
+	// so repeat submissions (the result LRU's whole clientele) skip BPE
+	// re-tokenization on the hot path. Reset wholesale when full —
+	// cheaper than LRU bookkeeping and just as effective on the repeat-
+	// heavy traffic it exists for. The cached slices are shared and
+	// never mutated (decodes copy before appending).
+	memoMu  sync.RWMutex
+	keyMemo map[string][]int
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -295,13 +352,27 @@ func NewEngine(m *model.Model, cfg Config) *Engine {
 		queue:    make(chan *task, cfg.QueueSize),
 		batches:  make(chan []*task, cfg.Workers),
 		inflight: map[cacheKey]*flight{},
+		keyMemo:  map[string][]int{},
 		quit:     make(chan struct{}),
 	}
 	if cfg.CacheSize > 0 {
 		e.cache = newLRUCache(cfg.CacheSize)
 	}
+	// An unknown mode is programmer error (the HTTP/flag layers validate
+	// their own input): panic rather than silently picking a cache with
+	// a different memory profile than the one asked for — the same
+	// contract as Generate's panic on an unknown strategy name.
+	mode, err := ParsePrefixCacheMode(cfg.PrefixCacheMode)
+	if err != nil {
+		panic("serve: " + err.Error())
+	}
 	if cfg.PrefixCacheSize > 0 {
-		e.genCache = model.NewGenCache(cfg.PrefixCacheSize)
+		switch mode {
+		case PrefixCacheWhole:
+			e.genCache = model.NewGenCache(cfg.PrefixCacheSize)
+		case PrefixCacheTrie:
+			e.genCache = model.NewTrieCache(cfg.PrefixCacheBytes)
+		}
 	}
 	e.st.perStrategy = map[string]*strategyStats{}
 	e.wg.Add(1)
@@ -368,11 +439,12 @@ func (e *Engine) generateBatch(ctx context.Context, reqs []Request, wait bool) [
 		req.Options = req.Options.Canonical()
 		reqs[i] = req
 		e.st.request(req.Options.StrategyLabel())
-		if resp := e.cacheLookup(req); resp != nil {
+		ids, key := e.canonicalize(req)
+		if resp := e.cacheLookup(req, key); resp != nil {
 			out[i] = resp
 			continue
 		}
-		t, f, err := e.startOrJoin(ctx, req, wait)
+		t, f, err := e.startOrJoin(ctx, req, ids, key, wait)
 		if err != nil {
 			out[i] = &Response{Err: err}
 			continue
@@ -386,7 +458,8 @@ func (e *Engine) generateBatch(ctx context.Context, reqs []Request, wait bool) [
 				// The leader's client died (or its submission was shed),
 				// not this item's: decode fresh under the batch's own
 				// context and admission fate (see resolve).
-				fresh, err := e.resolve(ctx, reqs[i], wait)
+				ids, key := e.canonicalize(reqs[i])
+				fresh, err := e.resolve(ctx, reqs[i], ids, key, wait)
 				if err != nil {
 					fresh = &Response{Err: err}
 				}
@@ -447,10 +520,62 @@ func (e *Engine) submit(ctx context.Context, req Request, wait bool) (*Response,
 	// entries and flights (see core.Options.Canonical).
 	req.Options = req.Options.Canonical()
 	e.st.request(req.Options.StrategyLabel())
-	if resp := e.cacheLookup(req); resp != nil {
+	ids, key := e.canonicalize(req)
+	if resp := e.cacheLookup(req, key); resp != nil {
 		return resp, nil
 	}
-	return e.resolve(ctx, req, wait)
+	return e.resolve(ctx, req, ids, key, wait)
+}
+
+// canonicalize tokenizes a request's prompt exactly once, returning the
+// canonical token ids (which the worker decodes from) and the derived
+// cache/single-flight key. Both go through the same shared helpers the
+// decoder and the prefix trie key on (model.CanonicalPromptIDs +
+// model.PromptKeyString): spellings that tokenize identically — and
+// therefore decode identically — share one entry, and the serving key
+// space can never drift from the decoder's. Options must already be
+// canonical.
+func (e *Engine) canonicalize(req Request) ([]int, cacheKey) {
+	ids := e.canonicalIDs(req.Prompt)
+	return ids, cacheKey{prompt: model.PromptKeyString(ids), opts: req.Options}
+}
+
+// keyMemoCap bounds the tokenization memo's entry count and
+// keyMemoMaxPrompt its per-entry size (see Engine.keyMemo). Together
+// they cap retained memo heap at a few MiB: prompts past the size cut
+// are tokenized every time instead of pinning megabytes of string per
+// slot, which is the right trade — the memo exists for short repeated
+// prompts, not one-off bulk payloads.
+const (
+	keyMemoCap       = 4096
+	keyMemoMaxPrompt = 4 << 10
+)
+
+// canonicalIDs tokenizes a prompt through the memo.
+func (e *Engine) canonicalIDs(prompt string) []int {
+	e.memoMu.RLock()
+	ids, ok := e.keyMemo[prompt]
+	e.memoMu.RUnlock()
+	if ok {
+		return ids
+	}
+	ids = model.CanonicalPromptIDs(e.m.Tokenizer(), prompt)
+	if len(prompt) > keyMemoMaxPrompt {
+		return ids
+	}
+	e.memoMu.Lock()
+	if len(e.keyMemo) >= keyMemoCap {
+		clear(e.keyMemo)
+	}
+	e.keyMemo[prompt] = ids
+	e.memoMu.Unlock()
+	return ids
+}
+
+// requestKey is canonicalize for callers that only need the key.
+func (e *Engine) requestKey(req Request) cacheKey {
+	_, key := e.canonicalize(req)
+	return key
 }
 
 // resolve runs the submission flow after accounting and cache lookup:
@@ -461,9 +586,9 @@ func (e *Engine) submit(ctx context.Context, req Request, wait bool) (*Response,
 // each retry either becomes the new leader (decoding under this
 // caller's own live context) or joins a newer flight, so the loop
 // always makes progress.
-func (e *Engine) resolve(ctx context.Context, req Request, wait bool) (*Response, error) {
+func (e *Engine) resolve(ctx context.Context, req Request, ids []int, key cacheKey, wait bool) (*Response, error) {
 	for {
-		t, f, err := e.startOrJoin(ctx, req, wait)
+		t, f, err := e.startOrJoin(ctx, req, ids, key, wait)
 		if err != nil {
 			return nil, err
 		}
@@ -522,12 +647,11 @@ func leaderShed(resp *Response) bool {
 // arriving while the leader is in flight become followers: they get
 // the flight to wait on instead of a task, and no second decode runs.
 // Streaming requests and disabled dedup bypass the gate entirely.
-func (e *Engine) startOrJoin(ctx context.Context, req Request, wait bool) (*task, *flight, error) {
+func (e *Engine) startOrJoin(ctx context.Context, req Request, ids []int, key cacheKey, wait bool) (*task, *flight, error) {
 	if e.cfg.NoDedup || req.OnStep != nil {
-		t, err := e.enqueue(ctx, req, wait, cacheKey{}, nil)
+		t, err := e.enqueue(ctx, req, ids, wait, key, nil)
 		return t, nil, err
 	}
-	key := cacheKey{prompt: req.Prompt, opts: req.Options}
 	e.flightMu.Lock()
 	if f, ok := e.inflight[key]; ok {
 		e.flightMu.Unlock()
@@ -537,7 +661,7 @@ func (e *Engine) startOrJoin(ctx context.Context, req Request, wait bool) (*task
 	f := &flight{done: make(chan struct{})}
 	e.inflight[key] = f
 	e.flightMu.Unlock()
-	t, err := e.enqueue(ctx, req, wait, key, f)
+	t, err := e.enqueue(ctx, req, ids, wait, key, f)
 	if err != nil {
 		// Resolve the flight so followers that joined between the
 		// registration and this failure do not hang; they share the
@@ -577,11 +701,11 @@ func waitFlight(ctx context.Context, f *flight) *Response {
 
 // cacheLookup serves a request from the LRU if possible, accounting a
 // hit or miss. Streaming requests never touch the cache.
-func (e *Engine) cacheLookup(req Request) *Response {
+func (e *Engine) cacheLookup(req Request, key cacheKey) *Response {
 	if e.cache == nil || req.OnStep != nil {
 		return nil
 	}
-	if res, ok := e.cache.get(cacheKey{prompt: req.Prompt, opts: req.Options}); ok {
+	if res, ok := e.cache.get(key); ok {
 		e.st.cacheHit(req.Options.StrategyLabel())
 		return &Response{Result: res, Cached: true, Strategy: req.Options.StrategyLabel()}
 	}
@@ -593,8 +717,8 @@ func (e *Engine) cacheLookup(req Request) *Response {
 // send so Close's write lock cannot proceed while a submission is in
 // flight — after Close acquires it, the queue's contents are final and
 // can be drained exactly once.
-func (e *Engine) enqueue(ctx context.Context, req Request, wait bool, key cacheKey, fl *flight) (*task, error) {
-	t := &task{req: req, ctx: ctx, done: make(chan *Response, 1), key: key, fl: fl}
+func (e *Engine) enqueue(ctx context.Context, req Request, ids []int, wait bool, key cacheKey, fl *flight) (*task, error) {
+	t := &task{req: req, promptIDs: ids, ctx: ctx, done: make(chan *Response, 1), key: key, fl: fl}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
@@ -720,7 +844,7 @@ func (e *Engine) drain() {
 // serves batches until the batcher closes the feed.
 func (e *Engine) worker() {
 	defer e.wg.Done()
-	dec := core.NewDecoder(e.m).WithGenCache(e.genCache)
+	dec := core.NewDecoder(e.m).WithSessionCache(e.genCache)
 	for batch := range e.batches {
 		for _, t := range batch {
 			e.serveTask(dec, t)
@@ -740,7 +864,7 @@ func (e *Engine) serveTask(dec *core.Decoder, t *task) {
 		return
 	}
 	start := time.Now()
-	res, err := dec.GenerateStream(t.ctx, t.req.Prompt, t.req.Options, t.req.OnStep)
+	res, err := dec.GenerateStreamFrom(t.ctx, t.promptIDs, t.req.Options, t.req.OnStep)
 	wall := time.Since(start)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -752,7 +876,7 @@ func (e *Engine) serveTask(dec *core.Decoder, t *task) {
 		return
 	}
 	if e.cache != nil && t.req.OnStep == nil {
-		e.cache.add(cacheKey{prompt: t.req.Prompt, opts: t.req.Options}, res)
+		e.cache.add(t.key, res)
 	}
 	e.st.complete(label, res, wall)
 	e.finish(t, &Response{Result: res, Wall: wall, Strategy: label})

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -208,7 +209,9 @@ func TestQueueFullBackpressure(t *testing.T) {
 	successes := 0
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		_, err := eng.enqueue(ctx, Request{Prompt: prompts[1], Options: testOptions(int64(successes))}, false, cacheKey{}, nil)
+		req := Request{Prompt: prompts[1], Options: testOptions(int64(successes))}
+		ids, key := eng.canonicalize(req)
+		_, err := eng.enqueue(ctx, req, ids, false, key, nil)
 		if err == nil {
 			successes++
 		} else if errors.Is(err, ErrQueueFull) && successes >= 3 {
@@ -680,6 +683,124 @@ func TestPrefixCacheReuse(t *testing.T) {
 	}
 	if mt.PrefixCacheEntries != 1 {
 		t.Errorf("prefix cache entries=%d, want 1", mt.PrefixCacheEntries)
+	}
+}
+
+// TestPrefixCacheModesByteIdentical runs the same workload — including
+// shared-stem prompts that only a prefix trie can partially reuse —
+// through engines in all three prefix-cache modes and requires
+// byte-identical responses: the session cache may only change how much
+// preparation is recomputed, never what is decoded.
+func TestPrefixCacheModesByteIdentical(t *testing.T) {
+	m, prompts := fixture(t)
+	stem := prompts[0] + " The module must also expose"
+	workload := []string{
+		prompts[0],
+		stem + " an active-high enable input en.",
+		stem + " a synchronous clear input clr.",
+		prompts[0], // exact repeat
+	}
+	run := func(mode string) []*Response {
+		eng := NewEngine(m, Config{Workers: 2, CacheSize: -1, PrefixCacheMode: mode})
+		defer eng.Close()
+		reqs := make([]Request, len(workload))
+		for i, p := range workload {
+			reqs[i] = Request{Prompt: p, Options: testOptions(int64(i))}
+		}
+		resps := eng.GenerateBatch(context.Background(), reqs)
+		mt := eng.Metrics()
+		switch mode {
+		case PrefixCacheOff:
+			if mt.PrefixCacheEntries != 0 || mt.PrefixCacheHits+mt.PrefixCachePartialHits != 0 {
+				t.Errorf("off mode cached sessions: %+v", mt)
+			}
+		case PrefixCacheTrie:
+			if mt.PrefixCachePartialHits == 0 {
+				t.Errorf("trie mode saw no partial hits on shared stems: %+v", mt)
+			}
+			if mt.PrefixCacheTokensSaved == 0 || mt.PrefixCacheHitRate == 0 {
+				t.Errorf("trie mode reported no savings: tokens=%d rate=%g",
+					mt.PrefixCacheTokensSaved, mt.PrefixCacheHitRate)
+			}
+		case PrefixCacheWhole:
+			if mt.PrefixCachePartialHits != 0 {
+				t.Errorf("whole-prompt mode reported partial hits: %+v", mt)
+			}
+		}
+		return resps
+	}
+	base := run(PrefixCacheOff)
+	for _, mode := range []string{PrefixCacheWhole, PrefixCacheTrie} {
+		got := run(mode)
+		for i := range base {
+			if base[i].Err != nil || got[i].Err != nil {
+				t.Fatalf("request %d failed: %v / %v", i, base[i].Err, got[i].Err)
+			}
+			if got[i].Result.Text != base[i].Result.Text ||
+				got[i].Result.Steps != base[i].Result.Steps ||
+				got[i].Result.SimulatedMS != base[i].Result.SimulatedMS {
+				t.Fatalf("mode %s request %d diverged from cache-off", mode, i)
+			}
+		}
+	}
+}
+
+// TestRequestKeyCanonical pins the shared-helper key path: requests
+// whose prompts tokenize identically must share one result-cache entry
+// and one single-flight key, because the key is the canonical token-id
+// packing, not the raw string.
+func TestRequestKeyCanonical(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 1})
+	defer eng.Close()
+	a := eng.requestKey(Request{Prompt: prompts[0], Options: testOptions(1)})
+	b := eng.requestKey(Request{Prompt: prompts[0], Options: testOptions(1)})
+	if a != b {
+		t.Fatal("identical requests produced different keys")
+	}
+	ids := model.CanonicalPromptIDs(m.Tokenizer(), prompts[0])
+	if a.prompt != model.PromptKeyString(ids) {
+		t.Fatal("request key does not go through the shared canonicalization helper")
+	}
+	if c := eng.requestKey(Request{Prompt: prompts[0] + "!", Options: testOptions(1)}); c == a {
+		t.Fatal("distinct prompts share a key")
+	}
+}
+
+// TestKeyMemoBounded pins the tokenization memo's memory discipline:
+// repeat prompts hit the memo (same backing slice comes back), the
+// memo resets wholesale at its entry cap instead of growing without
+// bound, and oversized prompts are never admitted — they would pin
+// megabytes of string per slot for traffic the memo wasn't built for.
+func TestKeyMemoBounded(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 1})
+	defer eng.Close()
+	a := eng.canonicalIDs(prompts[0])
+	b := eng.canonicalIDs(prompts[0])
+	if len(a) > 0 && &a[0] != &b[0] {
+		t.Error("repeat prompt re-tokenized instead of hitting the memo")
+	}
+	big := strings.Repeat(prompts[0]+" ", keyMemoMaxPrompt/len(prompts[0])+2)
+	eng.canonicalIDs(big)
+	eng.memoMu.RLock()
+	_, kept := eng.keyMemo[big]
+	n := len(eng.keyMemo)
+	eng.memoMu.RUnlock()
+	if kept {
+		t.Errorf("prompt of %d bytes admitted to the memo (cap %d)", len(big), keyMemoMaxPrompt)
+	}
+	if n != 1 {
+		t.Errorf("memo holds %d entries, want just the small prompt", n)
+	}
+	for i := 0; i < keyMemoCap; i++ {
+		eng.canonicalIDs(fmt.Sprintf("%s #%d", prompts[0], i))
+	}
+	eng.memoMu.RLock()
+	n = len(eng.keyMemo)
+	eng.memoMu.RUnlock()
+	if n > keyMemoCap {
+		t.Errorf("memo grew to %d entries past its cap %d", n, keyMemoCap)
 	}
 }
 

@@ -198,11 +198,19 @@ type Metrics struct {
 	// Inflight is the current single-flight table population.
 	Inflight int `json:"inflight"`
 
-	// PrefixCacheHits / PrefixCacheMisses count shared prompt-session
-	// reuse across requests; PrefixCacheEntries is the population.
-	PrefixCacheHits    uint64 `json:"prefix_cache_hits"`
-	PrefixCacheMisses  uint64 `json:"prefix_cache_misses"`
-	PrefixCacheEntries int    `json:"prefix_cache_entries"`
+	// PrefixCacheHits counts exact whole-prompt session reuses;
+	// PrefixCachePartialHits counts partial reuses (a cached strict
+	// token prefix was forked over the uncached suffix — trie mode
+	// only); PrefixCacheMisses counts from-scratch session builds.
+	// PrefixCacheTokensSaved totals the prompt tokens whose session
+	// preparation reuse skipped, and PrefixCacheHitRate is
+	// (hits+partial)/lookups. PrefixCacheEntries is the population.
+	PrefixCacheHits        uint64  `json:"prefix_cache_hits"`
+	PrefixCachePartialHits uint64  `json:"prefix_partial_hits"`
+	PrefixCacheMisses      uint64  `json:"prefix_cache_misses"`
+	PrefixCacheTokensSaved uint64  `json:"prefix_tokens_saved"`
+	PrefixCacheHitRate     float64 `json:"prefix_cache_hit_rate"`
+	PrefixCacheEntries     int     `json:"prefix_cache_entries"`
 
 	Batches uint64 `json:"batches"`
 	// MeanBatchSize is tasks per dispatched micro-batch.
@@ -264,8 +272,13 @@ func (e *Engine) Metrics() Metrics {
 	m.Inflight = len(e.inflight)
 	e.flightMu.Unlock()
 	if e.genCache != nil {
-		m.PrefixCacheHits, m.PrefixCacheMisses = e.genCache.Stats()
-		m.PrefixCacheEntries = e.genCache.Len()
+		st := e.genCache.SessionStats()
+		m.PrefixCacheHits = st.Hits
+		m.PrefixCachePartialHits = st.PartialHits
+		m.PrefixCacheMisses = st.Misses
+		m.PrefixCacheTokensSaved = st.TokensSaved
+		m.PrefixCacheHitRate = st.HitRate()
+		m.PrefixCacheEntries = st.Entries
 	}
 	if m.Batches > 0 {
 		m.MeanBatchSize = float64(e.st.batchedTasks) / float64(m.Batches)

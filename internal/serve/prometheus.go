@@ -39,8 +39,11 @@ func writePrometheus(w io.Writer, m Metrics, uptimeS float64, modelName string) 
 	c("dedup_hits_total", "Single-flight shares of identical in-flight requests.", m.DedupHits)
 	g("inflight", "Current single-flight table population.", float64(m.Inflight))
 
-	c("prefix_cache_hits_total", "Shared prompt-session reuses.", m.PrefixCacheHits)
+	c("prefix_cache_hits_total", "Exact whole-prompt session reuses.", m.PrefixCacheHits)
+	c("prefix_partial_hits_total", "Partial session reuses (cached token prefix forked over the suffix).", m.PrefixCachePartialHits)
 	c("prefix_cache_misses_total", "Prompt-session builds.", m.PrefixCacheMisses)
+	c("prefix_tokens_saved_total", "Prompt tokens whose session preparation was skipped by reuse.", m.PrefixCacheTokensSaved)
+	g("prefix_cache_hit_rate", "Fraction of session lookups reusing any prefix (exact or partial).", m.PrefixCacheHitRate)
 	g("prefix_cache_entries", "Current prompt-session cache population.", float64(m.PrefixCacheEntries))
 
 	c("batches_total", "Dispatched micro-batches.", m.Batches)
