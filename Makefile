@@ -22,17 +22,20 @@ test:
 race:
 	$(GO) test -race -shuffle=on ./...
 
-# Byte-identical legacy-mode outputs through the drafter/verifier
-# pipeline (fixtures captured from the pre-refactor loop). Regenerate
+# Byte-identical decode outputs through the drafter/verifier pipeline:
+# the legacy modes against fixtures captured from the pre-refactor
+# loop, plus the tree strategies pinned the day they landed. Regenerate
 # deliberately with: go test -run TestGolden ./internal/core/ -update
 golden:
 	$(GO) test -run TestGolden -v ./internal/core/
 
 # Byte-identical outputs across session-cache modes ({off, whole-prompt
-# LRU, token-prefix trie} × the full strategy matrix): the gate that
-# makes the prefix cache admissible at all.
+# LRU, token-prefix trie} × the full strategy matrix, tree strategies
+# included) plus the tree losslessness proof (greedy lookup-tree ==
+# linear prompt-lookup == NTP, byte for byte): the gates that make the
+# prefix cache and tree drafting admissible at all.
 differential:
-	$(GO) test -run 'TestDifferentialCacheModes|TestForkedSessionByteIdentical' -v ./internal/experiments/ ./internal/core/
+	$(GO) test -run 'TestDifferentialCacheModes|TestTreeLosslessGate|TestForkedSessionByteIdentical|TestLookupTreeGreedyLossless' -v ./internal/experiments/ ./internal/core/
 
 # Coverage gate over the prefix-cache packages: fails if total coverage
 # of internal/model + internal/serve drops below COVER_FLOOR.
@@ -43,19 +46,21 @@ cover:
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 	{ echo "coverage below floor" >&2; exit 1; }
 
-# Native fuzzing smoke: the trie lookup/insert invariant and the
-# Verilog lexer, each for a short budget on top of the committed seed
+# Native fuzzing smoke: the trie lookup/insert invariant, the Verilog
+# lexer and the draft-tree arena (insert/walk/longest-accepted-path
+# invariants), each for a short budget on top of the committed seed
 # corpora (testdata/fuzz/). Run longer locally with -fuzztime.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTrieLookupInsert -fuzztime $(FUZZTIME) ./internal/model/
 	$(GO) test -run '^$$' -fuzz FuzzLexer -fuzztime $(FUZZTIME) ./internal/verilog/
+	$(GO) test -run '^$$' -fuzz FuzzDraftTree -fuzztime $(FUZZTIME) ./internal/core/spec/tree/
 
-# Engine wall-clock throughput + strategy matrix + fleet routing +
-# prefix-cache smoke; CI uploads bench_output.txt as an artifact. Run
-# `go test -bench=. ./...` for the full paper harness.
+# Engine wall-clock throughput + strategy matrix + tree drafting +
+# fleet routing + prefix-cache smoke; CI uploads bench_output.txt as an
+# artifact. Run `go test -bench=. ./...` for the full paper harness.
 bench:
-	set -o pipefail; $(GO) test -run '^$$' -bench='BenchmarkEngine|BenchmarkStrategyMatrix|BenchmarkFleetRouting|BenchmarkPrefixBench' -benchtime=1x ./... | tee bench_output.txt
+	set -o pipefail; $(GO) test -run '^$$' -bench='BenchmarkEngine|BenchmarkStrategyMatrix|BenchmarkTreeDraft|BenchmarkFleetRouting|BenchmarkPrefixBench' -benchtime=1x ./... | tee bench_output.txt
 
 fmt:
 	gofmt -w .

@@ -210,6 +210,59 @@ func BenchmarkStrategyMatrix(b *testing.B) {
 	}
 }
 
+// BenchmarkTreeDraft compares every tree-drafting strategy against its
+// linear counterpart on the same trained model — the quantity token-
+// tree drafting exists to raise is mean accepted length, reported per
+// side together with draft nodes per step and node-budget utilization
+// (CI smoke target for the tree subsystem; experiments.RunTreeBench is
+// the full harness).
+func BenchmarkTreeDraft(b *testing.B) {
+	setup(b)
+	prompts := speedPrompts()
+	pairs := []struct{ scheme, linear, tree string }{
+		{"Medusa", "medusa", "medusa-tree"},
+		{"Ours", "ours", "ours-tree"},
+		{"NTP", "prompt-lookup", "lookup-tree"},
+	}
+	side := func(m *model.Model, strategy string) (accepted, nodesPerStep, util float64) {
+		dec := core.NewDecoder(m)
+		var toks, steps, nodes, budget int
+		for pi, prompt := range prompts {
+			for _, opts := range []core.Options{
+				{Strategy: strategy},
+				{Strategy: strategy, Temperature: 0.8, Seed: int64(pi)},
+			} {
+				res := dec.Generate(prompt, opts)
+				toks += len(res.Tokens)
+				steps += res.Steps
+				nodes += res.TreeNodes
+				budget += res.TreeBudget
+			}
+		}
+		if steps > 0 {
+			accepted = float64(toks) / float64(steps)
+			nodesPerStep = float64(nodes) / float64(steps)
+		}
+		if budget > 0 {
+			util = float64(nodes) / float64(budget)
+		}
+		return accepted, nodesPerStep, util
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pairs {
+			m := models["CodeLlama/"+p.scheme]
+			linAccepted, _, _ := side(m, p.linear)
+			treeAccepted, nodesPerStep, util := side(m, p.tree)
+			label := (core.Options{Strategy: p.tree}).StrategyLabel()
+			b.ReportMetric(linAccepted, label+"_linear_accepted")
+			b.ReportMetric(treeAccepted, label+"_tree_accepted")
+			b.ReportMetric(nodesPerStep, label+"_nodes/step")
+			b.ReportMetric(util, label+"_budget_util")
+		}
+	}
+}
+
 // --- Fig. 1: speed vs pass@10(RTLLM) scatter ---
 
 func BenchmarkFig1(b *testing.B) {

@@ -3,19 +3,24 @@
 //
 // Usage:
 //
-//	evalbench -exp table1|table2|matrix|fleet|prefix|diff|fig1|fig5|fig6|all [-quick]
-//	          [-items N] [-samples N] [-seed N]
+//	evalbench -exp table1|table2|matrix|tree|fleet|prefix|diff|fig1|fig5|fig6|all
+//	          [-quick] [-items N] [-samples N] [-seed N]
 //
 // -quick selects the scaled-down setup (one model, one data size, few
 // samples); the default is the full harness described in DESIGN.md.
 // "matrix" runs the strategy matrix: every decoding strategy (the
-// legacy three plus self-speculative prompt lookup) under the Table II
-// protocol, with measured wall-clock ms/token next to the simulated
-// speedup. "fleet" runs the multi-replica load scenario: measured
-// wall-clock throughput and latency percentiles per routing policy.
-// "prefix" compares session-preparation tokens recomputed across the
-// three prefix-cache modes on a shared-stem workload; "diff" asserts
-// all three modes decode byte-identically across the strategy matrix.
+// legacy three, self-speculative prompt lookup and the three
+// tree-drafting lifts) under the Table II protocol, with measured
+// wall-clock ms/token next to the simulated speedup. "tree" compares
+// each tree strategy against its linear counterpart: mean accepted
+// length, draft nodes per step and node-budget utilization. "fleet"
+// runs the multi-replica load scenario: measured wall-clock throughput
+// and latency percentiles per routing policy. "prefix" compares
+// session-preparation tokens recomputed across the three prefix-cache
+// modes on a shared-stem workload; "diff" asserts all cache modes
+// decode byte-identically across the strategy matrix AND that greedy
+// lookup-tree byte streams equal linear prompt-lookup's (the tree
+// losslessness proof).
 package main
 
 import (
@@ -29,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, matrix, fleet, prefix, diff, fig1, fig5, fig6 or all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, matrix, tree, fleet, prefix, diff, fig1, fig5, fig6 or all")
 	quick := flag.Bool("quick", false, "scaled-down setup (fast smoke run)")
 	items := flag.Int("items", 0, "override corpus item count")
 	samples := flag.Int("samples", 0, "override samples per prompt per temperature")
@@ -94,6 +99,10 @@ func main() {
 		fmt.Println("## Strategy matrix — tokens/s per decoding strategy")
 		printMatrix(runner.RunStrategyMatrix())
 	}
+	if want("tree") {
+		fmt.Println("## Tree bench — mean accepted length, linear vs tree drafting")
+		printTreeBench(runner.RunTreeBench())
+	}
 	if want("fleet") {
 		fmt.Println("## Fleet bench — measured wall-clock throughput/latency per routing policy")
 		rows, err := runner.RunFleetBench(experiments.FleetBenchConfig{})
@@ -119,7 +128,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "differential: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("  clean: %d cases byte-identical, %d mid-prompt forks exercised\n\n", report.Cases, report.PartialHits)
+		fmt.Printf("  clean: %d cases byte-identical, %d mid-prompt forks exercised\n", report.Cases, report.PartialHits)
+		lossless, err := runner.RunTreeLossless()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tree lossless: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  lossless: %d greedy lookup-tree cases byte-identical to prompt-lookup and NTP (steps %d vs %d vs %d)\n\n",
+			lossless.Cases, lossless.StepsTree, lossless.StepsLinear, lossless.StepsNTP)
 	}
 	if want("fig1") && t1 != nil && t2 != nil {
 		fmt.Println("## Fig. 1 — speed vs pass@10 (RTLLM, first model)")
@@ -145,7 +161,7 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("# total %v\n", time.Since(t0).Round(time.Second))
-	if *exp != "all" && !want("table1") && !want("table2") && !want("matrix") && !want("fleet") && !want("prefix") && !want("diff") && !want("fig1") && !want("fig5") && !want("fig6") {
+	if *exp != "all" && !want("table1") && !want("table2") && !want("matrix") && !want("tree") && !want("fleet") && !want("prefix") && !want("diff") && !want("fig1") && !want("fig5") && !want("fig6") {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
@@ -157,6 +173,18 @@ func printMatrix(rows []experiments.StrategyRow) {
 	for _, r := range rows {
 		fmt.Printf("%-14s %-8s %-13s %14.2f %9.2f %9.2f %12.4f\n",
 			r.Model, r.Scheme, r.Strategy, r.TokensPerSec, r.Speedup, r.MeanAccepted, r.WallMSPerToken)
+	}
+	fmt.Println()
+}
+
+func printTreeBench(rows []experiments.TreeBenchRow) {
+	fmt.Printf("%-14s %-8s %-12s %-12s %9s %9s %6s %11s %10s %6s\n",
+		"model", "scheme", "linear", "tree", "lin acc", "tree acc", "gain", "nodes/step", "tree tok/s", "util")
+	fmt.Println(strings.Repeat("-", 108))
+	for _, r := range rows {
+		fmt.Printf("%-14s %-8s %-12s %-12s %9.3f %9.3f %6.3f %11.1f %10.2f %6.2f\n",
+			r.Model, r.Scheme, r.Linear, r.Tree, r.LinearAccepted, r.TreeAccepted,
+			r.AcceptedGain, r.TreeNodesPerStep, r.TreeTokensPerSec, r.BudgetUtilization)
 	}
 	fmt.Println()
 }

@@ -2,12 +2,15 @@
 // generates Verilog for a prompt with the chosen scheme and decoding
 // strategy — the quickest way to watch the speculative decoder work.
 //
-// Usage: vgen [-scheme ours|medusa|ntp] [-strategy ntp|medusa|ours|prompt-lookup]
+// Usage: vgen [-scheme ours|medusa|ntp] [-strategy NAME] [-tree-budget N]
 // [-items N] [-temp T] "prompt"
 //
-// -strategy overrides the scheme's natural decoding mode; e.g.
+// -strategy overrides the scheme's natural decoding mode with any
+// registered strategy (vgen -list-strategies prints them all); e.g.
 // "-scheme ntp -strategy prompt-lookup" accelerates the plain NTP
-// backbone with self-speculative drafting.
+// backbone with self-speculative drafting, and "-strategy medusa-tree"
+// drafts a branching candidate tree per step (-tree-budget caps its
+// nodes).
 package main
 
 import (
@@ -24,11 +27,17 @@ import (
 
 func main() {
 	schemeName := flag.String("scheme", "ours", "training scheme: ours, medusa or ntp")
-	strategy := flag.String("strategy", "", "decoding strategy: ntp, medusa, ours or prompt-lookup (default: the scheme's natural mode)")
+	strategy := flag.String("strategy", "", "decoding strategy by registry name (default: the scheme's natural mode; see -list-strategies)")
+	treeBudget := flag.Int("tree-budget", 0, "draft-tree node budget per step for tree strategies (0 = default)")
 	items := flag.Int("items", 3400, "corpus items")
 	temp := flag.Float64("temp", 0, "sampling temperature (0 = greedy)")
 	seed := flag.Int64("seed", 1, "seed")
+	listStrategies := flag.Bool("list-strategies", false, "print the registered decoding strategies and exit")
 	flag.Parse()
+	if *listStrategies {
+		fmt.Print(core.StrategyListing())
+		return
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, `usage: vgen [-scheme ours] "Create an 8-bit counter named counter_8bit ..."`)
 		os.Exit(2)
@@ -71,6 +80,7 @@ func main() {
 		Mode:        core.ModeForScheme(scheme),
 		Strategy:    *strategy,
 		Temperature: *temp,
+		TreeBudget:  *treeBudget,
 		Seed:        *seed,
 	})
 	fmt.Print(res.Text)
@@ -79,4 +89,8 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "# steps=%d tokens=%d mean-accepted=%.2f simulated=%.0fms (%.1f tok/s)\n",
 		res.Steps, len(res.CleanTokens), res.MeanAccepted(), res.SimulatedMS, res.TokensPerSecond())
+	if res.TreeNodes > 0 {
+		fmt.Fprintf(os.Stderr, "# tree: %d draft nodes proposed, %.0f%% of the node budget\n",
+			res.TreeNodes, 100*res.TreeUtilization())
+	}
 }

@@ -1,0 +1,214 @@
+// Command vgenc is a minimal load client for the vgend daemon: it
+// replays a prompt workload over POST /v1/generate with bounded
+// concurrency, and — unlike a naive loop — honours the Retry-After
+// header vgend attaches to every 429 (admission shed) and 503 (queue
+// full) response, backing off exactly as long as the server asked
+// before resubmitting. The daemon's load-shedding policies assume
+// cooperating clients; this is the cooperating client.
+//
+// Usage:
+//
+//	vgenc [-addr http://localhost:8080] [-n 2] [-c 4] [-strategy NAME]
+//	      [-model NAME] [-priority high|normal|low] [-client NAME]
+//	      [-tree-budget N] [-max-retries 5] [-timeout 30s] [prompt ...]
+//
+// Prompts come from the arguments; with none, a built-in shared-stem
+// workload (the PrefixBench families) is replayed — the traffic shape
+// the daemon's prefix caches and affinity routing are built for. -n
+// repeats the whole list with fresh seeds; -c bounds in-flight
+// requests. Exit status is non-zero if any request ultimately failed.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// generateRequest mirrors the serve.GenerateRequest fields vgenc uses.
+type generateRequest struct {
+	Prompt     string `json:"prompt"`
+	Strategy   string `json:"strategy,omitempty"`
+	Model      string `json:"model,omitempty"`
+	Priority   string `json:"priority,omitempty"`
+	Client     string `json:"client,omitempty"`
+	TreeBudget int    `json:"tree_budget,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+}
+
+// defaultBackoff is the wait applied when a shed response carries no
+// parseable Retry-After header (the daemon always sends one, but the
+// client must not spin if a proxy strips it).
+const defaultBackoff = time.Second
+
+// parseRetryAfter interprets a Retry-After header value: delay-seconds
+// ("3") or an HTTP-date, per RFC 9110 §10.2.3. Unparseable or missing
+// values fall back to fallback; past dates and negative delays clamp
+// to zero (retry immediately — the server's moment has passed).
+func parseRetryAfter(value string, now time.Time, fallback time.Duration) time.Duration {
+	value = strings.TrimSpace(value)
+	if value == "" {
+		return fallback
+	}
+	if secs, err := strconv.Atoi(value); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(value); err == nil {
+		d := at.Sub(now)
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	return fallback
+}
+
+// workload is the built-in shared-stem prompt set (PrefixBench's
+// families, inlined so the client has no dependency on the repo's
+// internal packages).
+func workload() []string {
+	stems := []string{
+		"Please act as a professional Verilog designer. Create a synchronous FIFO named fifo_unit with clock clk, reset rst, write enable wen and read enable ren",
+		"Please act as a professional Verilog designer. Create a module named alu_unit that takes two 8-bit operands a and b and an opcode op",
+		"Please act as a professional Verilog designer. Create an up-down counter named cnt_unit with clock clk, reset rst and direction input dir",
+	}
+	tails := []string{"and a %d-bit data path.", "with a depth of %d entries."}
+	var out []string
+	for _, stem := range stems {
+		for v, tail := range tails {
+			out = append(out, stem+" "+fmt.Sprintf(tail, 4+v))
+		}
+	}
+	return out
+}
+
+// result is one request's outcome.
+type result struct {
+	ok      bool
+	retries int
+	wall    time.Duration
+}
+
+// replayOne submits one generation, backing off per Retry-After on 429
+// and 503 up to maxRetries resubmissions.
+func replayOne(client *http.Client, addr string, req generateRequest, maxRetries int) result {
+	start := time.Now()
+	var res result
+	for {
+		body, _ := json.Marshal(req)
+		resp, err := client.Post(addr+"/v1/generate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vgenc: %v\n", err)
+			res.wall = time.Since(start)
+			return res
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			res.ok = true
+			res.wall = time.Since(start)
+			return res
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if res.retries >= maxRetries {
+				fmt.Fprintf(os.Stderr, "vgenc: gave up after %d retries (last status %d)\n", res.retries, resp.StatusCode)
+				res.wall = time.Since(start)
+				return res
+			}
+			res.retries++
+			time.Sleep(parseRetryAfter(resp.Header.Get("Retry-After"), time.Now(), defaultBackoff))
+		default:
+			fmt.Fprintf(os.Stderr, "vgenc: status %d\n", resp.StatusCode)
+			res.wall = time.Since(start)
+			return res
+		}
+	}
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "vgend base URL")
+	n := flag.Int("n", 2, "repeats of the whole prompt list (fresh seeds per repeat)")
+	c := flag.Int("c", 4, "concurrent in-flight requests")
+	strategy := flag.String("strategy", "", "decoding strategy to request (empty: server default)")
+	modelName := flag.String("model", "", "backbone to request in fleet mode")
+	priority := flag.String("priority", "", "admission class: high, normal or low")
+	clientName := flag.String("client", "vgenc", "client name for per-client budget policies")
+	treeBudget := flag.Int("tree-budget", 0, "draft-tree node budget to request (0: server default)")
+	maxRetries := flag.Int("max-retries", 5, "resubmissions per request after shed responses")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	flag.Parse()
+
+	prompts := flag.Args()
+	if len(prompts) == 0 {
+		prompts = workload()
+	}
+	var reqs []generateRequest
+	for rep := 0; rep < *n; rep++ {
+		for i, p := range prompts {
+			reqs = append(reqs, generateRequest{
+				Prompt: p, Strategy: *strategy, Model: *modelName,
+				Priority: *priority, Client: *clientName, TreeBudget: *treeBudget,
+				Seed: int64(rep*1000 + i),
+			})
+		}
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	sem := make(chan struct{}, max(*c, 1))
+	results := make([]result, len(reqs))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, req := range reqs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = replayOne(client, strings.TrimRight(*addr, "/"), req, *maxRetries)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var ok, failed int
+	var retries atomic.Int64
+	var walls []time.Duration
+	for _, r := range results {
+		if r.ok {
+			ok++
+			walls = append(walls, r.wall)
+		} else {
+			failed++
+		}
+		retries.Add(int64(r.retries))
+	}
+	sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+	fmt.Printf("requests=%d ok=%d failed=%d retries=%d elapsed=%s rps=%.1f p50=%s p95=%s\n",
+		len(reqs), ok, failed, retries.Load(), elapsed.Round(time.Millisecond),
+		float64(ok)/elapsed.Seconds(),
+		percentile(walls, 0.50).Round(time.Millisecond), percentile(walls, 0.95).Round(time.Millisecond))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -39,10 +39,15 @@
 // Usage: vgend [-addr :8080] [-model codellama|codet5p] [-scheme ours]
 // [-items 3400] [-workers N] [-queue N] [-batch N] [-cache N]
 // [-prefix-cache trie|whole|off|N] [-prefix-cache-bytes N] [-no-dedup]
-// [-replicas N] [-models specs]
+// [-tree-budget N] [-replicas N] [-models specs]
 // [-router prefix-affinity|least-loaded|round-robin|random]
 // [-shed-policy none|deadline,priority,budget] [-budget-tps N]
-// [-budget-burst N]
+// [-budget-burst N] [-list-strategies]
+//
+// The tree strategies (medusa-tree, lookup-tree, ours-tree; see
+// -list-strategies) draft a branching candidate tree per decoding
+// step; -tree-budget sets the daemon-wide node budget for requests
+// that do not carry their own "tree_budget" field.
 package main
 
 import (
@@ -156,6 +161,8 @@ func main() {
 		"prompt-session cache per replica: trie (token-prefix trie, partial reuse), whole (whole-prompt LRU), off; a legacy integer selects whole mode with that capacity (negative disables)")
 	prefixCacheBytes := flag.Int64("prefix-cache-bytes", 0, "trie prefix-cache byte budget per replica (0 = 64 MiB)")
 	noDedup := flag.Bool("no-dedup", false, "disable single-flight dedup of identical in-flight requests")
+	treeBudget := flag.Int("tree-budget", 0, "draft-tree node budget per step for tree strategies when the request sets none (0 = decoder default)")
+	listStrategies := flag.Bool("list-strategies", false, "print the registered decoding strategies and exit")
 	replicas := flag.Int("replicas", 1, "fleet size (replicas cycle through -models specs)")
 	modelsFlag := flag.String("models", "", "replica specs model[:scheme[:strategy]], comma-separated (empty: -model/-scheme)")
 	routerName := flag.String("router", "prefix-affinity", "fleet routing: prefix-affinity, least-loaded, round-robin or random")
@@ -163,6 +170,13 @@ func main() {
 	budgetTPS := flag.Float64("budget-tps", 0, "budget policy: sustained tokens/s per client (0 = default)")
 	budgetBurst := flag.Float64("budget-burst", 0, "budget policy: burst tokens per client (0 = default)")
 	flag.Parse()
+	if *listStrategies {
+		fmt.Print(core.StrategyListing())
+		return
+	}
+	if *treeBudget < 0 {
+		fail(fmt.Errorf("-tree-budget must be >= 0, got %d", *treeBudget))
+	}
 
 	specs, err := parseModels(*modelsFlag, *modelName, *schemeName)
 	if err != nil {
@@ -243,15 +257,16 @@ func main() {
 	fmt.Fprintf(os.Stderr, "# %s\n# trained in %s\n", stats, time.Since(start).Round(time.Millisecond))
 
 	engCfg := serve.Config{
-		Workers:          *workers,
-		QueueSize:        *queue,
-		BatchSize:        *batch,
-		BatchWindow:      *window,
-		CacheSize:        *cache,
-		PrefixCacheMode:  prefixMode,
-		PrefixCacheSize:  prefixSize,
-		PrefixCacheBytes: *prefixCacheBytes,
-		NoDedup:          *noDedup,
+		Workers:           *workers,
+		QueueSize:         *queue,
+		BatchSize:         *batch,
+		BatchWindow:       *window,
+		CacheSize:         *cache,
+		PrefixCacheMode:   prefixMode,
+		PrefixCacheSize:   prefixSize,
+		PrefixCacheBytes:  *prefixCacheBytes,
+		DefaultTreeBudget: *treeBudget,
+		NoDedup:           *noDedup,
 	}
 
 	var backend serve.Backend

@@ -137,6 +137,18 @@ func aggregate(ms []serve.Metrics) serve.Metrics {
 		a.CleanTokens += m.CleanTokens
 		a.Steps += m.Steps
 		a.WallSeconds += m.WallSeconds
+		a.TreeNodes += m.TreeNodes
+		a.TreeBudget += m.TreeBudget
+		if len(m.AcceptDepthHist) > 0 {
+			if len(a.AcceptDepthHist) < len(m.AcceptDepthHist) {
+				grown := make([]uint64, len(m.AcceptDepthHist))
+				copy(grown, a.AcceptDepthHist)
+				a.AcceptDepthHist = grown
+			}
+			for i, v := range m.AcceptDepthHist {
+				a.AcceptDepthHist[i] += v
+			}
+		}
 		a.MeanBatchSize += m.MeanBatchSize * float64(m.Batches)
 		steps += float64(m.Steps)
 		accepted += m.MeanAccepted * float64(m.Steps)
@@ -149,6 +161,8 @@ func aggregate(ms []serve.Metrics) serve.Metrics {
 			agg.Completed += sm.Completed
 			agg.CacheHits += sm.CacheHits
 			agg.DedupHits += sm.DedupHits
+			agg.TreeNodes += sm.TreeNodes
+			agg.TreeBudget += sm.TreeBudget
 			// Recover this engine's per-strategy clean tokens from its
 			// simulated speed, as above.
 			if sm.TokensPerSecSim > 0 && sm.MeanAccepted > 0 {
@@ -182,6 +196,9 @@ func aggregate(ms []serve.Metrics) serve.Metrics {
 	if simSeconds > 0 {
 		a.TokensPerSecSim = float64(a.CleanTokens) / simSeconds
 	}
+	if a.TreeBudget > 0 {
+		a.TreeBudgetUtilization = float64(a.TreeNodes) / float64(a.TreeBudget)
+	}
 	for name, agg := range a.PerStrategy {
 		if w := stratSteps[name]; w > 0 {
 			agg.MeanAccepted = stratAccepted[name] / w
@@ -191,6 +208,9 @@ func aggregate(ms []serve.Metrics) serve.Metrics {
 		// exposed — but consistent across replicas of similar traffic).
 		if s := stratSimSeconds[name]; s > 0 {
 			agg.TokensPerSecSim = stratSteps[name] / s
+		}
+		if agg.TreeBudget > 0 {
+			agg.TreeBudgetUtilization = float64(agg.TreeNodes) / float64(agg.TreeBudget)
 		}
 		a.PerStrategy[name] = agg
 	}

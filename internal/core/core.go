@@ -20,7 +20,11 @@
 // internal/core/spec, and the paper's three modes are canned pairings
 // (StrategyForMode). Options.Strategy selects any registered pairing by
 // name — including self-speculative prompt lookup, which needs no
-// trained heads at all.
+// trained heads at all, and the tree-drafting lifts (medusa-tree,
+// lookup-tree, ours-tree), whose branching draft trees are verified in
+// one pass per step with the deepest surviving root path accepted
+// (acceptTree); linear drafting is the width-1 special case of the
+// same walk (acceptDrafts).
 //
 // A latency cost model (per-forward-pass milliseconds, calibrated so
 // the NTP baselines match the paper's tokens/s) converts step counts
@@ -36,6 +40,7 @@ import (
 	"strings"
 
 	"repro/internal/core/spec"
+	"repro/internal/core/spec/tree"
 	"repro/internal/model"
 	"repro/internal/tokenizer"
 )
@@ -113,6 +118,22 @@ func ResolveStrategy(name string, disableIntegrity bool) (spec.Strategy, error) 
 	return s, nil
 }
 
+// StrategyListing renders the registered decoding strategies as a
+// human-readable table — the output behind the CLIs' -list-strategies
+// flag, derived from the spec registry so it can never drift from what
+// ResolveStrategy accepts.
+func StrategyListing() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-14s %-13s %-18s %-5s %-6s %s\n",
+		"name", "display", "drafter", "verifier", "tree", "heads", "aliases")
+	for _, in := range spec.Registered() {
+		fmt.Fprintf(&b, "%-14s %-14s %-13s %-18s %-5v %-6v %s\n",
+			in.Canonical, in.Display, in.Drafter, in.Verifier, in.Tree, in.NeedsHeads,
+			strings.Join(in.Aliases, ", "))
+	}
+	return b.String()
+}
+
 // Options controls one decode call. Zero values select defaults.
 type Options struct {
 	// Mode selects NTP / Medusa / Ours decoding. Ignored when Strategy
@@ -138,6 +159,10 @@ type Options struct {
 	// drafts in mid-entropy contexts, where an n-gram's backoff mass
 	// (unlike an LLM's posterior) inflates junk-token probabilities.
 	Epsilon, Delta float64
+	// TreeBudget caps draft-tree nodes per decoding step for
+	// tree-drafting strategies (medusa-tree, lookup-tree, ours-tree);
+	// <= 0 selects spec.DefaultTreeBudget. Linear strategies ignore it.
+	TreeBudget int
 	// DisableIntegrity ablates the [FRAG] integrity check in ModeOurs
 	// (used by the ablation benchmarks).
 	DisableIntegrity bool
@@ -158,6 +183,9 @@ func (o Options) withDefaults(m *model.Model) Options {
 	}
 	if o.Delta == 0 {
 		o.Delta = 1.2
+	}
+	if o.TreeBudget <= 0 {
+		o.TreeBudget = spec.DefaultTreeBudget
 	}
 	return o
 }
@@ -202,6 +230,18 @@ func (o Options) Canonical() Options {
 	if s, ok := spec.Named(name); ok {
 		o.Strategy = s.Name
 		o.Mode = 0
+		// TreeBudget canonicalizes too, so requests that decode
+		// identically share one cache entry and one flight: linear
+		// strategies ignore the field entirely (zeroed), and for tree
+		// strategies an unset budget means exactly the decoder default
+		// (see withDefaults).
+		if _, isTree := s.Drafter.(spec.TreeDrafter); isTree {
+			if o.TreeBudget <= 0 {
+				o.TreeBudget = spec.DefaultTreeBudget
+			}
+		} else {
+			o.TreeBudget = 0
+		}
 	}
 	return o
 }
@@ -226,6 +266,14 @@ type Result struct {
 	// TruncatedTokens counts draft tokens discarded by the integrity
 	// check over the whole decode.
 	TruncatedTokens int
+	// TreeNodes totals the draft-tree nodes proposed across all steps
+	// (zero for linear strategies). With TreeBudget it yields the
+	// node-budget utilization serving metrics report.
+	TreeNodes int
+	// TreeBudget totals the per-step node budget across the steps of a
+	// tree-drafting decode (steps × Options.TreeBudget; zero for linear
+	// strategies) — the utilization denominator.
+	TreeBudget int
 }
 
 // TokensPerSecond returns the simulated generation speed for this
@@ -243,6 +291,15 @@ func (r *Result) MeanAccepted() float64 {
 		return 0
 	}
 	return float64(len(r.Tokens)) / float64(r.Steps)
+}
+
+// TreeUtilization returns the fraction of the draft-tree node budget
+// actually proposed across the decode (0 for linear strategies).
+func (r *Result) TreeUtilization() float64 {
+	if r.TreeBudget == 0 {
+		return 0
+	}
+	return float64(r.TreeNodes) / float64(r.TreeBudget)
 }
 
 // noRepeatN is the no-repeat-ngram window (in clean tokens): a token
@@ -456,7 +513,14 @@ func (d *Decoder) generate(ctx context.Context, promptIDs []int, opts Options, o
 		accepted := []int{base}
 
 		if base != tokenizer.EosID {
-			accepted = append(accepted, d.acceptDrafts(gen, seq, accepted, fw, strat, opts)...)
+			if td, ok := strat.Drafter.(spec.TreeDrafter); ok {
+				drafts, nodes := d.acceptTree(gen, seq, accepted, fw, strat, td, opts)
+				res.TreeNodes += nodes
+				res.TreeBudget += opts.TreeBudget
+				accepted = append(accepted, drafts...)
+			} else {
+				accepted = append(accepted, d.acceptDrafts(gen, seq, accepted, fw, strat, opts)...)
+			}
 		}
 		// Drafts that would extend a repeated n-gram are cut too.
 		cleanProbe := append([]int(nil), rep.clean...)
@@ -541,13 +605,15 @@ func (d *Decoder) sampleBase(dist model.Dist, opts Options, rng *rand.Rand, rep 
 	return id // everything repeats: let it through rather than deadlock
 }
 
-// acceptDrafts runs the strategy's draft/verify exchange for one step,
-// returning the accepted continuation (not including the base token).
-// For each draft position the drafter's candidates are tried best-first
-// against the base model's posterior with all previously accepted
-// tokens in context — the analogue of Medusa's verification pass; the
-// prefix ends at the first position the verifier rejects outright (the
-// "longest accepted prefix among all candidates").
+// acceptDrafts runs a linear strategy's draft/verify exchange for one
+// step as the width-1 special case of the tree walk: each draft
+// position's candidates become the children of the single frontier
+// node, the verifier picks at most one of them against the base
+// model's posterior with all previously accepted tokens in context —
+// the analogue of Medusa's verification pass — and the accepted chain
+// is the (trivially deepest) root path. The walk ends at the first
+// position the verifier rejects outright (the "longest accepted prefix
+// among all candidates"). Returned tokens exclude the base token.
 func (d *Decoder) acceptDrafts(gen *model.Gen, seq, prefix []int, fw model.Forward, strat spec.Strategy, opts Options) []int {
 	src := strat.Drafter.BeginStep(spec.DraftCtx{
 		Gen:     gen,
@@ -560,7 +626,12 @@ func (d *Decoder) acceptDrafts(gen *model.Gen, seq, prefix []int, fw model.Forwa
 		return nil
 	}
 	params := spec.VerifyParams{Epsilon: opts.Epsilon, Delta: opts.Delta}
-	var out []int
+	// The accepted chain is the whole tree here: candidates the
+	// verifier rejects never become nodes (they would be dead weight on
+	// the serving hot path), so each position contributes at most one
+	// Add — the width-1 frontier.
+	t := tree.New(0) // the chain's length is bounded by the drafter's run
+	cur := tree.Root
 	// ctx is the hypothetical sequence including accepted tokens.
 	ctx := append(append([]int(nil), seq...), prefix...)
 	for i := 0; ; i++ {
@@ -575,13 +646,155 @@ func (d *Decoder) acceptDrafts(gen *model.Gen, seq, prefix []int, fw model.Forwa
 		if choice < 0 {
 			break
 		}
-		out = append(out, choice)
+		cur, _ = t.Add(cur, choice, tree.OriginLinear)
 		ctx = append(ctx, choice)
 		if choice == tokenizer.EosID {
 			break
 		}
 	}
-	return out
+	return t.PathTokens(cur, nil)
+}
+
+// acceptTree runs a tree strategy's draft/verify exchange for one
+// step: the drafter proposes a branching candidate tree, and one
+// verification sweep scores it — for every node whose ancestry
+// survived, the children are screened (best-first, each on its own)
+// against the base model's posterior conditioned on the root-to-parent
+// path, exactly the path each candidate claims to extend. A rejection
+// prunes one subtree instead of killing the step, which is the whole
+// point of drafting a tree. Drafters with position-conditioned
+// candidates (spec.ChainExtender: Medusa heads) then grow a chain tail
+// below every surviving leaf — the same adaptive longest-prefix walk
+// linear drafting runs once, here run once per survivor, so the walk
+// the linear loop would have taken is always among the tree's paths.
+//
+// The winning path maximizes the verifier's POST-Finalize kept length
+// (first-discovered on ties): for plain verifiers that is simply the
+// deepest accepted root path; under the [FRAG] integrity wrapper a
+// deep path ending mid-fragment loses to a shallower one ending on a
+// fragment boundary, so tree search composes with the paper's §III-B
+// check instead of fighting it.
+//
+// On real hardware this is one batched forward pass over all tree
+// positions (tree attention); here rejected subtrees short-circuit,
+// which changes nothing about outputs — their scores could only be
+// discarded. The simulated cost model charges the step exactly like
+// its linear counterpart. Also returns the number of draft nodes
+// proposed, for the budget-utilization metrics.
+func (d *Decoder) acceptTree(gen *model.Gen, seq, prefix []int, fw model.Forward, strat spec.Strategy, td spec.TreeDrafter, opts Options) ([]int, int) {
+	dc := spec.DraftCtx{
+		Gen:     gen,
+		Seq:     seq,
+		Prefix:  prefix,
+		Forward: fw,
+		TopK:    opts.TopK,
+	}
+	t := td.BuildTree(dc, opts.TreeBudget)
+	if t == nil || t.DraftNodes() == 0 {
+		return nil, 0
+	}
+	params := spec.VerifyParams{Epsilon: opts.Epsilon, Delta: opts.Delta}
+	ctx := append(append([]int(nil), seq...), prefix...)
+
+	// Sweep the static tree: accepted nodes in discovery order, leaves
+	// (accepted nodes with no accepted children) remembered for the
+	// chain tails.
+	accepted := []int{}
+	var leaves []int
+	queue := []int{tree.Root}
+	var kids, path []int
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		kept := 0
+		if n == tree.Root || t.Node(n).Token != tokenizer.EosID {
+			kids = t.Children(n, kids[:0])
+		} else {
+			kids = kids[:0] // nothing extends past <eos>
+		}
+		if len(kids) > 0 {
+			// One verification distribution per surviving parent: the
+			// base posterior after the path its children would extend.
+			path = t.PathTokens(n, path[:0])
+			ver := gen.BaseDist(append(ctx, path...))
+			for _, c := range kids {
+				tok := t.Node(c).Token
+				if strat.Verifier.Accept(ver, []int{tok}, params) < 0 {
+					continue
+				}
+				kept++
+				accepted = append(accepted, c)
+				queue = append(queue, c)
+			}
+		}
+		if n != tree.Root && kept == 0 {
+			leaves = append(leaves, n)
+		}
+	}
+
+	// Grow the adaptive chain tails below every surviving leaf.
+	if ext, ok := td.(spec.ChainExtender); ok {
+		for _, leaf := range leaves {
+			accepted = append(accepted, d.extendChain(gen, t, leaf, ctx, ext, dc, strat, params)...)
+		}
+	}
+
+	// Pick the path whose finalized run keeps the most tokens.
+	best := tree.Root
+	bestKept := finalizedLen(strat.Verifier, prefix, nil)
+	for _, n := range accepted {
+		path = t.PathTokens(n, path[:0])
+		if kept := finalizedLen(strat.Verifier, prefix, path); kept > bestKept {
+			best, bestKept = n, kept
+		}
+	}
+	return t.PathTokens(best, nil), t.DraftNodes()
+}
+
+// extendChain continues drafting below an accepted tree leaf with the
+// extender's position-conditioned candidates — the width-1 adaptive
+// walk of the linear loop, rooted at the leaf's path. New nodes land
+// in the tree (budget permitting) so the node accounting stays honest;
+// the accepted chain node ids are returned for path selection.
+func (d *Decoder) extendChain(gen *model.Gen, t *tree.Tree, leaf int, ctx []int, ext spec.ChainExtender, dc spec.DraftCtx, strat spec.Strategy, params spec.VerifyParams) []int {
+	if t.Node(leaf).Token == tokenizer.EosID {
+		return nil
+	}
+	cur := leaf
+	walk := append([]int(nil), ctx...)
+	walk = t.PathTokens(cur, walk)
+	var out []int
+	for depth := t.Depth(cur); ; depth++ {
+		cands := ext.Extend(dc, depth)
+		if len(cands) == 0 {
+			return out
+		}
+		ver := gen.BaseDist(walk)
+		choice := strat.Verifier.Accept(ver, cands, params)
+		if choice < 0 {
+			return out
+		}
+		id, _ := t.Add(cur, choice, tree.OriginHead)
+		if id < 0 {
+			return out // budget exhausted
+		}
+		cur = id
+		out = append(out, id)
+		walk = append(walk, choice)
+		if choice == tokenizer.EosID {
+			return out
+		}
+	}
+}
+
+// finalizedLen probes how many tokens the verifier's Finalize keeps of
+// prefix+path — the tree walk's path-selection score.
+func finalizedLen(v spec.Verifier, prefix, path []int) int {
+	run := make([]int, 0, len(prefix)+len(path))
+	run = append(run, prefix...)
+	run = append(run, path...)
+	kept, _ := v.Finalize(run)
+	return len(kept)
 }
 
 // stepCostMS is the simulated cost of one forward pass under the given

@@ -19,11 +19,15 @@ var updateGolden = flag.Bool("update", false, "rewrite golden decode fixtures")
 
 // goldenCase is one decode of the fixed matrix.
 type goldenCase struct {
-	Scheme string  `json:"scheme"`
-	Mode   string  `json:"mode"`
-	Prompt int     `json:"prompt"` // index into trainExamples
-	Temp   float64 `json:"temp"`
-	Seed   int64   `json:"seed"`
+	Scheme string `json:"scheme"`
+	Mode   string `json:"mode"`
+	// Strategy names a registry strategy for the post-legacy cases
+	// (tree drafting); empty for the legacy-mode block, whose cases
+	// must stay byte-for-byte as captured pre-refactor.
+	Strategy string  `json:"strategy,omitempty"`
+	Prompt   int     `json:"prompt"` // index into trainExamples
+	Temp     float64 `json:"temp"`
+	Seed     int64   `json:"seed"`
 
 	// Captured result. Tokens is the raw sequence (specials included):
 	// byte-identical output implies identical Tokens, Steps and
@@ -38,24 +42,30 @@ type goldenCase struct {
 const goldenPath = "testdata/golden.json"
 
 // goldenMatrix runs the fixed decode matrix: every legacy mode on its
-// natural scheme, three prompts, greedy and sampled, two seeds.
+// natural scheme, three prompts, greedy and sampled, two seeds — then
+// the tree strategies on the same schemes, appended AFTER the legacy
+// block so the legacy cases keep their committed positions (and bytes)
+// forever.
 func goldenMatrix(t *testing.T) []goldenCase {
 	t.Helper()
 	var out []goldenCase
-	for _, scheme := range []model.Scheme{model.SchemeNTP, model.SchemeMedusa, model.SchemeOurs} {
-		m := trained(t, scheme)
+	// One trained model per scheme, shared by the legacy and tree
+	// blocks (training dominates the gate's runtime).
+	models := map[model.Scheme]*model.Model{}
+	decode := func(scheme model.Scheme, modeLabel, strategy string, opts Options) {
+		m := models[scheme]
+		if m == nil {
+			m = trained(t, scheme)
+			models[scheme] = m
+		}
 		d := NewDecoder(m)
-		mode := ModeForScheme(scheme)
 		for pi := range trainExamples {
 			for _, temp := range []float64{0, 0.8} {
 				for _, seed := range []int64{1, 42} {
-					res := d.Generate(trainExamples[pi].Prompt, Options{
-						Mode:        mode,
-						Temperature: temp,
-						Seed:        seed,
-					})
+					opts.Temperature, opts.Seed = temp, seed
+					res := d.Generate(trainExamples[pi].Prompt, opts)
 					out = append(out, goldenCase{
-						Scheme: scheme.String(), Mode: mode.String(),
+						Scheme: scheme.String(), Mode: modeLabel, Strategy: strategy,
 						Prompt: pi, Temp: temp, Seed: seed,
 						Tokens: append([]int{}, res.Tokens...), Steps: res.Steps,
 						Truncated: res.TruncatedTokens, SimMS: res.SimulatedMS,
@@ -64,6 +74,20 @@ func goldenMatrix(t *testing.T) []goldenCase {
 				}
 			}
 		}
+	}
+	for _, scheme := range []model.Scheme{model.SchemeNTP, model.SchemeMedusa, model.SchemeOurs} {
+		mode := ModeForScheme(scheme)
+		decode(scheme, mode.String(), "", Options{Mode: mode})
+	}
+	for _, sc := range []struct {
+		scheme   model.Scheme
+		strategy string
+	}{
+		{model.SchemeMedusa, "medusa-tree"},
+		{model.SchemeNTP, "lookup-tree"},
+		{model.SchemeOurs, "ours-tree"},
+	} {
+		decode(sc.scheme, "", sc.strategy, Options{Strategy: sc.strategy})
 	}
 	return out
 }
@@ -99,7 +123,11 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	for i := range want {
 		w, g := want[i], got[i]
-		id := fmt.Sprintf("%s/prompt=%d/temp=%g/seed=%d", w.Mode, w.Prompt, w.Temp, w.Seed)
+		label := w.Mode
+		if w.Strategy != "" {
+			label = w.Strategy
+		}
+		id := fmt.Sprintf("%s/prompt=%d/temp=%g/seed=%d", label, w.Prompt, w.Temp, w.Seed)
 		if g.Text != w.Text {
 			t.Errorf("%s: text diverged\n got: %q\nwant: %q", id, g.Text, w.Text)
 			continue

@@ -22,6 +22,9 @@ func TestForkedSessionByteIdenticalAcrossStrategies(t *testing.T) {
 		"medusa":        model.SchemeMedusa,
 		"ours":          model.SchemeOurs,
 		"prompt-lookup": model.SchemeNTP,
+		"medusa-tree":   model.SchemeMedusa,
+		"lookup-tree":   model.SchemeNTP,
+		"ours-tree":     model.SchemeOurs,
 	}
 	for strategy, scheme := range schemes {
 		m := trained(t, scheme)

@@ -16,6 +16,14 @@
 // the decoding loop in internal/core — PromptLookup is the first:
 // a drafter that needs no trained heads at all.
 //
+// Drafters may also propose a branching, multi-candidate draft TREE
+// (TreeDrafter; MedusaTree, LookupTree, HybridTree over the arena in
+// internal/core/spec/tree): top-k candidates per position fan out, one
+// verification sweep screens every branch, and the longest surviving
+// root path is accepted — a rejection prunes a subtree instead of
+// killing the step. Every verifier composes unchanged; linear
+// strategies run as the width-1 special case of the same tree walk.
+//
 // Implementations must be stateless and safe for concurrent use: one
 // Strategy value is shared by every decoder worker in a serving pool.
 // Per-step state lives in the CandidateSource a Drafter returns.
@@ -164,6 +172,9 @@ var registry = []struct {
 	{"medusa", nil, Medusa},
 	{"ours", nil, Ours},
 	{"prompt-lookup", []string{"promptlookup", "pl"}, PromptLookupStrategy},
+	{"medusa-tree", []string{"medusatree", "mt"}, MedusaTreeStrategy},
+	{"lookup-tree", []string{"lookuptree", "lt"}, LookupTreeStrategy},
+	{"ours-tree", []string{"ourstree", "tree"}, OursTreeStrategy},
 }
 
 // named maps normalized strategy names (and aliases) to constructors,
@@ -200,5 +211,43 @@ func Names() []string {
 		out = append(out, e.canonical)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// Info describes one registered strategy — the discoverability record
+// behind the CLIs' -list-strategies flag.
+type Info struct {
+	// Canonical is the registry lookup name ("lookup-tree").
+	Canonical string
+	// Display is the strategy's display name ("LookupTree"), also
+	// accepted by Named.
+	Display string
+	// Aliases are the extra registered spellings ("lt").
+	Aliases []string
+	// Drafter and Verifier name the pairing's halves.
+	Drafter, Verifier string
+	// Tree reports a tree drafter (branching multi-candidate drafts).
+	Tree bool
+	// NeedsHeads reports whether the drafter consumes trained heads.
+	NeedsHeads bool
+}
+
+// Registered returns every strategy's Info, sorted by canonical name.
+func Registered() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, e := range registry {
+		s := e.make()
+		_, isTree := s.Drafter.(TreeDrafter)
+		out = append(out, Info{
+			Canonical:  e.canonical,
+			Display:    s.Name,
+			Aliases:    append([]string(nil), e.aliases...),
+			Drafter:    s.Drafter.Name(),
+			Verifier:   s.Verifier.Name(),
+			Tree:       isTree,
+			NeedsHeads: s.Drafter.NeedsHeads(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Canonical < out[j].Canonical })
 	return out
 }

@@ -1,0 +1,111 @@
+package tree
+
+import "testing"
+
+func TestAddDedupAndOrder(t *testing.T) {
+	tr := New(0)
+	a, added := tr.Add(Root, 10, OriginHead)
+	if !added || a != 1 {
+		t.Fatalf("first Add = (%d, %v)", a, added)
+	}
+	b, added := tr.Add(Root, 11, OriginHead)
+	if !added || b != 2 {
+		t.Fatalf("second Add = (%d, %v)", b, added)
+	}
+	// Duplicate child keeps its original id, provenance and position.
+	again, added := tr.Add(Root, 10, OriginLookup)
+	if added || again != a {
+		t.Fatalf("duplicate Add = (%d, %v), want (%d, false)", again, added, a)
+	}
+	if tr.Node(a).Origin != OriginHead {
+		t.Fatalf("duplicate insertion rewrote provenance: %v", tr.Node(a).Origin)
+	}
+	kids := tr.Children(Root, nil)
+	if len(kids) != 2 || kids[0] != a || kids[1] != b {
+		t.Fatalf("children = %v, want [%d %d] (insertion order)", kids, a, b)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBudgetRefusesPastCap(t *testing.T) {
+	tr := New(2)
+	tr.Add(Root, 1, OriginHead)
+	tr.Add(Root, 2, OriginHead)
+	if !tr.Full() {
+		t.Fatal("tree not full at budget")
+	}
+	id, added := tr.Add(Root, 3, OriginHead)
+	if id != -1 || added {
+		t.Fatalf("Add past budget = (%d, %v), want (-1, false)", id, added)
+	}
+	// A duplicate of an existing child is still answerable at budget.
+	id, added = tr.Add(Root, 2, OriginHead)
+	if id != 2 || added {
+		t.Fatalf("duplicate at budget = (%d, %v), want (2, false)", id, added)
+	}
+	if tr.DraftNodes() != 2 {
+		t.Fatalf("draft nodes = %d, want 2", tr.DraftNodes())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathTokensAndDepth(t *testing.T) {
+	tr := New(0)
+	a, _ := tr.Add(Root, 5, OriginLookup)
+	b, _ := tr.Add(a, 6, OriginLookup)
+	c, _ := tr.Add(b, 7, OriginLookup)
+	tr.Add(a, 9, OriginHead) // sibling branch must not disturb the path
+	if d := tr.Depth(c); d != 3 {
+		t.Fatalf("depth = %d, want 3", d)
+	}
+	got := tr.PathTokens(c, nil)
+	want := []int{5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("path = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("path = %v, want %v", got, want)
+		}
+	}
+	if p := tr.PathTokens(Root, nil); len(p) != 0 {
+		t.Fatalf("root path = %v, want empty", p)
+	}
+	// Appending to a non-empty buf must not reverse the prefix.
+	buf := tr.PathTokens(c, []int{99})
+	if buf[0] != 99 || buf[1] != 5 || buf[3] != 7 {
+		t.Fatalf("append path = %v", buf)
+	}
+}
+
+func TestWalkVisitsEveryDraftNode(t *testing.T) {
+	tr := New(0)
+	a, _ := tr.Add(Root, 1, OriginHead)
+	tr.Add(a, 2, OriginHead)
+	tr.Add(Root, 3, OriginLookup)
+	seen := 0
+	tr.Walk(func(id int, n Node) {
+		seen++
+		if n.Origin == OriginRoot {
+			t.Fatalf("walk visited the root (id %d)", id)
+		}
+	})
+	if seen != tr.DraftNodes() {
+		t.Fatalf("walk visited %d nodes, want %d", seen, tr.DraftNodes())
+	}
+}
+
+func TestOriginStrings(t *testing.T) {
+	for o, want := range map[Origin]string{
+		OriginRoot: "root", OriginLinear: "linear", OriginHead: "head",
+		OriginLookup: "lookup", Origin(200): "?",
+	} {
+		if got := o.String(); got != want {
+			t.Errorf("Origin(%d).String() = %q, want %q", o, got, want)
+		}
+	}
+}

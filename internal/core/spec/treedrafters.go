@@ -1,0 +1,363 @@
+package spec
+
+import (
+	"repro/internal/core/spec/tree"
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+)
+
+// DefaultTreeBudget is the default per-step draft-tree node cap
+// (core.Options.TreeBudget when unset). Sized so the Medusa tree's
+// default shape — two full top-k levels (k + k² static nodes) plus a
+// chain tail below every surviving branch — fits without clipping at
+// k=3 with 10 heads: 12 static + 9·8 tail = 84 nodes.
+const DefaultTreeBudget = 96
+
+// TreeDrafter is a Drafter that proposes a branching draft tree
+// instead of one linear run: top-k candidates per position fan out so
+// a verifier rejection prunes one subtree rather than killing the whole
+// tail. The embedded Drafter contract still holds (Name, NeedsHeads,
+// ExtraCostMS); BeginStep is unused — the decoding loop consults
+// BuildTree for strategies whose drafter implements this interface.
+type TreeDrafter interface {
+	Drafter
+	// BuildTree proposes this step's draft tree under a node budget
+	// (>= 1; DefaultTreeBudget when the caller left it unset). It may
+	// return nil, or a tree with no draft nodes, to propose nothing.
+	// Nodes must never extend past an <eos> token.
+	BuildTree(dc DraftCtx, budget int) *tree.Tree
+}
+
+// staticHeadLevels is how many draft positions the Medusa tree
+// branches at full top-k width before handing over to the adaptive
+// chain tail (ChainExtender). Two levels keep the static tree a
+// superset of every path the linear walk can take through its first
+// two positions — the containment that makes tree acceptance never
+// shorter than linear acceptance — at k + k² nodes.
+const staticHeadLevels = 2
+
+// ChainExtender is implemented by tree drafters whose candidates are
+// position-conditioned rather than path-conditioned (Medusa heads:
+// head i proposes for draft position i whatever the path). After the
+// tree walk screens the static levels, every surviving branch
+// continues chain-style with Extend's full per-position candidate
+// lists — the same adaptive longest-prefix walk linear Medusa runs,
+// one per survivor instead of one total. Path-conditioned drafters
+// (prompt lookup) cannot extend: their continuations are already laid
+// into the tree in full.
+type ChainExtender interface {
+	// Extend returns the candidates for draft position depth, best
+	// first; empty ends the extension.
+	Extend(dc DraftCtx, depth int) []int
+}
+
+// MedusaTree lifts MedusaHeads into branching form: draft position i
+// still proposes from head i's distribution, but instead of one chain
+// screened candidate-by-candidate, the first staticHeadLevels
+// positions fan out at full top-k width and every surviving branch
+// grows its own chain tail (ChainExtender). Identical token sets per
+// position — the heads are position-conditioned, not path-conditioned
+// — but each tree path is verified against its own path-conditioned
+// posterior, which is where the extra accepted length comes from: the
+// static levels contain every prefix the linear walk could accept, so
+// the deepest surviving path is never shorter than linear Medusa's,
+// and branches the linear walk would have abandoned get to run their
+// own tails.
+type MedusaTree struct{}
+
+// Name identifies the drafter.
+func (MedusaTree) Name() string { return "medusa-tree" }
+
+// NeedsHeads reports that head distributions are required.
+func (MedusaTree) NeedsHeads() bool { return true }
+
+// ExtraCostMS charges every head's forward cost, exactly like linear
+// Medusa drafting: the tree is built from the same single forward pass.
+func (MedusaTree) ExtraCostMS(cfg model.Config, numHeads int) float64 {
+	return float64(numHeads) * cfg.HeadLatencyMS
+}
+
+// BeginStep proposes nothing — tree drafters draft through BuildTree.
+func (MedusaTree) BeginStep(DraftCtx) CandidateSource { return nil }
+
+// BuildTree fans the heads' top candidates into a draft tree.
+func (MedusaTree) BuildTree(dc DraftCtx, budget int) *tree.Tree {
+	if len(dc.Forward.Heads) == 0 {
+		return nil
+	}
+	t := tree.New(budget)
+	growHeadTree(t, []int{tree.Root}, dc)
+	return t
+}
+
+// growHeadTree expands frontier through the first staticHeadLevels
+// head distributions at full top-k width, honouring the budget and
+// never extending past <eos>. Deeper positions belong to the adaptive
+// chain tail (ChainExtender). Shared with the hybrid drafter, which
+// seeds a different frontier into the same expansion.
+func growHeadTree(t *tree.Tree, frontier []int, dc DraftCtx) {
+	for d, head := range dc.Forward.Heads {
+		if d >= staticHeadLevels {
+			return
+		}
+		cands := head.TopK(dc.TopK)
+		if len(cands) == 0 {
+			return
+		}
+		var next []int
+		for _, p := range frontier {
+			if p != tree.Root && t.Node(p).Token == tokenizer.EosID {
+				continue
+			}
+			for _, c := range cands {
+				id, added := t.Add(p, c, tree.OriginHead)
+				if id < 0 {
+					return // budget exhausted
+				}
+				if added {
+					next = append(next, id)
+				}
+			}
+		}
+		if len(next) == 0 {
+			return
+		}
+		frontier = next
+	}
+}
+
+// Extend serves head depth's full top-k — the chain tail's candidates,
+// identical to what the linear walk would consult at that position.
+func (MedusaTree) Extend(dc DraftCtx, depth int) []int {
+	if depth >= len(dc.Forward.Heads) {
+		return nil
+	}
+	return dc.Forward.Heads[depth].TopK(dc.TopK)
+}
+
+// Lookup-tree defaults: defaultMaxBranches caps how many distinct
+// n-gram match continuations branch from the root; more just spends
+// budget on stale history, since matches are collected newest-first.
+const defaultMaxBranches = 4
+
+// LookupTree lifts PromptLookup into branching form: instead of only
+// the most recent previous occurrence of the current suffix, every
+// sufficiently long re-occurrence proposes its continuation run, and
+// the distinct runs branch from the root (shared prefixes dedup into
+// shared nodes). Whenever the linear drafter proposes at all, its run
+// leads the branches (longest match, most recent occurrence — the
+// same scan order), so the tree's candidate set contains the linear
+// one; where linear aborts on a newest occurrence with an empty
+// continuation (a <bos> boundary), the tree keeps scanning older
+// occurrences — strictly more drafting, never less. Screened
+// greedy-exact (the lookup-tree strategy), greedy decodes stay
+// lossless either way: every accepted token is the base argmax, so
+// the emitted byte stream equals linear prompt-lookup's — and NTP's —
+// regardless of how the branches fare.
+type LookupTree struct {
+	// MinMatch is the shortest suffix worth matching (default 3).
+	MinMatch int
+	// MaxSpan caps draft tokens per branch (default 10).
+	MaxSpan int
+	// MaxBranches caps distinct match continuations (default 4).
+	MaxBranches int
+}
+
+// Name identifies the drafter.
+func (LookupTree) Name() string { return "lookup-tree" }
+
+// NeedsHeads reports that no head distributions are consumed.
+func (LookupTree) NeedsHeads() bool { return false }
+
+// ExtraCostMS adds nothing, like linear prompt lookup.
+func (LookupTree) ExtraCostMS(model.Config, int) float64 { return 0 }
+
+// BeginStep proposes nothing — tree drafters draft through BuildTree.
+func (LookupTree) BeginStep(DraftCtx) CandidateSource { return nil }
+
+// BuildTree branches every distinct match continuation from the root.
+func (p LookupTree) BuildTree(dc DraftCtx, budget int) *tree.Tree {
+	runs := p.runs(dc)
+	if len(runs) == 0 {
+		return nil
+	}
+	t := tree.New(budget)
+	insertRuns(t, runs)
+	return t
+}
+
+// runs collects the distinct lookup continuations for this step,
+// best-first (longest match, most recent occurrence leads — the linear
+// drafter's run). Shared with the hybrid drafter.
+func (p LookupTree) runs(dc DraftCtx) [][]int {
+	minMatch := p.MinMatch
+	if minMatch <= 0 {
+		minMatch = defaultMinMatch
+	}
+	maxSpan := p.MaxSpan
+	if maxSpan <= 0 {
+		maxSpan = defaultMaxSpan
+	}
+	maxBranches := p.MaxBranches
+	if maxBranches <= 0 {
+		maxBranches = defaultMaxBranches
+	}
+	seq := make([]int, 0, len(dc.Seq)+len(dc.Prefix))
+	seq = append(seq, dc.Seq...)
+	seq = append(seq, dc.Prefix...)
+	return lookupRuns(seq, minMatch, maxSpan, maxBranches)
+}
+
+// insertRuns lays the runs into the tree as root chains, sharing
+// prefixes through Add's per-parent dedup, stopping at the budget.
+func insertRuns(t *tree.Tree, runs [][]int) {
+	for _, run := range runs {
+		parent := tree.Root
+		for _, id := range run {
+			node, _ := t.Add(parent, id, tree.OriginLookup)
+			if node < 0 {
+				return // budget exhausted
+			}
+			parent = node
+			if id == tokenizer.EosID {
+				break
+			}
+		}
+	}
+}
+
+// lookupRuns is the multi-match generalization of lookupRun: it scans
+// suffix lengths longest-first and, within a length, occurrences
+// newest-first — the order of the linear scan, so whenever lookupRun
+// returns a run, that run is runs[0] — collecting up to maxBranches
+// distinct continuation runs. The one divergence is deliberate: an
+// occurrence with an empty continuation (its history is all <bos>
+// boundary) makes lookupRun abort the whole search, while this scan
+// skips it and keeps looking — the tree may draft where linear gives
+// up, never the reverse.
+func lookupRuns(seq []int, minMatch, maxSpan, maxBranches int) [][]int {
+	n := len(seq)
+	if n < minMatch+minLookupHistory {
+		return nil
+	}
+	maxK := maxLookupSuffix
+	if maxK > n-1 {
+		maxK = n - 1
+	}
+	var runs [][]int
+	seen := map[string]bool{}
+	for k := maxK; k >= minMatch && len(runs) < maxBranches; k-- {
+		suffix := seq[n-k:]
+		for j := n - 2; j >= k-1 && len(runs) < maxBranches; j-- {
+			match := true
+			for x := 0; x < k; x++ {
+				if seq[j-k+1+x] != suffix[x] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			end := j + 1 + maxSpan
+			if end > n {
+				end = n
+			}
+			run := make([]int, 0, end-j-1)
+			for _, id := range seq[j+1 : end] {
+				if id == tokenizer.BosID {
+					break
+				}
+				run = append(run, id)
+			}
+			if len(run) == 0 {
+				continue
+			}
+			key := runKey(run)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			runs = append(runs, run)
+		}
+	}
+	return runs
+}
+
+// runKey spells a run for dedup (token ids are small; a byte-ish string
+// key beats hashing maps of slices).
+func runKey(run []int) string {
+	b := make([]byte, 0, len(run)*3)
+	for _, id := range run {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16))
+	}
+	return string(b)
+}
+
+// HybridTree unions both drafting mechanisms under one node budget:
+// lookup match continuations first (deep, high-confidence template
+// echoes — RTL is template-heavy, so when a match exists it usually
+// survives deepest), then Medusa head branches fill the remaining
+// budget from the root. Shared paths dedup into shared nodes.
+type HybridTree struct {
+	// Lookup configures the lookup half (zero values = defaults).
+	Lookup LookupTree
+}
+
+// Name identifies the drafter.
+func (HybridTree) Name() string { return "hybrid-tree" }
+
+// NeedsHeads reports that head distributions are required (the Medusa
+// half consumes them; the lookup half is free either way).
+func (HybridTree) NeedsHeads() bool { return true }
+
+// ExtraCostMS charges the heads, like Medusa drafting; the lookup half
+// adds nothing.
+func (HybridTree) ExtraCostMS(cfg model.Config, numHeads int) float64 {
+	return float64(numHeads) * cfg.HeadLatencyMS
+}
+
+// BeginStep proposes nothing — tree drafters draft through BuildTree.
+func (HybridTree) BeginStep(DraftCtx) CandidateSource { return nil }
+
+// BuildTree inserts the lookup chains, then grows head branches from
+// the root into whatever budget remains.
+func (h HybridTree) BuildTree(dc DraftCtx, budget int) *tree.Tree {
+	runs := h.Lookup.runs(dc)
+	if len(runs) == 0 && len(dc.Forward.Heads) == 0 {
+		return nil
+	}
+	t := tree.New(budget)
+	insertRuns(t, runs)
+	growHeadTree(t, []int{tree.Root}, dc)
+	return t
+}
+
+// Extend serves head depth's full top-k, like MedusaTree — surviving
+// lookup chains get head-guided tails past their match span too.
+func (h HybridTree) Extend(dc DraftCtx, depth int) []int {
+	return MedusaTree{}.Extend(dc, depth)
+}
+
+// MedusaTreeStrategy is tree-structured Medusa: head candidates fan
+// into a draft tree, typical acceptance screens every branch, the
+// deepest surviving root path wins.
+func MedusaTreeStrategy() Strategy {
+	return Strategy{Name: "MedusaTree", Drafter: MedusaTree{}, Verifier: TypicalAcceptance{}}
+}
+
+// LookupTreeStrategy is tree-structured self-speculative lookup:
+// every n-gram match branches, greedy-exact screening keeps greedy
+// decodes byte-identical to linear prompt lookup (and to NTP).
+func LookupTreeStrategy() Strategy {
+	return Strategy{Name: "LookupTree", Drafter: LookupTree{}, Verifier: GreedyExact{}}
+}
+
+// OursTreeStrategy is the paper's method in tree form: Medusa head
+// branches unioned with lookup matches, screened by typical acceptance
+// and truncated at the last [FRAG] marker — fragment-aligned stops
+// compose with tree drafting unchanged, since the integrity check acts
+// on the accepted path after the tree walk picks it.
+func OursTreeStrategy() Strategy {
+	return Strategy{Name: "OursTree", Drafter: HybridTree{}, Verifier: Integrity{Inner: TypicalAcceptance{}}}
+}

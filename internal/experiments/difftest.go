@@ -123,6 +123,76 @@ func (r *Runner) RunDiffTest(cfg DiffConfig) (DiffReport, error) {
 	return report, nil
 }
 
+// TreeLosslessReport summarizes a clean lossless run.
+type TreeLosslessReport struct {
+	// Cases is the number of (model, prompt) greedy decodes compared.
+	Cases int
+	// StepsNTP/StepsLinear/StepsTree total the forward passes each
+	// strategy spent emitting the SAME byte streams — the proof that
+	// the tree only changes cost, never content.
+	StepsNTP, StepsLinear, StepsTree int
+}
+
+// RunTreeLossless is the losslessness half of the tree differential
+// gate: greedy decoding through lookup-tree (greedy-exact screening of
+// a multi-branch lookup tree) must emit byte streams identical to
+// linear prompt-lookup's — and to plain NTP's — on every model. Step
+// counts are deliberately NOT compared (fewer steps is the point);
+// instead the tree must never spend MORE steps than the linear
+// drafter, and the run must show drafting actually engaged (strictly
+// fewer steps than NTP overall), or the gate proved nothing.
+func (r *Runner) RunTreeLossless() (TreeLosslessReport, error) {
+	prompts := SharedStemPrompts(2, 3)
+	prompts = append(prompts, prompts[0]+" Add an active-high enable input en.")
+	var report TreeLosslessReport
+	for _, mcfg := range r.setup.Models {
+		m := model.Train(r.toks[mcfg.Name], mcfg, model.SchemeNTP, r.examples)
+		dec := core.NewDecoder(m)
+		for pi, prompt := range prompts {
+			ntp := dec.Generate(prompt, core.Options{Strategy: "ntp"})
+			lin := dec.Generate(prompt, core.Options{Strategy: "prompt-lookup"})
+			tree := dec.Generate(prompt, core.Options{Strategy: "lookup-tree"})
+			report.Cases++
+			report.StepsNTP += ntp.Steps
+			report.StepsLinear += lin.Steps
+			report.StepsTree += tree.Steps
+			if err := sameBytes(ntp, lin); err != nil {
+				return report, fmt.Errorf("%s: prompt-lookup diverged from ntp on prompt %d: %w", mcfg.Name, pi, err)
+			}
+			if err := sameBytes(ntp, tree); err != nil {
+				return report, fmt.Errorf("%s: lookup-tree diverged from ntp on prompt %d: %w", mcfg.Name, pi, err)
+			}
+			if tree.Steps > lin.Steps {
+				return report, fmt.Errorf("%s: lookup-tree spent %d steps on prompt %d, linear prompt-lookup %d",
+					mcfg.Name, tree.Steps, pi, lin.Steps)
+			}
+		}
+	}
+	if report.StepsTree >= report.StepsNTP {
+		return report, fmt.Errorf("lookup-tree spent %d steps to NTP's %d; drafting never engaged, the gate proved nothing",
+			report.StepsTree, report.StepsNTP)
+	}
+	return report, nil
+}
+
+// sameBytes compares two decodes on emitted content only — raw tokens
+// and text — ignoring step counts and simulated cost, which lossless
+// speculative decoding exists to change.
+func sameBytes(want, got *core.Result) error {
+	if got.Text != want.Text {
+		return fmt.Errorf("text diverged\n got: %q\nwant: %q", got.Text, want.Text)
+	}
+	if len(got.Tokens) != len(want.Tokens) {
+		return fmt.Errorf("token count %d, want %d", len(got.Tokens), len(want.Tokens))
+	}
+	for i := range want.Tokens {
+		if got.Tokens[i] != want.Tokens[i] {
+			return fmt.Errorf("token %d is %d, want %d", i, got.Tokens[i], want.Tokens[i])
+		}
+	}
+	return nil
+}
+
 // sameResult compares two decodes for byte identity — tokens, steps,
 // truncation accounting and the simulated cost model must all agree.
 func sameResult(want, got *core.Result) error {

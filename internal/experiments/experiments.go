@@ -397,14 +397,19 @@ type MatrixEntry struct {
 }
 
 // StrategyMatrix is the Table-2-style strategy axis: the three legacy
-// modes on their natural schemes, plus self-speculative prompt lookup
-// on the plain NTP backbone — the drafter that needs no trained heads
-// at all, so it accelerates exactly the model Medusa cannot.
+// modes on their natural schemes, self-speculative prompt lookup on
+// the plain NTP backbone — the drafter that needs no trained heads at
+// all, so it accelerates exactly the model Medusa cannot — and the
+// three tree-drafting lifts on the same schemes as their linear
+// counterparts, so every tree row isolates the drafting shape.
 var StrategyMatrix = []MatrixEntry{
 	{Scheme: model.SchemeOurs, Strategy: "ours"},
+	{Scheme: model.SchemeOurs, Strategy: "ours-tree"},
 	{Scheme: model.SchemeMedusa, Strategy: "medusa"},
+	{Scheme: model.SchemeMedusa, Strategy: "medusa-tree"},
 	{Scheme: model.SchemeNTP, Strategy: "ntp"},
 	{Scheme: model.SchemeNTP, Strategy: "prompt-lookup"},
+	{Scheme: model.SchemeNTP, Strategy: "lookup-tree"},
 }
 
 // StrategyRow is one strategy-matrix result row.

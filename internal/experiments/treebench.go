@@ -1,0 +1,152 @@
+// TreeBench measures what token-tree drafting exists to change: mean
+// accepted length — tokens surviving verification per forward pass,
+// the quantity the whole speedup rests on ("A Theoretical Perspective
+// for Speculative Decoding Algorithm": expected accepted length drives
+// the wall-clock gain; "Speculative Decoding: Performance or
+// Illusion?": report it honestly or the speedup is an artifact). Each
+// row pairs a linear strategy with its tree lift on the same trained
+// model and the same prompt schedule, so the only difference is the
+// drafting shape; the tree side also reports how much of its node
+// budget the drafters actually filled.
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// TreePair names a linear strategy and its tree-drafting lift on the
+// scheme both decode naturally.
+type TreePair struct {
+	Scheme model.Scheme
+	// Linear and Tree are registry strategy names.
+	Linear, Tree string
+}
+
+// TreePairs is the linear-vs-tree comparison axis: every tree strategy
+// against its exact linear counterpart.
+var TreePairs = []TreePair{
+	{Scheme: model.SchemeMedusa, Linear: "medusa", Tree: "medusa-tree"},
+	{Scheme: model.SchemeOurs, Linear: "ours", Tree: "ours-tree"},
+	{Scheme: model.SchemeNTP, Linear: "prompt-lookup", Tree: "lookup-tree"},
+}
+
+// TreeBenchRow is one (model, pair) comparison.
+type TreeBenchRow struct {
+	Model, Scheme string
+	// Linear/Tree are the pair's display names.
+	Linear, Tree string
+	// LinearAccepted/TreeAccepted are mean tokens emitted per decoding
+	// step; AcceptedGain is their ratio (> 1 means the tree drafts
+	// survive verification longer).
+	LinearAccepted, TreeAccepted, AcceptedGain float64
+	// LinearTokensPerSec/TreeTokensPerSec are the eq. 3 simulated
+	// speeds over the prompt set.
+	LinearTokensPerSec, TreeTokensPerSec float64
+	// LinearWallMSPerToken/TreeWallMSPerToken are measured wall-clock
+	// decoder milliseconds per clean token — the honest-accounting
+	// column: tree verification walks more nodes per step, and this is
+	// where that CPU cost shows.
+	LinearWallMSPerToken, TreeWallMSPerToken float64
+	// TreeNodesPerStep is mean draft nodes proposed per tree step;
+	// BudgetUtilization is nodes proposed over budget available.
+	TreeNodesPerStep, BudgetUtilization float64
+}
+
+// treeBenchSide aggregates one strategy's half of a comparison row.
+type treeBenchSide struct {
+	accepted, tokensPerSec, wallMSPerToken float64
+	nodesPerStep, utilization              float64
+}
+
+// RunTreeBench decodes the Table II prompt schedule (greedy + T=0.8
+// per prompt, dispatched through the shared worker pool) with both
+// sides of every TreePair, one trained model per scheme reused across
+// pairs.
+func (r *Runner) RunTreeBench() []TreeBenchRow {
+	var rows []TreeBenchRow
+	prompts := r.speedPrompts()
+	for _, cfg := range r.setup.Models {
+		tk := r.toks[cfg.Name]
+		trained := map[model.Scheme]*model.Model{}
+		for _, pair := range TreePairs {
+			m := trained[pair.Scheme]
+			if m == nil {
+				m = model.Train(tk, cfg, pair.Scheme, r.examples)
+				trained[pair.Scheme] = m
+			}
+			lin := r.treeBenchSide(m, prompts, pair.Linear)
+			tr := r.treeBenchSide(m, prompts, pair.Tree)
+			row := TreeBenchRow{
+				Model: cfg.Name, Scheme: pair.Scheme.String(),
+				Linear: displayName(pair.Linear), Tree: displayName(pair.Tree),
+				LinearAccepted: lin.accepted, TreeAccepted: tr.accepted,
+				LinearTokensPerSec: lin.tokensPerSec, TreeTokensPerSec: tr.tokensPerSec,
+				LinearWallMSPerToken: lin.wallMSPerToken, TreeWallMSPerToken: tr.wallMSPerToken,
+				TreeNodesPerStep: tr.nodesPerStep, BudgetUtilization: tr.utilization,
+			}
+			if lin.accepted > 0 {
+				row.AcceptedGain = tr.accepted / lin.accepted
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// treeBenchSide runs one strategy over the prompt schedule and folds
+// the result metrics.
+func (r *Runner) treeBenchSide(m *model.Model, prompts []string, strategy string) treeBenchSide {
+	reqs := make([]serve.Request, 0, 2*len(prompts))
+	for i, prompt := range prompts {
+		reqs = append(reqs,
+			serve.Request{Prompt: prompt, Options: core.Options{Strategy: strategy}},
+			serve.Request{Prompt: prompt, Options: core.Options{Strategy: strategy, Temperature: 0.8, Seed: int64(i)}})
+	}
+	eng := r.newEngine(m)
+	resps := eng.GenerateBatch(context.Background(), reqs)
+	eng.Close()
+	tokens := make([]int, len(resps))
+	secs := make([]float64, len(resps))
+	var rawTokens, steps, cleanTokens, wallMS, nodes, budget float64
+	for i, resp := range resps {
+		if resp.Err != nil {
+			panic(resp.Err)
+		}
+		res := resp.Result
+		tokens[i] = len(res.CleanTokens)
+		secs[i] = res.SimulatedMS / 1000
+		rawTokens += float64(len(res.Tokens))
+		steps += float64(res.Steps)
+		cleanTokens += float64(len(res.CleanTokens))
+		wallMS += float64(resp.Wall) / float64(time.Millisecond)
+		nodes += float64(res.TreeNodes)
+		budget += float64(res.TreeBudget)
+	}
+	side := treeBenchSide{tokensPerSec: metrics.Speed(tokens, secs)}
+	if steps > 0 {
+		side.accepted = rawTokens / steps
+		side.nodesPerStep = nodes / steps
+	}
+	if cleanTokens > 0 {
+		side.wallMSPerToken = wallMS / cleanTokens
+	}
+	if budget > 0 {
+		side.utilization = nodes / budget
+	}
+	return side
+}
+
+// displayName resolves a registry name to its display spelling,
+// passing unknown names through.
+func displayName(strategy string) string {
+	if s, err := core.ResolveStrategy(strategy, false); err == nil {
+		return s.Name
+	}
+	return strategy
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import "testing"
+
+// TestTreeBenchTreeBeatsLinearMedusa pins the subsystem's acceptance
+// criterion: on the eval suite's prompt schedule, tree-structured
+// Medusa drafting achieves strictly higher mean accepted length than
+// linear Medusa on the same trained model — and the remaining pairs
+// never regress. Decodes are deterministic per seed, so this is a
+// stable gate, not a flaky benchmark.
+func TestTreeBenchTreeBeatsLinearMedusa(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	r := NewRunner(quickSetup())
+	rows := r.RunTreeBench()
+	if len(rows) != len(TreePairs) {
+		t.Fatalf("rows = %d, want %d (one model in Quick setup)", len(rows), len(TreePairs))
+	}
+	byTree := map[string]TreeBenchRow{}
+	for _, row := range rows {
+		byTree[row.Tree] = row
+		t.Logf("%-12s vs %-12s accepted %.3f -> %.3f (gain %.3f)  speed %.1f -> %.1f  nodes/step %.1f  util %.2f",
+			row.Linear, row.Tree, row.LinearAccepted, row.TreeAccepted, row.AcceptedGain,
+			row.LinearTokensPerSec, row.TreeTokensPerSec, row.TreeNodesPerStep, row.BudgetUtilization)
+	}
+	mt := byTree["MedusaTree"]
+	if mt.TreeAccepted <= mt.LinearAccepted {
+		t.Fatalf("medusa-tree mean accepted %.4f not strictly above linear medusa's %.4f",
+			mt.TreeAccepted, mt.LinearAccepted)
+	}
+	for _, row := range rows {
+		if row.TreeAccepted < row.LinearAccepted {
+			t.Errorf("%s mean accepted %.4f regressed below linear %s's %.4f",
+				row.Tree, row.TreeAccepted, row.Linear, row.LinearAccepted)
+		}
+		if row.TreeNodesPerStep <= 0 {
+			t.Errorf("%s proposed no tree nodes", row.Tree)
+		}
+		if row.BudgetUtilization <= 0 || row.BudgetUtilization > 1 {
+			t.Errorf("%s budget utilization %.4f outside (0, 1]", row.Tree, row.BudgetUtilization)
+		}
+		if row.TreeWallMSPerToken <= 0 || row.LinearWallMSPerToken <= 0 {
+			t.Errorf("%s: wall-clock accounting missing: %+v", row.Tree, row)
+		}
+	}
+}
+
+// TestTreeLosslessGate runs the differential losslessness proof CI
+// pins next to the cache-mode gate: greedy lookup-tree byte streams
+// equal linear prompt-lookup's (and NTP's) on every model, in no more
+// steps than linear, with drafting demonstrably engaged.
+func TestTreeLosslessGate(t *testing.T) {
+	r := NewRunner(quickSetup())
+	report, err := r.RunTreeLossless()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Cases == 0 {
+		t.Fatal("no cases compared")
+	}
+	t.Logf("lossless: %d cases byte-identical; steps ntp=%d linear=%d tree=%d",
+		report.Cases, report.StepsNTP, report.StepsLinear, report.StepsTree)
+}

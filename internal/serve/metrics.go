@@ -35,6 +35,17 @@ type stats struct {
 	wall        time.Duration
 	simMS       float64
 
+	// acceptHist counts decoding steps by accepted length: bucket i
+	// holds steps that emitted i+1 tokens, the last bucket everything
+	// at or past AcceptDepthBuckets. Speculative wins live in the
+	// bucket mass above index 0.
+	acceptHist [AcceptDepthBuckets]uint64
+	// treeNodes/treeBudget total draft-tree nodes proposed and the
+	// node budget available across tree-drafting decodes; their ratio
+	// is the budget-utilization gauge.
+	treeNodes  uint64
+	treeBudget uint64
+
 	perStrategy map[string]*strategyStats
 }
 
@@ -47,7 +58,13 @@ type strategyStats struct {
 	rawTokens   uint64
 	cleanTokens uint64
 	simMS       float64
+	treeNodes   uint64
+	treeBudget  uint64
 }
+
+// AcceptDepthBuckets sizes the acceptance-depth histogram: buckets
+// 1..AcceptDepthBuckets-1 tokens per step, plus one overflow bucket.
+const AcceptDepthBuckets = 16
 
 func (s *stats) strategy(label string) *strategyStats {
 	ss := s.perStrategy[label]
@@ -138,12 +155,25 @@ func (s *stats) complete(label string, res *core.Result, wall time.Duration) {
 	s.steps += uint64(res.Steps)
 	s.wall += wall
 	s.simMS += res.SimulatedMS
+	for _, n := range res.AcceptedPerStep {
+		if n < 1 {
+			n = 1
+		}
+		if n > AcceptDepthBuckets {
+			n = AcceptDepthBuckets
+		}
+		s.acceptHist[n-1]++
+	}
+	s.treeNodes += uint64(res.TreeNodes)
+	s.treeBudget += uint64(res.TreeBudget)
 	ss := s.strategy(label)
 	ss.completed++
 	ss.steps += uint64(res.Steps)
 	ss.rawTokens += uint64(len(res.Tokens))
 	ss.cleanTokens += uint64(len(res.CleanTokens))
 	ss.simMS += res.SimulatedMS
+	ss.treeNodes += uint64(res.TreeNodes)
+	ss.treeBudget += uint64(res.TreeBudget)
 }
 
 // StrategyMetrics is the per-decoding-strategy slice of a metrics
@@ -164,6 +194,12 @@ type StrategyMetrics struct {
 	// TokensPerSecSim is clean tokens over simulated GPU time (the
 	// paper's eq. 3 speed for everything this engine decoded).
 	TokensPerSecSim float64 `json:"tokens_per_sec_sim"`
+	// TreeNodes/TreeBudget total draft-tree nodes proposed and the
+	// node budget available to this strategy's decodes (zero for
+	// linear strategies); TreeBudgetUtilization is their ratio.
+	TreeNodes             uint64  `json:"tree_nodes"`
+	TreeBudget            uint64  `json:"tree_budget"`
+	TreeBudgetUtilization float64 `json:"tree_budget_utilization"`
 }
 
 // Metrics is a point-in-time snapshot of engine counters.
@@ -222,6 +258,18 @@ type Metrics struct {
 	Steps       uint64 `json:"steps"`
 	// MeanAccepted is raw tokens per decoding step across all decodes.
 	MeanAccepted float64 `json:"mean_accepted"`
+	// AcceptDepthHist buckets decoding steps by accepted length:
+	// entry i counts steps that emitted i+1 tokens, the final entry
+	// everything at or past AcceptDepthBuckets. The mass above entry 0
+	// is where speculative decoding pays.
+	AcceptDepthHist []uint64 `json:"accept_depth_hist"`
+	// TreeNodes/TreeBudget total draft-tree nodes proposed and the
+	// node budget available across tree-drafting decodes;
+	// TreeBudgetUtilization is their ratio (how much of the configured
+	// tree the drafters actually fill).
+	TreeNodes             uint64  `json:"tree_nodes_total"`
+	TreeBudget            uint64  `json:"tree_budget_total"`
+	TreeBudgetUtilization float64 `json:"tree_budget_utilization"`
 	// WallSeconds is summed worker decode time (busy time, not
 	// wall-clock span: with W workers it accrues up to W seconds per
 	// second).
@@ -260,7 +308,13 @@ func (e *Engine) Metrics() Metrics {
 		CleanTokens:         e.st.cleanTokens,
 		Steps:               e.st.steps,
 		WallSeconds:         e.st.wall.Seconds(),
+		AcceptDepthHist:     append([]uint64(nil), e.st.acceptHist[:]...),
+		TreeNodes:           e.st.treeNodes,
+		TreeBudget:          e.st.treeBudget,
 		PerStrategy:         map[string]StrategyMetrics{},
+	}
+	if m.TreeBudget > 0 {
+		m.TreeBudgetUtilization = float64(m.TreeNodes) / float64(m.TreeBudget)
 	}
 	if lookups := m.CacheHits + m.CacheMisses; lookups > 0 {
 		m.CacheHitRate = float64(m.CacheHits) / float64(lookups)
@@ -294,16 +348,21 @@ func (e *Engine) Metrics() Metrics {
 	}
 	for name, ss := range e.st.perStrategy {
 		sm := StrategyMetrics{
-			Requests:  ss.requests,
-			Completed: ss.completed,
-			CacheHits: ss.cacheHits,
-			DedupHits: ss.dedupHits,
+			Requests:   ss.requests,
+			Completed:  ss.completed,
+			CacheHits:  ss.cacheHits,
+			DedupHits:  ss.dedupHits,
+			TreeNodes:  ss.treeNodes,
+			TreeBudget: ss.treeBudget,
 		}
 		if ss.steps > 0 {
 			sm.MeanAccepted = float64(ss.rawTokens) / float64(ss.steps)
 		}
 		if ss.simMS > 0 {
 			sm.TokensPerSecSim = float64(ss.cleanTokens) / (ss.simMS / 1000)
+		}
+		if ss.treeBudget > 0 {
+			sm.TreeBudgetUtilization = float64(ss.treeNodes) / float64(ss.treeBudget)
 		}
 		m.PerStrategy[name] = sm
 	}

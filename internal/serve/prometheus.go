@@ -54,6 +54,19 @@ func writePrometheus(w io.Writer, m Metrics, uptimeS float64, modelName string) 
 	c("clean_tokens_total", "Clean tokens generated.", m.CleanTokens)
 	c("steps_total", "Decoding steps (forward passes).", m.Steps)
 	g("mean_accepted", "Raw tokens emitted per decoding step.", m.MeanAccepted)
+	if len(m.AcceptDepthHist) > 0 {
+		fmt.Fprintf(w, "# HELP vgend_accept_depth_total Decoding steps by accepted length (tokens emitted per step; last bucket open-ended).\n# TYPE vgend_accept_depth_total counter\n")
+		for i, v := range m.AcceptDepthHist {
+			label := fmt.Sprintf("%d", i+1)
+			if i == len(m.AcceptDepthHist)-1 {
+				label += "+"
+			}
+			fmt.Fprintf(w, "vgend_accept_depth_total{depth=%q} %d\n", label, v)
+		}
+	}
+	c("tree_nodes_total", "Draft-tree nodes proposed across tree-drafting decodes.", m.TreeNodes)
+	c("tree_budget_total", "Draft-tree node budget available across tree-drafting decodes.", m.TreeBudget)
+	g("tree_budget_utilization", "Fraction of the draft-tree node budget actually proposed.", m.TreeBudgetUtilization)
 	// Monotonic float accumulation: a counter, despite not being integral.
 	fmt.Fprintf(w, "# HELP vgend_wall_seconds_total Summed worker decode time in seconds.\n# TYPE vgend_wall_seconds_total counter\nvgend_wall_seconds_total %g\n", m.WallSeconds)
 	g("tokens_per_sec_wall", "Clean tokens per worker-busy-second.", m.TokensPerSecWall)
@@ -84,6 +97,8 @@ func writePrometheus(w io.Writer, m Metrics, uptimeS float64, modelName string) 
 		sc("strategy_dedup_hits_total", "Single-flight shares per strategy.", func(s StrategyMetrics) uint64 { return s.DedupHits })
 		sg("strategy_mean_accepted", "Tokens per decoding step per strategy.", func(s StrategyMetrics) float64 { return s.MeanAccepted })
 		sg("strategy_tokens_per_sec_sim", "Simulated tokens/s per strategy.", func(s StrategyMetrics) float64 { return s.TokensPerSecSim })
+		sc("strategy_tree_nodes_total", "Draft-tree nodes proposed per strategy.", func(s StrategyMetrics) uint64 { return s.TreeNodes })
+		sg("strategy_tree_budget_utilization", "Draft-tree node-budget utilization per strategy.", func(s StrategyMetrics) float64 { return s.TreeBudgetUtilization })
 	}
 }
 

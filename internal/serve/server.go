@@ -82,6 +82,11 @@ type GenerateRequest struct {
 	MaxNewTokens int `json:"max_new_tokens,omitempty"`
 	// TopK is candidates per head position (0 = default 3).
 	TopK int `json:"top_k,omitempty"`
+	// TreeBudget caps draft-tree nodes per decoding step for the tree
+	// strategies (medusa-tree, lookup-tree, ours-tree); 0 selects the
+	// daemon default (vgend -tree-budget, else the decoder default).
+	// Negative is a 400. Linear strategies ignore it.
+	TreeBudget int `json:"tree_budget,omitempty"`
 	// Seed fixes the sampling RNG; generations are deterministic given
 	// (prompt, options, seed).
 	Seed int64 `json:"seed,omitempty"`
@@ -131,10 +136,14 @@ func parseMode(s string) (core.Mode, error) {
 }
 
 func (gr GenerateRequest) options() (core.Options, error) {
+	if gr.TreeBudget < 0 {
+		return core.Options{}, fmt.Errorf("tree_budget must be >= 0, got %d", gr.TreeBudget)
+	}
 	opts := core.Options{
 		Temperature:  gr.Temperature,
 		MaxNewTokens: gr.MaxNewTokens,
 		TopK:         gr.TopK,
+		TreeBudget:   gr.TreeBudget,
 		Seed:         gr.Seed,
 	}
 	if gr.Strategy != "" {
