@@ -11,7 +11,7 @@ SHELL := /bin/bash
 COVER_FLOOR := 87.0
 COVER_PKGS := ./internal/model/ ./internal/serve/
 
-.PHONY: build test race golden differential cover fuzz bench fmt fmt-check vet serve ci
+.PHONY: build test race sched-soak golden differential cover fuzz bench loadgate fmt fmt-check vet serve ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,15 @@ test:
 
 race:
 	$(GO) test -race -shuffle=on ./...
+
+# Continuous-scheduler churn soak: join/leave/preempt cycling, the
+# step-wise decode API and the scheduler-mode byte-identity proof under
+# the race detector with shuffled order. The explicit -timeout turns a
+# wedged scheduler into a fast failure instead of a hung CI runner.
+sched-soak:
+	$(GO) test -race -shuffle=on -timeout 600s \
+		-run 'TestContinuous|TestScheduler|TestStepwise|TestQueueFullBackpressure' \
+		-v ./internal/serve/ ./internal/core/
 
 # Byte-identical decode outputs through the drafter/verifier pipeline:
 # the legacy modes against fixtures captured from the pre-refactor
@@ -36,6 +45,12 @@ golden:
 # prefix cache and tree drafting admissible at all.
 differential:
 	$(GO) test -run 'TestDifferentialCacheModes|TestTreeLosslessGate|TestForkedSessionByteIdentical|TestLookupTreeGreedyLossless' -v ./internal/experiments/ ./internal/core/
+
+# The latency-under-load gate: short-request p95 with one long decode
+# in flight must stay within 1.5x of unloaded under the continuous
+# scheduler, while the micro-batch baseline must fail the same bound.
+loadgate:
+	$(GO) test -run TestLoadBenchLatencyGate -v -timeout 600s ./internal/experiments/
 
 # Coverage gate over the prefix-cache packages: fails if total coverage
 # of internal/model + internal/serve drops below COVER_FLOOR.
@@ -57,10 +72,11 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDraftTree -fuzztime $(FUZZTIME) ./internal/core/spec/tree/
 
 # Engine wall-clock throughput + strategy matrix + tree drafting +
-# fleet routing + prefix-cache smoke; CI uploads bench_output.txt as an
-# artifact. Run `go test -bench=. ./...` for the full paper harness.
+# fleet routing + prefix-cache + scheduler-load smoke; CI uploads
+# bench_output.txt as an artifact. Run `go test -bench=. ./...` for the
+# full paper harness.
 bench:
-	set -o pipefail; $(GO) test -run '^$$' -bench='BenchmarkEngine|BenchmarkStrategyMatrix|BenchmarkTreeDraft|BenchmarkFleetRouting|BenchmarkPrefixBench' -benchtime=1x ./... | tee bench_output.txt
+	set -o pipefail; $(GO) test -run '^$$' -bench='BenchmarkEngine|BenchmarkStrategyMatrix|BenchmarkTreeDraft|BenchmarkFleetRouting|BenchmarkPrefixBench|BenchmarkLoadBench' -benchtime=1x ./... | tee bench_output.txt
 
 fmt:
 	gofmt -w .
@@ -80,4 +96,4 @@ serve:
 serve-fleet:
 	$(GO) run ./cmd/vgend -replicas 4 -shed-policy deadline,priority,budget
 
-ci: build fmt-check vet race golden differential cover fuzz bench
+ci: build fmt-check vet race sched-soak golden differential cover fuzz loadgate bench

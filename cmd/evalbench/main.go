@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	evalbench -exp table1|table2|matrix|tree|fleet|prefix|diff|fig1|fig5|fig6|all
+//	evalbench -exp table1|table2|matrix|tree|fleet|prefix|load|diff|fig1|fig5|fig6|all
 //	          [-quick] [-items N] [-samples N] [-seed N]
 //
 // -quick selects the scaled-down setup (one model, one data size, few
@@ -34,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, matrix, tree, fleet, prefix, diff, fig1, fig5, fig6 or all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, matrix, tree, fleet, prefix, load, diff, fig1, fig5, fig6 or all")
 	quick := flag.Bool("quick", false, "scaled-down setup (fast smoke run)")
 	items := flag.Int("items", 0, "override corpus item count")
 	samples := flag.Int("samples", 0, "override samples per prompt per temperature")
@@ -121,6 +121,20 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if want("load") {
+		fmt.Println("## Load bench — short-request p95 with one long decode in flight, per scheduler")
+		rows, err := runner.RunLoadBench(experiments.LoadBenchConfig{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load bench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, row := range rows {
+			fmt.Printf("  %-10s shorts=%3d  unloaded p95=%7.3fms  loaded p95=%7.3fms  ratio=%.2f  preemptions=%d  long_decodes=%d\n",
+				row.Scheduler, row.Shorts, row.UnloadedP95MS, row.LoadedP95MS,
+				row.LatencyRatio, row.Preemptions, row.LongDecodes)
+		}
+		fmt.Println()
+	}
 	if want("diff") {
 		fmt.Println("## Differential — byte-identity of {off, whole, trie} session caches across the strategy matrix")
 		report, err := runner.RunDiffTest(experiments.DiffConfig{})
@@ -161,7 +175,7 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("# total %v\n", time.Since(t0).Round(time.Second))
-	if *exp != "all" && !want("table1") && !want("table2") && !want("matrix") && !want("tree") && !want("fleet") && !want("prefix") && !want("diff") && !want("fig1") && !want("fig5") && !want("fig6") {
+	if *exp != "all" && !want("table1") && !want("table2") && !want("matrix") && !want("tree") && !want("fleet") && !want("prefix") && !want("load") && !want("diff") && !want("fig1") && !want("fig5") && !want("fig6") {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}

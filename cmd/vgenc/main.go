@@ -10,16 +10,23 @@
 //
 //	vgenc [-addr http://localhost:8080] [-n 2] [-c 4] [-strategy NAME]
 //	      [-model NAME] [-priority high|normal|low] [-client NAME]
-//	      [-tree-budget N] [-max-retries 5] [-timeout 30s] [prompt ...]
+//	      [-tree-budget N] [-max-retries 5] [-timeout 30s] [-stream]
+//	      [-long-every N] [-long-tokens 192] [prompt ...]
 //
 // Prompts come from the arguments; with none, a built-in shared-stem
 // workload (the PrefixBench families) is replayed — the traffic shape
 // the daemon's prefix caches and affinity routing are built for. -n
 // repeats the whole list with fresh seeds; -c bounds in-flight
-// requests. Exit status is non-zero if any request ultimately failed.
+// requests. -stream consumes responses as NDJSON; a shed received after
+// partial stream output counts as a failed attempt (backed off and
+// resubmitted like any 429/503), never as a success. -long-every mixes
+// a long decode into every Nth request — the load shape the daemon's
+// continuous scheduler preempts around. Exit status is non-zero if any
+// request ultimately failed.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -37,13 +44,23 @@ import (
 
 // generateRequest mirrors the serve.GenerateRequest fields vgenc uses.
 type generateRequest struct {
-	Prompt     string `json:"prompt"`
-	Strategy   string `json:"strategy,omitempty"`
-	Model      string `json:"model,omitempty"`
-	Priority   string `json:"priority,omitempty"`
-	Client     string `json:"client,omitempty"`
-	TreeBudget int    `json:"tree_budget,omitempty"`
-	Seed       int64  `json:"seed,omitempty"`
+	Prompt       string `json:"prompt"`
+	Strategy     string `json:"strategy,omitempty"`
+	Model        string `json:"model,omitempty"`
+	Priority     string `json:"priority,omitempty"`
+	Client       string `json:"client,omitempty"`
+	TreeBudget   int    `json:"tree_budget,omitempty"`
+	MaxNewTokens int    `json:"max_new_tokens,omitempty"`
+	Seed         int64  `json:"seed,omitempty"`
+	Stream       bool   `json:"stream,omitempty"`
+}
+
+// ndjsonLine is one line of a streaming response — the subset of the
+// server's streamLine the client needs to classify an attempt.
+type ndjsonLine struct {
+	Done   bool            `json:"done,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
 }
 
 // defaultBackoff is the wait applied when a shed response carries no
@@ -102,39 +119,122 @@ type result struct {
 	wall    time.Duration
 }
 
-// replayOne submits one generation, backing off per Retry-After on 429
-// and 503 up to maxRetries resubmissions.
+// attemptOutcome classifies one HTTP exchange.
+type attemptOutcome int
+
+const (
+	attemptOK   attemptOutcome = iota // final result received
+	attemptShed                       // shed or queue-full: back off and resubmit
+	attemptFail                       // terminal: transport error, bad status, broken stream
+)
+
+// retryableStreamError reports whether a final NDJSON error line names
+// a shed or queue-full condition — the stream-mode equivalents of a 429
+// or 503 status, delivered in-band because response headers were
+// already on the wire.
+func retryableStreamError(msg string) bool {
+	return strings.Contains(msg, "queue full") || strings.Contains(msg, "request shed")
+}
+
+// attemptOnce performs one HTTP exchange and classifies it. For
+// streaming requests the verdict must look past partial output: step
+// lines already received do NOT make the attempt a success — a 429/503
+// status, a final NDJSON error line, or a stream that ends without a
+// result line all mean the generation was not delivered, however many
+// bytes preceded the failure. Only an explicit final result line counts.
+func attemptOnce(client *http.Client, addr string, req generateRequest) (attemptOutcome, time.Duration) {
+	body, _ := json.Marshal(req)
+	resp, err := client.Post(addr+"/v1/generate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vgenc: %v\n", err)
+		return attemptFail, 0
+	}
+	defer resp.Body.Close()
+	backoff := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now(), defaultBackoff)
+
+	if !req.Stream {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return attemptOK, 0
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			return attemptShed, backoff
+		default:
+			fmt.Fprintf(os.Stderr, "vgenc: status %d\n", resp.StatusCode)
+			return attemptFail, 0
+		}
+	}
+
+	// Streaming: drain the NDJSON body before judging anything, keeping
+	// only the final done line. The step-line count matters solely for
+	// diagnostics — partial output is not a result.
+	var final ndjsonLine
+	sawDone, steps := false, 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var l ndjsonLine
+		if json.Unmarshal(line, &l) != nil {
+			continue
+		}
+		if l.Done {
+			final, sawDone = l, true
+		} else {
+			steps++
+		}
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests, resp.StatusCode == http.StatusServiceUnavailable:
+		// Shed after partial stream output is still a shed: the attempt
+		// failed, whatever fragment of the decode made it onto the wire.
+		if steps > 0 {
+			fmt.Fprintf(os.Stderr, "vgenc: shed (status %d) after %d streamed steps; retrying\n", resp.StatusCode, steps)
+		}
+		return attemptShed, backoff
+	case resp.StatusCode != http.StatusOK:
+		fmt.Fprintf(os.Stderr, "vgenc: status %d\n", resp.StatusCode)
+		return attemptFail, 0
+	case sawDone && final.Error == "" && final.Result != nil:
+		return attemptOK, 0
+	case sawDone && retryableStreamError(final.Error):
+		if steps > 0 {
+			fmt.Fprintf(os.Stderr, "vgenc: shed in-stream after %d steps (%s); retrying\n", steps, final.Error)
+		}
+		return attemptShed, backoff
+	case sawDone:
+		fmt.Fprintf(os.Stderr, "vgenc: stream error: %s\n", final.Error)
+		return attemptFail, 0
+	default:
+		fmt.Fprintf(os.Stderr, "vgenc: stream ended after %d steps without a result line\n", steps)
+		return attemptFail, 0
+	}
+}
+
+// replayOne submits one generation, backing off per Retry-After on shed
+// responses — a 429/503 status or its in-stream equivalent — up to
+// maxRetries resubmissions.
 func replayOne(client *http.Client, addr string, req generateRequest, maxRetries int) result {
 	start := time.Now()
 	var res result
 	for {
-		body, _ := json.Marshal(req)
-		resp, err := client.Post(addr+"/v1/generate", "application/json", bytes.NewReader(body))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "vgenc: %v\n", err)
-			res.wall = time.Since(start)
-			return res
-		}
-		_, _ = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		switch resp.StatusCode {
-		case http.StatusOK:
+		outcome, backoff := attemptOnce(client, addr, req)
+		switch outcome {
+		case attemptOK:
 			res.ok = true
-			res.wall = time.Since(start)
-			return res
-		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-			if res.retries >= maxRetries {
-				fmt.Fprintf(os.Stderr, "vgenc: gave up after %d retries (last status %d)\n", res.retries, resp.StatusCode)
-				res.wall = time.Since(start)
-				return res
+		case attemptShed:
+			if res.retries < maxRetries {
+				res.retries++
+				time.Sleep(backoff)
+				continue
 			}
-			res.retries++
-			time.Sleep(parseRetryAfter(resp.Header.Get("Retry-After"), time.Now(), defaultBackoff))
-		default:
-			fmt.Fprintf(os.Stderr, "vgenc: status %d\n", resp.StatusCode)
-			res.wall = time.Since(start)
-			return res
+			fmt.Fprintf(os.Stderr, "vgenc: gave up after %d retries\n", res.retries)
 		}
+		res.wall = time.Since(start)
+		return res
 	}
 }
 
@@ -157,6 +257,9 @@ func main() {
 	treeBudget := flag.Int("tree-budget", 0, "draft-tree node budget to request (0: server default)")
 	maxRetries := flag.Int("max-retries", 5, "resubmissions per request after shed responses")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	stream := flag.Bool("stream", false, "request NDJSON streaming responses")
+	longEvery := flag.Int("long-every", 0, "make every Nth request a long decode (0: none)")
+	longTokens := flag.Int("long-tokens", 192, "max_new_tokens for long decodes (with -long-every)")
 	flag.Parse()
 
 	prompts := flag.Args()
@@ -166,11 +269,18 @@ func main() {
 	var reqs []generateRequest
 	for rep := 0; rep < *n; rep++ {
 		for i, p := range prompts {
-			reqs = append(reqs, generateRequest{
+			req := generateRequest{
 				Prompt: p, Strategy: *strategy, Model: *modelName,
 				Priority: *priority, Client: *clientName, TreeBudget: *treeBudget,
-				Seed: int64(rep*1000 + i),
-			})
+				Seed: int64(rep*1000 + i), Stream: *stream,
+			}
+			// The mixed load shape the continuous scheduler is built
+			// for: mostly short interactive requests with a periodic
+			// long decode that the server must preempt around.
+			if *longEvery > 0 && len(reqs)%*longEvery == *longEvery-1 {
+				req.MaxNewTokens = *longTokens
+			}
+			reqs = append(reqs, req)
 		}
 	}
 

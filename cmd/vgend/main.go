@@ -37,12 +37,21 @@
 // with a Retry-After header.
 //
 // Usage: vgend [-addr :8080] [-model codellama|codet5p] [-scheme ours]
-// [-items 3400] [-workers N] [-queue N] [-batch N] [-cache N]
+// [-items 3400] [-workers N] [-queue N]
+// [-scheduler continuous|microbatch] [-max-batch N] [-preempt-quantum N]
+// [-batch N] [-cache N]
 // [-prefix-cache trie|whole|off|N] [-prefix-cache-bytes N] [-no-dedup]
 // [-tree-budget N] [-replicas N] [-models specs]
 // [-router prefix-affinity|least-loaded|round-robin|random]
 // [-shed-policy none|deadline,priority,budget] [-budget-tps N]
 // [-budget-burst N] [-list-strategies]
+//
+// Dispatch defaults to the continuous scheduler: requests join and
+// leave the running batch at every verification sweep, and a decode
+// that holds a slot for -preempt-quantum sweeps while others wait is
+// checkpointed (its session pages stay pinned in the prefix trie) and
+// resumed later — long decodes cannot head-of-line-block short ones.
+// -scheduler microbatch restores the legacy worker pool.
 //
 // The tree strategies (medusa-tree, lookup-tree, ours-tree; see
 // -list-strategies) draft a branching candidate tree per decoding
@@ -154,8 +163,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus/training seed")
 	workers := flag.Int("workers", 0, "decoder workers per replica (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 256, "request queue bound per replica")
-	batch := flag.Int("batch", 8, "micro-batch size")
-	window := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch linger")
+	scheduler := flag.String("scheduler", serve.SchedContinuous,
+		"dispatch architecture per replica: continuous (requests join/leave the running batch at every verification step, long decodes preempted) or microbatch (legacy worker pool)")
+	maxBatch := flag.Int("max-batch", 0, "continuous scheduler: max decodes in the running batch (0 = 2*workers, min 8)")
+	preemptQuantum := flag.Int("preempt-quantum", 0, "continuous scheduler: sweeps a decode may hold a slot while others wait (0 = 64, negative disables preemption)")
+	batch := flag.Int("batch", 8, "micro-batch size (microbatch scheduler)")
+	window := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch linger (microbatch scheduler)")
 	cache := flag.Int("cache", 512, "LRU cache entries per replica (negative disables)")
 	prefixCache := flag.String("prefix-cache", "trie",
 		"prompt-session cache per replica: trie (token-prefix trie, partial reuse), whole (whole-prompt LRU), off; a legacy integer selects whole mode with that capacity (negative disables)")
@@ -210,6 +223,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	schedMode, err := serve.ParseSchedulerMode(*scheduler)
+	if err != nil {
+		fail(err)
+	}
 	policies, err := cluster.ParsePolicies(*shedPolicy, *budgetTPS, *budgetBurst)
 	if err != nil {
 		fail(err)
@@ -259,6 +276,9 @@ func main() {
 	engCfg := serve.Config{
 		Workers:           *workers,
 		QueueSize:         *queue,
+		Scheduler:         schedMode,
+		MaxBatch:          *maxBatch,
+		PreemptQuantum:    *preemptQuantum,
 		BatchSize:         *batch,
 		BatchWindow:       *window,
 		CacheSize:         *cache,

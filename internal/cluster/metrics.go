@@ -106,7 +106,7 @@ func (f *Fleet) Metrics() Metrics {
 func aggregate(ms []serve.Metrics) serve.Metrics {
 	var a serve.Metrics
 	a.PerStrategy = map[string]serve.StrategyMetrics{}
-	var steps, accepted, simSeconds float64
+	var steps, accepted, simSeconds, sweepOcc float64
 	stratSteps := map[string]float64{}
 	stratAccepted := map[string]float64{}
 	stratSimSeconds := map[string]float64{}
@@ -134,6 +134,24 @@ func aggregate(ms []serve.Metrics) serve.Metrics {
 		a.Batches += m.Batches
 		a.QueueDepth += m.QueueDepth
 		a.Workers += m.Workers
+		// Scheduler identity: uniform fleets report their mode, mixed
+		// fleets say so instead of pretending one replica speaks for all.
+		switch {
+		case a.Scheduler == "":
+			a.Scheduler = m.Scheduler
+		case a.Scheduler != m.Scheduler:
+			a.Scheduler = "mixed"
+		}
+		a.SchedMaxBatch += m.SchedMaxBatch
+		a.SchedRunning += m.SchedRunning
+		a.SchedParked += m.SchedParked
+		a.Sweeps += m.Sweeps
+		a.Preemptions += m.Preemptions
+		a.Resumes += m.Resumes
+		sweepOcc += m.MeanSweepOccupancy * float64(m.Sweeps)
+		a.PrefixCachePinnedPages += m.PrefixCachePinnedPages
+		a.PrefixCachePinnedBytes += m.PrefixCachePinnedBytes
+		a.PrefixCacheLeases += m.PrefixCacheLeases
 		a.CleanTokens += m.CleanTokens
 		a.Steps += m.Steps
 		a.WallSeconds += m.WallSeconds
@@ -189,6 +207,12 @@ func aggregate(ms []serve.Metrics) serve.Metrics {
 	}
 	if steps > 0 {
 		a.MeanAccepted = accepted / steps
+	}
+	if a.SchedMaxBatch > 0 {
+		a.SchedOccupancy = float64(a.SchedRunning) / float64(a.SchedMaxBatch)
+	}
+	if a.Sweeps > 0 {
+		a.MeanSweepOccupancy = sweepOcc / float64(a.Sweeps)
 	}
 	if a.WallSeconds > 0 {
 		a.TokensPerSecWall = float64(a.CleanTokens) / a.WallSeconds
@@ -323,5 +347,19 @@ func (f *Fleet) WritePrometheusTo(w io.Writer, uptimeS float64) {
 	fmt.Fprintf(w, "# HELP vgend_replica_prefix_tokens_saved_total Prompt tokens whose session preparation reuse skipped, per replica.\n# TYPE vgend_replica_prefix_tokens_saved_total counter\n")
 	for _, r := range m.PerReplica {
 		fmt.Fprintf(w, "vgend_replica_prefix_tokens_saved_total{replica=%q} %d\n", r.Name, r.Engine.PrefixCacheTokensSaved)
+	}
+	// Continuous-scheduler visibility per replica: where the batch slots
+	// are full (hot replicas) and where long decodes are being displaced.
+	fmt.Fprintf(w, "# HELP vgend_replica_sched_occupancy Running decodes over batch slots, per replica.\n# TYPE vgend_replica_sched_occupancy gauge\n")
+	for _, r := range m.PerReplica {
+		fmt.Fprintf(w, "vgend_replica_sched_occupancy{replica=%q,scheduler=%q} %g\n", r.Name, r.Engine.Scheduler, r.Engine.SchedOccupancy)
+	}
+	fmt.Fprintf(w, "# HELP vgend_replica_sched_preemptions_total Decodes preempted (parked with pages pinned), per replica.\n# TYPE vgend_replica_sched_preemptions_total counter\n")
+	for _, r := range m.PerReplica {
+		fmt.Fprintf(w, "vgend_replica_sched_preemptions_total{replica=%q} %d\n", r.Name, r.Engine.Preemptions)
+	}
+	fmt.Fprintf(w, "# HELP vgend_replica_prefix_pinned_pages Session pages pinned by in-flight/parked decode leases, per replica.\n# TYPE vgend_replica_prefix_pinned_pages gauge\n")
+	for _, r := range m.PerReplica {
+		fmt.Fprintf(w, "vgend_replica_prefix_pinned_pages{replica=%q} %d\n", r.Name, r.Engine.PrefixCachePinnedPages)
 	}
 }

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestFleetAggregatesSchedulerMetrics pins the fleet roll-up of the
+// continuous-scheduler observability: sweep/preemption counters and
+// batch-slot gauges sum across replicas, the derived occupancies
+// recompute over the sums, and the per-replica scheduler families
+// appear in the fleet's Prometheus exposition.
+func TestFleetAggregatesSchedulerMetrics(t *testing.T) {
+	_, prompts := fixture(t)
+	f := newFleet(t, 2, &roundRobinRouter{}, nil, serve.Config{Workers: 1, MaxBatch: 2, CacheSize: -1})
+	for i := 0; i < 6; i++ {
+		req := serve.Request{Prompt: prompts[i], Options: testOptions(int64(i))}
+		if resp, err := f.Generate(context.Background(), req); err != nil || resp.Err != nil {
+			t.Fatalf("request %d: %v / %v", i, err, resp.Err)
+		}
+	}
+
+	fm := f.Metrics()
+	if fm.Fleet.Scheduler != serve.SchedContinuous {
+		t.Fatalf("uniform fleet scheduler = %q, want %q", fm.Fleet.Scheduler, serve.SchedContinuous)
+	}
+	var sweeps, leases uint64
+	var maxBatch int
+	var weightedOcc float64
+	replicasWithSweeps := 0
+	for _, r := range fm.PerReplica {
+		if r.Engine.Sweeps > 0 {
+			replicasWithSweeps++
+		}
+		sweeps += r.Engine.Sweeps
+		leases += r.Engine.PrefixCacheLeases
+		maxBatch += r.Engine.SchedMaxBatch
+		weightedOcc += r.Engine.MeanSweepOccupancy * float64(r.Engine.Sweeps)
+	}
+	if replicasWithSweeps < 2 {
+		t.Fatalf("only %d replicas swept; aggregation untested", replicasWithSweeps)
+	}
+	if fm.Fleet.Sweeps != sweeps || fm.Fleet.SchedMaxBatch != maxBatch {
+		t.Fatalf("fleet sweeps/slots %d/%d, per-replica sums %d/%d",
+			fm.Fleet.Sweeps, fm.Fleet.SchedMaxBatch, sweeps, maxBatch)
+	}
+	if fm.Fleet.PrefixCacheLeases != leases || leases == 0 {
+		t.Fatalf("fleet leases %d, per-replica sum %d (want equal, nonzero)", fm.Fleet.PrefixCacheLeases, leases)
+	}
+	if want := weightedOcc / float64(sweeps); fm.Fleet.MeanSweepOccupancy != want {
+		t.Fatalf("fleet sweep occupancy %f, want %f (sweep-weighted)", fm.Fleet.MeanSweepOccupancy, want)
+	}
+	// Quiesced fleet: no decode in flight, so nothing pinned anywhere.
+	if fm.Fleet.SchedRunning != 0 || fm.Fleet.SchedParked != 0 || fm.Fleet.PrefixCachePinnedPages != 0 {
+		t.Fatalf("quiesced fleet holds residency: %+v", fm.Fleet)
+	}
+
+	var sb strings.Builder
+	f.WritePrometheusTo(&sb, 1)
+	body := sb.String()
+	for _, want := range []string{
+		`vgend_sched_info{scheduler="continuous"} 1`,
+		"vgend_sched_sweeps_total ",
+		`vgend_replica_sched_occupancy{replica="r0:`,
+		`vgend_replica_sched_preemptions_total{replica="r1:`,
+		`vgend_replica_prefix_pinned_pages{replica="r0:`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("fleet exposition missing %q", want)
+		}
+	}
+}
+
+// TestAggregateMixedSchedulers pins the identity rule on synthetic
+// snapshots: a fleet split between continuous and micro-batch replicas
+// must report "mixed", and the scheduler sums must not depend on mode.
+func TestAggregateMixedSchedulers(t *testing.T) {
+	a := aggregate([]serve.Metrics{
+		{Scheduler: serve.SchedContinuous, SchedMaxBatch: 4, Sweeps: 30, MeanSweepOccupancy: 2.0, Preemptions: 3, Resumes: 3},
+		{Scheduler: serve.SchedMicroBatch, SchedMaxBatch: 0, Sweeps: 0},
+		{Scheduler: serve.SchedContinuous, SchedMaxBatch: 2, Sweeps: 10, MeanSweepOccupancy: 1.0, Preemptions: 1, Resumes: 1},
+	})
+	if a.Scheduler != "mixed" {
+		t.Fatalf("heterogeneous fleet scheduler = %q, want mixed", a.Scheduler)
+	}
+	if a.SchedMaxBatch != 6 || a.Sweeps != 40 || a.Preemptions != 4 || a.Resumes != 4 {
+		t.Fatalf("scheduler sums wrong: %+v", a)
+	}
+	// (2.0*30 + 1.0*10) / 40 = 1.75
+	if a.MeanSweepOccupancy != 1.75 {
+		t.Fatalf("sweep-weighted occupancy %f, want 1.75", a.MeanSweepOccupancy)
+	}
+}

@@ -464,120 +464,23 @@ func (d *Decoder) GenerateStreamFrom(ctx context.Context, promptIDs []int, opts 
 	return d.generate(ctx, promptIDs, opts, onStep)
 }
 
-// generate is the decoding loop shared by all entry points — strategy
-// agnostic: the Drafter proposes, the Verifier screens and finalizes,
-// and the loop owns only what every strategy shares (base sampling,
-// repetition guard, budget and stop conditions, streaming). The
-// context is polled once per forward pass: cancellation surfaces after
-// at most one simulated step, with the partial Result intact.
+// generate is the decoding loop shared by all entry points, expressed
+// through the step-wise API: BeginDecode, Step to completion, Finish.
+// The loop itself — strategy-agnostic drafting, acceptance screening,
+// repetition guard, budget and stop conditions, streaming — lives in
+// DecodeState.Step (stepwise.go), so the monolithic path and a
+// scheduler driving steps one at a time are the same code and produce
+// byte-identical output by construction. The context is polled once
+// per forward pass: cancellation surfaces after at most one simulated
+// step, with the partial Result intact.
 func (d *Decoder) generate(ctx context.Context, promptIDs []int, opts Options, onStep StepFn) (*Result, error) {
-	opts = opts.withDefaults(d.m)
-	strat, err := opts.strategy()
+	st, err := d.BeginDecode(ctx, promptIDs, opts, onStep)
 	if err != nil {
 		return &Result{}, err
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	tk := d.m.Tokenizer()
-	gen := d.newGen(promptIDs)
-
-	seq := append([]int(nil), promptIDs...)
-	res := &Result{}
-	stepCost := d.stepCostMS(strat)
-	maxLen := len(promptIDs) + opts.MaxNewTokens
-	if cfgMax := d.m.Config().MaxTokens; maxLen > cfgMax+len(promptIDs) {
-		maxLen = cfgMax + len(promptIDs)
+	for !st.Step() {
 	}
-
-	done := false
-	tail := ""
-	rep := &repState{seen: map[uint64]bool{}}
-	for !done && len(seq) < maxLen && len(res.Tokens) < opts.MaxNewTokens {
-		if err := ctx.Err(); err != nil {
-			res.CleanTokens = stripSpecials(res.Tokens)
-			res.Text = tk.DecodeClean(res.Tokens)
-			return res, err
-		}
-		// Head distributions cost work to build; strategies that do not
-		// draft from them (NTP, prompt lookup) get a base-only pass.
-		var fw model.Forward
-		if strat.Drafter.NeedsHeads() {
-			fw = gen.Forward(seq)
-		} else {
-			fw = model.Forward{Base: gen.BaseDist(seq)}
-		}
-		res.Steps++
-		res.SimulatedMS += stepCost
-
-		// The base model's own prediction is always kept.
-		base := d.sampleBase(fw.Base, opts, rng, rep)
-		accepted := []int{base}
-
-		if base != tokenizer.EosID {
-			if td, ok := strat.Drafter.(spec.TreeDrafter); ok {
-				drafts, nodes := d.acceptTree(gen, seq, accepted, fw, strat, td, opts)
-				res.TreeNodes += nodes
-				res.TreeBudget += opts.TreeBudget
-				accepted = append(accepted, drafts...)
-			} else {
-				accepted = append(accepted, d.acceptDrafts(gen, seq, accepted, fw, strat, opts)...)
-			}
-		}
-		// Drafts that would extend a repeated n-gram are cut too.
-		cleanProbe := append([]int(nil), rep.clean...)
-		for i, id := range accepted {
-			if tokenizer.IsSpecial(id) {
-				continue
-			}
-			probe := &repState{clean: cleanProbe, seen: rep.seen}
-			if i > 0 && probe.wouldRepeat(id) {
-				accepted = accepted[:i]
-				break
-			}
-			cleanProbe = append(cleanProbe, id)
-		}
-
-		// Finalize the accepted run (the [FRAG] integrity truncation of
-		// paper §III-B, when the verifier carries it).
-		kept, truncated := strat.Verifier.Finalize(accepted)
-		res.TruncatedTokens += truncated
-		accepted = kept
-
-		emittedAt := len(res.Tokens)
-		for _, id := range accepted {
-			if id == tokenizer.EosID {
-				done = true
-				break
-			}
-			seq = append(seq, id)
-			res.Tokens = append(res.Tokens, id)
-			if !tokenizer.IsSpecial(id) {
-				rep.push(id)
-				tail += tk.Token(id)
-				if len(tail) > 32 {
-					tail = tail[len(tail)-32:]
-				}
-				// Generation is one module per prompt: stop after
-				// endmodule (the trained <eos> usually follows, but a
-				// derailed tail must not burn the token budget).
-				if strings.Contains(tail, "endmodule") {
-					done = true
-					break
-				}
-			}
-			if len(res.Tokens) >= opts.MaxNewTokens {
-				break
-			}
-		}
-		res.AcceptedPerStep = append(res.AcceptedPerStep, len(accepted))
-		if onStep != nil {
-			step := res.Tokens[emittedAt:]
-			onStep(StepEvent{Step: res.Steps, Tokens: step, Text: tk.DecodeClean(step)})
-		}
-	}
-
-	res.CleanTokens = stripSpecials(res.Tokens)
-	res.Text = tk.DecodeClean(res.Tokens)
-	return res, nil
+	return st.Finish()
 }
 
 // sampleBase draws the base token (greedy at temperature 0), demoting

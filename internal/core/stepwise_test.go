@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// stepwiseDecode drives the step API to completion, optionally parking
+// (and sometimes dropping pages) at rng-chosen step boundaries — the
+// exact call sequence the continuous scheduler issues around a
+// preemption.
+func stepwiseDecode(t *testing.T, d *Decoder, promptIDs []int, opts Options, rng *rand.Rand) *Result {
+	t.Helper()
+	st, err := d.BeginDecode(context.Background(), promptIDs, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !st.Step() {
+		if rng != nil && rng.Intn(3) == 0 {
+			st.Park()
+			if !st.Parked() {
+				t.Fatal("Park did not park")
+			}
+			if rng.Intn(2) == 0 {
+				st.Drop()
+			}
+			st.Resume()
+		}
+	}
+	res, err := st.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestStepwiseMatchesGenerate: driving the step API one sweep at a
+// time — with preemptions, page drops and resumes scattered at random
+// boundaries — must be byte-identical to the monolithic generate path,
+// for every strategy, on a shared trie cache.
+func TestStepwiseMatchesGenerate(t *testing.T) {
+	m := trained(t, model.SchemeOurs)
+	cache := model.NewTrieCache(0)
+	d := NewDecoder(m).WithSessionCache(cache)
+	rng := rand.New(rand.NewSource(99))
+	for _, strat := range []string{"ntp", "medusa", "ours", "prompt-lookup", "ours-tree"} {
+		for seed := int64(0); seed < 3; seed++ {
+			opts := Options{Strategy: strat, MaxNewTokens: 48, Seed: seed}
+			want, err := d.GenerateCtx(context.Background(), trainExamples[1].Prompt, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids := model.CanonicalPromptIDs(m.Tokenizer(), trainExamples[1].Prompt)
+			got := stepwiseDecode(t, d, ids, opts, rng)
+			if !reflect.DeepEqual(got.Tokens, want.Tokens) || got.Text != want.Text || got.Steps != want.Steps {
+				t.Fatalf("%s seed %d: step-wise decode diverged from generate", strat, seed)
+			}
+		}
+	}
+	if st := cache.SessionStats(); st.PinnedPages != 0 || st.PinnedBytes != 0 {
+		t.Fatalf("leases leaked after Finish: %+v", st)
+	}
+}
+
+// TestStepwiseCancellation: a cancelled context must surface on the
+// next Step with the partial result intact — the contract the
+// scheduler's retire path relies on.
+func TestStepwiseCancellation(t *testing.T) {
+	m := trained(t, model.SchemeNTP)
+	d := NewDecoder(m)
+	ids := model.CanonicalPromptIDs(m.Tokenizer(), trainExamples[0].Prompt)
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := d.BeginDecode(ctx, ids, Options{Strategy: "ntp", MaxNewTokens: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Step()
+	st.Step()
+	cancel()
+	if !st.Step() {
+		t.Fatal("Step after cancellation did not report completion")
+	}
+	res, err := st.Finish()
+	if err != context.Canceled {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+	if res.Steps != 2 || len(res.Tokens) == 0 || res.Text == "" {
+		t.Fatalf("partial result not preserved: steps=%d tokens=%d", res.Steps, len(res.Tokens))
+	}
+}
+
+// TestStepwiseUnknownStrategy: BeginDecode owns the only error.
+func TestStepwiseUnknownStrategy(t *testing.T) {
+	m := trained(t, model.SchemeNTP)
+	d := NewDecoder(m)
+	if _, err := d.BeginDecode(context.Background(), []int{1}, Options{Strategy: "nope"}, nil); err == nil {
+		t.Fatal("unknown strategy did not error")
+	}
+}
+
+// TestStepwiseLeasesPages: on a leasing cache a decode holds its pages
+// pinned across a park, frees them on Drop, and re-pins on Resume.
+func TestStepwiseLeasesPages(t *testing.T) {
+	m := trained(t, model.SchemeOurs)
+	cache := model.NewTrieCache(0)
+	d := NewDecoder(m).WithSessionCache(cache)
+	ids := model.CanonicalPromptIDs(m.Tokenizer(), trainExamples[2].Prompt)
+	st, err := d.BeginDecode(context.Background(), ids, Options{Strategy: "ours", MaxNewTokens: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LeasedPages() < 1 {
+		t.Fatal("decode holds no page lease on a trie cache")
+	}
+	st.Park()
+	if cache.SessionStats().PinnedPages < 1 {
+		t.Fatal("parked decode dropped its pins")
+	}
+	st.Drop()
+	if got := cache.SessionStats().PinnedPages; got != 0 {
+		t.Fatalf("pinned pages after Drop = %d, want 0", got)
+	}
+	st.Resume()
+	if st.LeasedPages() < 1 {
+		t.Fatal("Resume did not re-acquire pages")
+	}
+	for !st.Step() {
+	}
+	if _, err := st.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.SessionStats().PinnedPages; got != 0 {
+		t.Fatalf("pinned pages after Finish = %d, want 0", got)
+	}
+}

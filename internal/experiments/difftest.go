@@ -3,15 +3,22 @@
 // optimizations earn their speedups only if measured — and trusted —
 // honestly, and a session cache is only admissible if it provably
 // changes nothing about outputs. RunDiffTest decodes the full strategy
-// matrix three times — no session cache, whole-prompt LRU, token-prefix
-// trie — over a workload built to stress every reuse path (shared
-// stems, prefix extensions and truncations, exact repeats) and requires
-// byte-identical results per (prompt, strategy, seed). CI runs it as a
-// dedicated job next to the golden determinism gate.
+// matrix four times — no session cache, whole-prompt LRU, token-prefix
+// trie, and a trie-backed step-wise decode preempted (parked, sometimes
+// dropped, resumed) at randomized step boundaries — over a workload
+// built to stress every reuse path (shared stems, prefix extensions and
+// truncations, exact repeats) and requires byte-identical results per
+// (prompt, strategy, seed). The fourth mode is the continuous
+// scheduler's admissibility proof: checkpoint/resume at any sweep
+// boundary, with or without the session pages surviving the park, must
+// never change bytes. CI runs it as a dedicated job next to the golden
+// determinism gate.
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/model"
@@ -53,10 +60,15 @@ type DiffReport struct {
 	// proof the comparison actually exercised mid-prompt forks rather
 	// than trivially re-deriving every session.
 	PartialHits uint64
+	// Preemptions counts park/resume interruptions injected into the
+	// step-wise decodes (Drops of those additionally discarded the
+	// decode's session pages mid-flight) — proof the preemption mode
+	// actually checkpointed rather than decoding straight through.
+	Preemptions, Drops uint64
 }
 
-// diffModes labels the three session-cache configurations under test.
-var diffModes = []string{"off", "whole", "trie"}
+// diffModes labels the four session-cache configurations under test.
+var diffModes = []string{"off", "whole", "trie", "preempt"}
 
 // RunDiffTest decodes every StrategyMatrix entry over the workload with
 // all three cache modes and returns an error on the first output
@@ -85,10 +97,14 @@ func (r *Runner) RunDiffTest(cfg DiffConfig) (DiffReport, error) {
 			}
 			trie := model.NewTrieCache(0)
 			decs := map[string]*core.Decoder{
-				"off":   core.NewDecoder(m),
-				"whole": core.NewDecoder(m).WithSessionCache(model.NewGenCache(256)),
-				"trie":  core.NewDecoder(m).WithSessionCache(trie),
+				"off":     core.NewDecoder(m),
+				"whole":   core.NewDecoder(m).WithSessionCache(model.NewGenCache(256)),
+				"trie":    core.NewDecoder(m).WithSessionCache(trie),
+				"preempt": core.NewDecoder(m).WithSessionCache(model.NewTrieCache(0)),
 			}
+			// Deterministic preemption schedule, fixed per matrix entry
+			// so a failure replays identically.
+			rng := rand.New(rand.NewSource(42))
 			var optsSet []core.Options
 			optsSet = append(optsSet, core.Options{Strategy: entry.Strategy, MaxNewTokens: cfg.MaxNewTokens})
 			for _, seed := range cfg.Seeds {
@@ -100,7 +116,16 @@ func (r *Runner) RunDiffTest(cfg DiffConfig) (DiffReport, error) {
 				for _, opts := range optsSet {
 					var ref *core.Result
 					for _, mode := range diffModes {
-						res := decs[mode].Generate(prompt, opts)
+						var res *core.Result
+						if mode == "preempt" {
+							var err error
+							if res, err = preemptedDecode(decs[mode], m, prompt, opts, rng, &report); err != nil {
+								return report, fmt.Errorf("%s/%s: preempted decode failed on prompt %d: %w",
+									mcfg.Name, entry.Strategy, pi, err)
+							}
+						} else {
+							res = decs[mode].Generate(prompt, opts)
+						}
 						if mode == "off" {
 							ref = res
 							report.Cases++
@@ -120,7 +145,38 @@ func (r *Runner) RunDiffTest(cfg DiffConfig) (DiffReport, error) {
 	if report.PartialHits == 0 {
 		return report, fmt.Errorf("differential run never forked a mid-prompt session; the trie went untested")
 	}
+	if report.Preemptions == 0 || report.Drops == 0 {
+		return report, fmt.Errorf("differential run injected %d preemptions (%d page drops); the checkpoint/resume path went untested",
+			report.Preemptions, report.Drops)
+	}
 	return report, nil
+}
+
+// preemptedDecode runs one decode through the step-wise API, parking it
+// at randomized step boundaries the way the continuous scheduler does —
+// sometimes additionally dropping its session pages, as happens when a
+// parked decode's pinned prefix is released under memory pressure —
+// then resuming. The returned Result must be byte-identical to the
+// uninterrupted decode; RunDiffTest enforces that against the cache-off
+// reference.
+func preemptedDecode(dec *core.Decoder, m *model.Model, prompt string, opts core.Options, rng *rand.Rand, report *DiffReport) (*core.Result, error) {
+	st, err := dec.BeginDecode(context.Background(), model.CanonicalPromptIDs(m.Tokenizer(), prompt), opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	for !st.Step() {
+		if rng.Intn(3) != 0 {
+			continue
+		}
+		st.Park()
+		report.Preemptions++
+		if rng.Intn(2) == 0 {
+			st.Drop()
+			report.Drops++
+		}
+		st.Resume()
+	}
+	return st.Finish()
 }
 
 // TreeLosslessReport summarizes a clean lossless run.

@@ -4,10 +4,12 @@ import "testing"
 
 // TestDifferentialCacheModes is the cache-admissibility gate CI runs
 // next to the golden determinism job: across the full strategy matrix,
-// decoding with the token-prefix trie cache (and with the whole-prompt
-// LRU) must be byte-identical to decoding with no session cache at all,
-// per (prompt, strategy, seed) — and the run must actually have forked
-// mid-prompt sessions, or it proved nothing.
+// decoding with the token-prefix trie cache, with the whole-prompt
+// LRU, and through the step-wise API under randomized preemption
+// (park / drop pages / resume at step boundaries) must all be
+// byte-identical to decoding with no session cache at all, per
+// (prompt, strategy, seed) — and the run must actually have forked
+// mid-prompt sessions and injected preemptions, or it proved nothing.
 func TestDifferentialCacheModes(t *testing.T) {
 	r := NewRunner(quickSetup())
 	report, err := r.RunDiffTest(DiffConfig{})
@@ -23,8 +25,11 @@ func TestDifferentialCacheModes(t *testing.T) {
 	if report.PartialHits == 0 {
 		t.Fatal("differential run exercised no mid-prompt forks")
 	}
-	t.Logf("differential run clean: %d cases byte-identical across {off, whole, trie}, %d mid-prompt forks",
-		report.Cases, report.PartialHits)
+	if report.Preemptions == 0 || report.Drops == 0 {
+		t.Fatalf("differential run exercised no preemption (%d parks, %d drops)", report.Preemptions, report.Drops)
+	}
+	t.Logf("differential run clean: %d cases byte-identical across {off, whole, trie, preempt}, %d mid-prompt forks, %d preemptions (%d page drops)",
+		report.Cases, report.PartialHits, report.Preemptions, report.Drops)
 }
 
 // TestPrefixBenchTrieRecomputesFewer pins the performance half of the

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// LoadBench measures the quantity the continuous scheduler exists to
+// protect: short-request latency while a long decode shares the engine.
+// Each scheduler mode runs the same two phases on one engine —
+// unloaded (sequential short decodes, nothing else in flight) and
+// loaded (the same shorts while a background client keeps exactly one
+// long decode in flight throughout) — and the row reports the loaded /
+// unloaded p95 ratio. Under the micro-batch worker pool a short behind
+// a long waits for the long's entire remainder, so the ratio explodes;
+// the continuous scheduler preempts the long at the next sweep
+// boundary and the ratio stays near 1. CI pins that contrast.
+
+// LoadBenchConfig sizes the latency-under-load scenario.
+type LoadBenchConfig struct {
+	// Schedulers are the engine modes to compare (default both).
+	Schedulers []string
+	// Shorts is the measured short-request count per phase (default 60).
+	Shorts int
+	// ShortTokens/LongTokens bound the two decode lengths (defaults
+	// 12 / 192). Shorts use the paper's speculative strategy; the long
+	// decode is plain NTP — one token per forward pass, the worst case
+	// to sit behind.
+	ShortTokens, LongTokens int
+	// ThinkTime is the client pause between shorts (default 2ms): the
+	// arrival gap that lets the long decode accumulate residency, as
+	// interactive traffic does.
+	ThinkTime time.Duration
+	// PreemptQuantum is the continuous scheduler's residency bound in
+	// sweeps (default 4 — above the typical short decode's step count,
+	// so shorts run to completion once admitted, but small enough that
+	// a resumed long decode yields within about a millisecond of a
+	// short arriving).
+	PreemptQuantum int
+}
+
+// loadBenchSeedBase seeds the measured shorts; both phases reuse it so
+// they decode the identical request set.
+const loadBenchSeedBase = 1000
+
+func (c LoadBenchConfig) withDefaults() LoadBenchConfig {
+	if len(c.Schedulers) == 0 {
+		c.Schedulers = []string{serve.SchedContinuous, serve.SchedMicroBatch}
+	}
+	if c.Shorts <= 0 {
+		c.Shorts = 60
+	}
+	if c.ShortTokens <= 0 {
+		c.ShortTokens = 12
+	}
+	if c.LongTokens <= 0 {
+		c.LongTokens = 192
+	}
+	if c.ThinkTime <= 0 {
+		c.ThinkTime = 2 * time.Millisecond
+	}
+	if c.PreemptQuantum <= 0 {
+		c.PreemptQuantum = 4
+	}
+	return c
+}
+
+// LoadBenchRow is one scheduler mode's measured outcome. Latencies are
+// wall-clock at the client, in milliseconds.
+type LoadBenchRow struct {
+	Scheduler string
+	Shorts    int
+	// Unloaded/Loaded short-request latency.
+	UnloadedMeanMS, UnloadedP95MS float64
+	LoadedMeanMS, LoadedP95MS     float64
+	// LatencyRatio is LoadedP95MS / UnloadedP95MS — the gated number.
+	LatencyRatio float64
+	// LongDecodes counts background long decodes completed during the
+	// loaded phase; Preemptions/Resumes are the scheduler's counters
+	// after it (zero under micro-batch, which cannot preempt).
+	LongDecodes          int
+	Preemptions, Resumes uint64
+}
+
+// LoadBench runs the two-phase scenario once per scheduler mode. Both
+// engines are configured identically — one worker, one batch slot —
+// so the only difference is the dispatch architecture: can a decode
+// yield the engine mid-flight, or does admission mean running to
+// completion?
+func LoadBench(m *model.Model, prompts []string, cfg LoadBenchConfig) ([]LoadBenchRow, error) {
+	cfg = cfg.withDefaults()
+	if len(prompts) < 2 {
+		return nil, fmt.Errorf("load bench needs at least 2 prompts, got %d", len(prompts))
+	}
+	// The gate measures scheduler-induced latency, not collector-induced
+	// latency: the background decode allocates on every step, and on a
+	// single-core CI runner the resulting GC assists land in the loaded
+	// phase's short-request tail, swamping the millisecond-scale
+	// scheduling effect under test. Collect now, then hold GC off for
+	// the measurement (the phases run on a bounded heap for about a
+	// second each) and restore the collector on the way out.
+	gcPct := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(gcPct)
+	runtime.GC()
+	longPrompt, shortPrompts := prompts[0], prompts[1:]
+	var rows []LoadBenchRow
+	for _, sched := range cfg.Schedulers {
+		eng := serve.NewEngine(m, serve.Config{
+			Scheduler: sched, Workers: 1, MaxBatch: 1,
+			PreemptQuantum: cfg.PreemptQuantum,
+			QueueSize:      4 * cfg.Shorts, CacheSize: -1, NoDedup: true,
+		})
+		row, err := driveLoad(eng, sched, longPrompt, shortPrompts, cfg)
+		eng.Close()
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// driveLoad measures one engine through both phases.
+func driveLoad(eng *serve.Engine, sched, longPrompt string, shortPrompts []string, cfg LoadBenchConfig) (LoadBenchRow, error) {
+	ctx := context.Background()
+	shortReq := func(i int, seed int64) serve.Request {
+		return serve.Request{
+			Prompt: shortPrompts[i%len(shortPrompts)],
+			Options: core.Options{
+				Mode: core.ModeOurs, Temperature: 0.6,
+				MaxNewTokens: cfg.ShortTokens, Seed: seed,
+			},
+		}
+	}
+	// Warm the session cache over the whole prompt set so neither phase
+	// pays first-touch prompt preparation the other skipped.
+	for i := range shortPrompts {
+		if resp, err := eng.Generate(ctx, shortReq(i, -1)); err != nil || resp.Err != nil {
+			return LoadBenchRow{}, fmt.Errorf("%s warmup %d: %v / %v", sched, i, err, resp.Err)
+		}
+	}
+
+	// Both phases measure the identical request set — same prompts,
+	// same seeds — so the loaded/unloaded ratio isolates scheduling:
+	// per-request decode work (which varies with the sampled draft
+	// trees) cancels instead of adding workload noise to the tail.
+	//
+	// Each phase discards a short ramp before measuring: the loaded
+	// phase only reaches steady state once the background decode's
+	// session path is cached (its first passes grow the trie and the
+	// heap), and the gate pins the steady-state contrast, not the ramp.
+	// Both phases discard identically so neither gets a head start.
+	const rampShorts = 16
+	measure := func(seedBase int64) ([]float64, error) {
+		lat := make([]float64, 0, cfg.Shorts)
+		for i := 0; i < rampShorts+cfg.Shorts; i++ {
+			time.Sleep(cfg.ThinkTime)
+			t0 := time.Now()
+			resp, err := eng.Generate(ctx, shortReq(i, seedBase+int64(i)))
+			if err != nil || resp.Err != nil {
+				return nil, fmt.Errorf("%s short %d: %v / %v", sched, i, err, resp.Err)
+			}
+			if i >= rampShorts {
+				lat = append(lat, float64(time.Since(t0))/float64(time.Millisecond))
+			}
+		}
+		return lat, nil
+	}
+
+	unloaded, err := measure(loadBenchSeedBase)
+	if err != nil {
+		return LoadBenchRow{}, err
+	}
+
+	// Loaded phase: a background client keeps exactly one long NTP
+	// decode in flight (re-issuing as each completes) until the last
+	// short is answered.
+	preBefore := eng.Metrics().Preemptions
+	var stop atomic.Bool
+	longStarted := make(chan struct{})
+	var startOnce sync.Once
+	longDone := make(chan int, 1)
+	longErr := make(chan error, 1)
+	go func() {
+		n := 0
+		for !stop.Load() {
+			req := serve.Request{
+				Prompt: longPrompt,
+				Options: core.Options{
+					Strategy: "ntp", MaxNewTokens: cfg.LongTokens, Seed: int64(n),
+				},
+				// The first step of the first long decode opens the gate:
+				// shorts are only measured against a genuinely loaded engine.
+				OnStep: func(core.StepEvent) { startOnce.Do(func() { close(longStarted) }) },
+			}
+			resp, err := eng.Generate(ctx, req)
+			if err != nil || resp.Err != nil {
+				longErr <- fmt.Errorf("%s long decode %d: %v / %v", sched, n, err, resp.Err)
+				longDone <- n
+				return
+			}
+			n++
+		}
+		longDone <- n
+	}()
+	select {
+	case <-longStarted:
+	case err := <-longErr:
+		<-longDone
+		return LoadBenchRow{}, err
+	}
+	loaded, err := measure(loadBenchSeedBase)
+	stop.Store(true)
+	longDecodes := <-longDone
+	select {
+	case lerr := <-longErr:
+		return LoadBenchRow{}, lerr
+	default:
+	}
+	if err != nil {
+		return LoadBenchRow{}, err
+	}
+
+	mt := eng.Metrics()
+	row := LoadBenchRow{
+		Scheduler:   sched,
+		Shorts:      cfg.Shorts,
+		LongDecodes: longDecodes,
+		Preemptions: mt.Preemptions - preBefore,
+		Resumes:     mt.Resumes,
+	}
+	row.UnloadedMeanMS, row.UnloadedP95MS = meanAndP95(unloaded)
+	row.LoadedMeanMS, row.LoadedP95MS = meanAndP95(loaded)
+	if row.UnloadedP95MS > 0 {
+		row.LatencyRatio = row.LoadedP95MS / row.UnloadedP95MS
+	}
+	return row, nil
+}
+
+func meanAndP95(lat []float64) (mean, p95 float64) {
+	var sum float64
+	for _, l := range lat {
+		sum += l
+	}
+	sorted := append([]float64(nil), lat...)
+	sort.Float64s(sorted)
+	return sum / float64(len(lat)), percentile(sorted, 0.95)
+}
+
+// RunLoadBench trains one model and runs the latency-under-load
+// scenario over the benchmark prompt set.
+func (r *Runner) RunLoadBench(cfg LoadBenchConfig) ([]LoadBenchRow, error) {
+	mcfg := r.setup.Models[0]
+	m := model.Train(r.toks[mcfg.Name], mcfg, model.SchemeOurs, r.examples)
+	return LoadBench(m, r.speedPrompts(), cfg)
+}

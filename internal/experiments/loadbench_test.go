@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// maxLoadedRatio is the CI latency-under-load gate: with one long
+// decode perpetually in flight, short-request p95 must stay within
+// 1.5x of the unloaded p95 under the continuous scheduler. The
+// micro-batch pool must FAIL the same bound — if it ever passes, the
+// scenario stopped exercising head-of-line blocking and the gate
+// proves nothing about the scheduler.
+const maxLoadedRatio = 1.5
+
+func loadBenchModel(tb testing.TB) (*model.Model, []string) {
+	tb.Helper()
+	r := NewRunner(quickSetup())
+	mcfg := r.setup.Models[0]
+	return model.Train(r.toks[mcfg.Name], mcfg, model.SchemeOurs, r.examples), r.speedPrompts()
+}
+
+// TestLoadBenchLatencyGate pins the tentpole's whole point as a CI
+// bench: continuous scheduling holds short-request p95 under load,
+// micro-batch dispatch does not. Wall-clock measurement on shared CI
+// runners is noisy, so the contrast gets up to three attempts; the
+// bound itself sits well clear of both sides (continuous lands near
+// 1.1x, micro-batch far above 2x).
+func TestLoadBenchLatencyGate(t *testing.T) {
+	m, prompts := loadBenchModel(t)
+	var lastErr error
+	for attempt := 1; attempt <= 3; attempt++ {
+		rows, err := LoadBench(m, prompts, LoadBenchConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bySched := map[string]LoadBenchRow{}
+		for _, row := range rows {
+			bySched[row.Scheduler] = row
+			t.Logf("attempt %d: %-10s unloaded p95=%.3fms loaded p95=%.3fms ratio=%.2f preemptions=%d long_decodes=%d",
+				attempt, row.Scheduler, row.UnloadedP95MS, row.LoadedP95MS, row.LatencyRatio, row.Preemptions, row.LongDecodes)
+		}
+		cont, micro := bySched[serve.SchedContinuous], bySched[serve.SchedMicroBatch]
+		switch {
+		case cont.LatencyRatio > maxLoadedRatio:
+			lastErr = fmt.Errorf("continuous loaded/unloaded p95 ratio %.2f exceeds %.1f", cont.LatencyRatio, maxLoadedRatio)
+		case cont.Preemptions < 1:
+			lastErr = fmt.Errorf("continuous loaded phase never preempted; the bench did not exercise the scheduler")
+		case micro.LatencyRatio <= maxLoadedRatio:
+			lastErr = fmt.Errorf("micro-batch ratio %.2f within %.1f; the scenario lost its head-of-line blocking", micro.LatencyRatio, maxLoadedRatio)
+		default:
+			return
+		}
+		t.Logf("attempt %d failed: %v", attempt, lastErr)
+	}
+	t.Fatal(lastErr)
+}
+
+// BenchmarkLoadBench reports the gated latencies as benchmark metrics
+// so the CI bench-smoke artifact carries them per run.
+func BenchmarkLoadBench(b *testing.B) {
+	m, prompts := loadBenchModel(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := LoadBench(m, prompts, LoadBenchConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			prefix := row.Scheduler
+			b.ReportMetric(row.UnloadedP95MS, prefix+"_unloaded_p95_ms")
+			b.ReportMetric(row.LoadedP95MS, prefix+"_loaded_p95_ms")
+			b.ReportMetric(row.LatencyRatio, prefix+"_p95_ratio")
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package model
+
+import "testing"
+
+// TestLeasePinsAgainstEviction: pages leased by an in-flight decode
+// must survive byte-budget eviction pressure, and become reclaimable
+// again the moment the lease is released.
+func TestLeasePinsAgainstEviction(t *testing.T) {
+	m, tk := trieFixture(t)
+	prompts := stemPrompts(tk, 8)
+	budget := 2 * m.NewGen(prompts[0]).MemBytes()
+	c := NewTrieCache(budget)
+
+	lease := c.Acquire(m, prompts[0])
+	if lease.Pages() < 1 || lease.Bytes() <= 0 {
+		t.Fatalf("lease pinned %d pages / %d bytes, want at least the leaf", lease.Pages(), lease.Bytes())
+	}
+	for _, ids := range prompts[1:] {
+		c.Gen(m, ids) // eviction pressure well past the budget
+	}
+	st := c.SessionStats()
+	if st.PinnedPages < 1 || st.PinnedBytes <= 0 || st.Leases != 1 {
+		t.Fatalf("pinned stats %+v, want >=1 page pinned by 1 lease", st)
+	}
+	hits := st.Hits
+	if g := c.Gen(m, prompts[0]); g != lease.Gen() {
+		t.Fatal("leased session was evicted under pressure")
+	}
+	if st = c.SessionStats(); st.Hits != hits+1 {
+		t.Fatalf("re-lookup of the leased prompt was not an exact hit (stats %+v)", st)
+	}
+
+	lease.Release()
+	lease.Release() // idempotent
+	if st = c.SessionStats(); st.PinnedPages != 0 || st.PinnedBytes != 0 {
+		t.Fatalf("pins survived release: %+v", st)
+	}
+	// With the pin gone the page is ordinary LRU prey: touch everything
+	// else, add pressure, and the once-leased session must go.
+	for _, ids := range prompts[1:] {
+		c.Gen(m, ids)
+	}
+	hits = c.SessionStats().Hits
+	c.Gen(m, prompts[0])
+	if st = c.SessionStats(); st.Hits != hits {
+		t.Fatalf("released page was never evicted under pressure (stats %+v)", st)
+	}
+}
+
+// TestLeasePinsSharedStem: a lease on a prompt whose session forked
+// from a cached prefix pins the stem page too — fork = take page refs.
+func TestLeasePinsSharedStem(t *testing.T) {
+	m, tk := trieFixture(t)
+	c := NewTrieCache(0)
+	full := stemPrompts(tk, 1)[0]
+	c.Gen(m, full[:20])
+	lease := c.Acquire(m, full)
+	defer lease.Release()
+	if lease.Pages() < 2 {
+		t.Fatalf("lease pinned %d pages, want prefix page + leaf", lease.Pages())
+	}
+	if st := c.SessionStats(); st.PinnedPages != lease.Pages() {
+		t.Fatalf("stats report %d pinned pages, lease holds %d", st.PinnedPages, lease.Pages())
+	}
+}
+
+// TestLeaseDegenerateCases: foreign-model leases pin nothing but still
+// carry a correct session, and the nil lease is safe everywhere — the
+// contract that lets cacheless decode paths hold one unconditionally.
+func TestLeaseDegenerateCases(t *testing.T) {
+	m, tk := trieFixture(t)
+	other := Train(tk, smallCfg(), SchemeNTP, trainExamples)
+	c := NewTrieCache(0)
+	ids := CanonicalPromptIDs(tk, trainExamples[0].Prompt)
+	c.Gen(m, ids) // binds the cache to m
+	l := c.Acquire(other, ids)
+	if l.Pages() != 0 {
+		t.Fatalf("foreign-model lease pinned %d pages", l.Pages())
+	}
+	if l.Gen() == nil {
+		t.Fatal("foreign-model lease has no session")
+	}
+	l.Release()
+
+	var nilLease *SessionLease
+	nilLease.Release()
+	if nilLease.Gen() != nil || nilLease.Pages() != 0 || nilLease.Bytes() != 0 {
+		t.Fatal("nil lease is not inert")
+	}
+}

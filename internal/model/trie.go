@@ -45,6 +45,13 @@ type TrieCache struct {
 	hits, partialHits, misses uint64
 	tokensSaved               uint64
 	depthHits                 [TrieDepthBuckets]uint64
+
+	// Page-lease accounting (see pages.go): pinnedPages counts nodes
+	// with pins > 0, pinnedBytes their retained session bytes, leases
+	// the lifetime Acquire calls.
+	pinnedPages int
+	pinnedBytes int64
+	leases      uint64
 }
 
 // DefaultTrieBytes is the byte budget selected by NewTrieCache(0).
@@ -69,6 +76,10 @@ type trieNode struct {
 	genBytes int64
 	el       *list.Element // LRU slot while gen != nil
 	touch    uint64
+	// pins is the page refcount: the number of live SessionLeases
+	// holding this node's session resident. Eviction skips pinned
+	// nodes (see pages.go).
+	pins int
 }
 
 // NewTrieCache creates a prefix trie holding sessions within an
@@ -332,27 +343,32 @@ func (c *TrieCache) insertLocked(ids []int, g *Gen) (leaf, split *trieNode) {
 
 // evictLocked drops the stalest sessions until the byte budget holds,
 // never touching keep (the session just inserted — the cache must stay
-// useful even when one session exceeds the budget). Structural nodes
-// left childless and session-less are pruned upward; single-child
-// structural chains are kept un-merged (re-merging edges buys little
-// once spans are shared, and keeps eviction O(evicted)).
+// useful even when one session exceeds the budget) and never touching
+// pinned nodes (pages leased by in-flight or parked decodes — see
+// pages.go), which are skipped in place rather than ending the scan so
+// stale unpinned sessions behind them are still reclaimed. Structural
+// nodes left childless and session-less are pruned upward;
+// single-child structural chains are kept un-merged (re-merging edges
+// buys little once spans are shared, and keeps eviction O(evicted)).
 func (c *TrieCache) evictLocked(keep *trieNode) {
-	for c.bytes > c.maxBytes && c.lru.Len() > 0 {
-		back := c.lru.Back()
-		node := back.Value.(*trieNode)
-		if node == keep {
-			break
+	for e := c.lru.Back(); e != nil && c.bytes > c.maxBytes; {
+		node := e.Value.(*trieNode)
+		prev := e.Prev()
+		if node == keep || node.pins > 0 {
+			e = prev
+			continue
 		}
-		c.lru.Remove(back)
+		c.lru.Remove(e)
 		c.bytes -= node.genBytes
 		node.gen, node.genBytes, node.el = nil, 0, nil
-		for n := node; n != c.root && n.gen == nil && len(n.children) == 0; {
+		for n := node; n != c.root && n.gen == nil && n.pins == 0 && len(n.children) == 0; {
 			p := n.parent
 			delete(p.children, n.span[0])
 			c.bytes -= spanBytes(n.span)
 			n.parent = nil
 			n = p
 		}
+		e = prev
 	}
 }
 
@@ -367,6 +383,9 @@ func (c *TrieCache) SessionStats() SessionStats {
 		TokensSaved: c.tokensSaved,
 		Entries:     c.lru.Len(),
 		Bytes:       c.bytes,
+		PinnedPages: c.pinnedPages,
+		PinnedBytes: c.pinnedBytes,
+		Leases:      c.leases,
 	}
 }
 

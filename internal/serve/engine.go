@@ -2,19 +2,31 @@
 // decoder and its consumers: the vgend HTTP daemon, the benchmark
 // harness (internal/experiments) and in-process embedders.
 //
-// An Engine owns a pool of decoder workers over one trained model, a
-// bounded request queue with explicit backpressure, a micro-batcher
-// that groups queued prompts before dispatch, an LRU cache keyed on
-// (model, prompt, options, seed) that short-circuits repeat
-// generations, a single-flight table that collapses concurrent
-// identical submissions onto one decode, and a shared prefix cache
-// (model.SessionCache: a token-prefix trie by default, the legacy
-// whole-prompt LRU on request) that reuses prompt-derived session
-// state across requests — including partial reuse, where a prompt
-// sharing only a token prefix with earlier traffic forks the cached
-// prefix session and prepares just the suffix. Decoding stays deterministic per seed regardless of worker
-// scheduling: each request carries its own RNG seed in core.Options and
-// the workers share nothing but the read-only model and the immutable
+// An Engine owns a continuous scheduler over one trained model: every
+// in-flight decode advances one verification sweep at a time through
+// the step-wise core API, requests join the running batch the moment a
+// slot frees and leave it the step they finish, and long decodes are
+// preempted — checkpointed after a sweep, their session pages parked
+// on the prefix trie — whenever shorter work is waiting, then resumed
+// round-robin. That keeps the verifier's batch full (the regime where
+// speculative decoding actually pays) and keeps one long generation
+// from serializing every short request behind it, which the legacy
+// worker-pool/micro-batch loop (Config.Scheduler = SchedMicroBatch,
+// retained as the LoadBench baseline) provably cannot. Around the
+// scheduler sit a bounded request queue with explicit backpressure, an
+// LRU cache keyed on (model, prompt, options, seed) that
+// short-circuits repeat generations, a single-flight table that
+// collapses concurrent identical submissions onto one decode, and a
+// shared prefix cache (model.SessionCache: a token-prefix trie by
+// default, the legacy whole-prompt LRU on request) that reuses
+// prompt-derived session state across requests — including partial
+// reuse, where a prompt sharing only a token prefix with earlier
+// traffic forks the cached prefix session and prepares just the
+// suffix. Decoding stays deterministic per seed regardless of
+// scheduling: each request carries its own RNG seed in core.Options,
+// preemption checkpoints fall only between verification sweeps (which
+// the step-wise loop makes output-invariant by construction), and
+// decodes share nothing but the read-only model and the immutable
 // cached sessions.
 //
 // Requests choose their decoding strategy per call (core.Options.Mode
@@ -122,16 +134,38 @@ func ParsePriority(s string) (Priority, error) {
 
 // Config sizes an Engine. Zero values select defaults.
 type Config struct {
-	// Workers is the number of decoder goroutines (default GOMAXPROCS).
+	// Scheduler selects the dispatch architecture: SchedContinuous
+	// (the default) advances every in-flight decode one verification
+	// sweep at a time, admitting and retiring requests at step
+	// boundaries and preempting long decodes when others wait;
+	// SchedMicroBatch is the legacy worker-pool loop that dedicates a
+	// worker to each decode from start to finish (kept as the
+	// latency-under-load baseline). NewEngine panics on any other
+	// spelling; validate external input with ParseSchedulerMode.
+	Scheduler string
+	// MaxBatch caps concurrently running decodes under the continuous
+	// scheduler — the batch the per-sweep verification is batched
+	// across (default max(8, 2×Workers)). Requests past it queue, and
+	// parked decodes wait for a slot. Ignored by SchedMicroBatch.
+	MaxBatch int
+	// PreemptQuantum is how many verification sweeps a decode may hold
+	// a batch slot while other requests are waiting before it is
+	// preempted: parked with its session pages pinned, its slot handed
+	// over, resumed round-robin. 0 selects the default (64); negative
+	// disables preemption. Ignored by SchedMicroBatch.
+	PreemptQuantum int
+	// Workers is the number of decode goroutines: the worker-pool size
+	// under SchedMicroBatch, the per-sweep parallelism under
+	// SchedContinuous (default GOMAXPROCS).
 	Workers int
 	// QueueSize bounds the pending-request queue (default 256). A full
 	// queue blocks Generate and rejects TryGenerate.
 	QueueSize int
 	// BatchSize caps how many queued requests one micro-batch carries
-	// to a worker (default 8).
+	// to a worker (default 8; SchedMicroBatch only).
 	BatchSize int
 	// BatchWindow is how long the batcher lingers for a batch to fill
-	// before dispatching it short (default 2ms).
+	// before dispatching it short (default 2ms; SchedMicroBatch only).
 	BatchWindow time.Duration
 	// CacheSize is the LRU capacity in generations: 0 selects the
 	// default (512), negative disables caching (the benchmark harness
@@ -177,8 +211,20 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Scheduler == "" {
+		c.Scheduler = SchedContinuous
+	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 2 * c.Workers
+		if c.MaxBatch < 8 {
+			c.MaxBatch = 8
+		}
+	}
+	if c.PreemptQuantum == 0 {
+		c.PreemptQuantum = 64
 	}
 	if c.QueueSize <= 0 {
 		c.QueueSize = 256
@@ -211,6 +257,27 @@ const (
 	// PrefixCacheOff disables session caching.
 	PrefixCacheOff = "off"
 )
+
+// Scheduler modes (Config.Scheduler, vgend -scheduler).
+const (
+	// SchedContinuous is the continuous batcher: join/leave at every
+	// verification sweep, preemptible long decodes (the default).
+	SchedContinuous = "continuous"
+	// SchedMicroBatch is the legacy worker-pool micro-batch loop.
+	SchedMicroBatch = "microbatch"
+)
+
+// ParseSchedulerMode validates a scheduler mode name (empty selects
+// the continuous default).
+func ParseSchedulerMode(s string) (string, error) {
+	switch s {
+	case "", SchedContinuous:
+		return SchedContinuous, nil
+	case SchedMicroBatch, "micro-batch", "workers":
+		return SchedMicroBatch, nil
+	}
+	return "", fmt.Errorf("unknown scheduler mode %q (want continuous or microbatch)", s)
+}
 
 // ParsePrefixCacheMode validates a prefix-cache mode name (empty
 // selects the trie default).
@@ -381,11 +448,21 @@ func NewEngine(m *model.Model, cfg Config) *Engine {
 		}
 	}
 	e.st.perStrategy = map[string]*strategyStats{}
-	e.wg.Add(1)
-	go e.batcher()
-	for i := 0; i < cfg.Workers; i++ {
+	sched, err := ParseSchedulerMode(cfg.Scheduler)
+	if err != nil {
+		panic("serve: " + err.Error())
+	}
+	switch sched {
+	case SchedMicroBatch:
 		e.wg.Add(1)
-		go e.worker()
+		go e.batcher()
+		for i := 0; i < cfg.Workers; i++ {
+			e.wg.Add(1)
+			go e.worker()
+		}
+	default:
+		e.wg.Add(1)
+		go e.scheduler()
 	}
 	return e
 }

@@ -179,11 +179,14 @@ func TestLRUEviction(t *testing.T) {
 // blocking OnStep, fills every pipeline slot (queue, batcher hand,
 // batch channel), and checks both backpressure behaviours: TryGenerate
 // fails fast with ErrQueueFull while Generate blocks until its context
-// deadline.
+// deadline. The slot census is micro-batch plumbing, so the test pins
+// SchedMicroBatch; the continuous scheduler's backpressure contract is
+// pinned by TestContinuousBackpressure in sched_test.go.
 func TestQueueFullBackpressure(t *testing.T) {
 	m, prompts := fixture(t)
 	eng := NewEngine(m, Config{
-		Workers: 1, QueueSize: 1, BatchSize: 1,
+		Scheduler: SchedMicroBatch,
+		Workers:   1, QueueSize: 1, BatchSize: 1,
 		BatchWindow: time.Millisecond, CacheSize: -1,
 	})
 	defer eng.Close()

@@ -29,6 +29,17 @@ type stats struct {
 	batches      uint64
 	batchedTasks uint64
 
+	// Continuous-scheduler counters: sweeps and the tasks they
+	// stepped (their ratio is the mean batch occupancy), preemptions
+	// (decodes parked mid-flight) and resumes; running/parked are the
+	// scheduler's current-state gauges, refreshed every loop pass.
+	sweeps      uint64
+	sweptTasks  uint64
+	preemptions uint64
+	resumes     uint64
+	running     int
+	parked      int
+
 	cleanTokens uint64
 	rawTokens   uint64
 	steps       uint64
@@ -146,6 +157,31 @@ func (s *stats) batch(n int) {
 	s.batchedTasks += uint64(n)
 }
 
+func (s *stats) sweep(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweeps++
+	s.sweptTasks += uint64(n)
+}
+
+func (s *stats) preempt() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.preemptions++
+}
+
+func (s *stats) resume() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resumes++
+}
+
+func (s *stats) schedGauges(running, parked int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running, s.parked = running, parked
+}
+
 func (s *stats) complete(label string, res *core.Result, wall time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -249,10 +285,39 @@ type Metrics struct {
 	PrefixCacheEntries     int     `json:"prefix_cache_entries"`
 
 	Batches uint64 `json:"batches"`
-	// MeanBatchSize is tasks per dispatched micro-batch.
+	// MeanBatchSize is tasks per dispatched micro-batch (zero under
+	// the continuous scheduler, which has no micro-batches).
 	MeanBatchSize float64 `json:"mean_batch_size"`
 	QueueDepth    int     `json:"queue_depth"`
 	Workers       int     `json:"workers"`
+
+	// Scheduler names the dispatch architecture ("continuous",
+	// "microbatch"); SchedMaxBatch is the continuous batch's slot
+	// count. SchedRunning/SchedParked are the scheduler's current
+	// batch membership and parked-decode count; SchedOccupancy is
+	// running/MaxBatch. Sweeps counts verification sweeps and
+	// MeanSweepOccupancy the tasks each stepped — the utilization the
+	// continuous batcher exists to raise. Preemptions counts decodes
+	// parked mid-flight to make room (their session pages stay pinned
+	// on the trie); Resumes counts their returns to the batch. All
+	// zero under SchedMicroBatch except Scheduler itself.
+	Scheduler          string  `json:"scheduler"`
+	SchedMaxBatch      int     `json:"sched_max_batch"`
+	SchedRunning       int     `json:"sched_running"`
+	SchedParked        int     `json:"sched_parked"`
+	SchedOccupancy     float64 `json:"sched_occupancy"`
+	Sweeps             uint64  `json:"sched_sweeps"`
+	MeanSweepOccupancy float64 `json:"sched_mean_sweep_occupancy"`
+	Preemptions        uint64  `json:"sched_preemptions"`
+	Resumes            uint64  `json:"sched_resumes"`
+
+	// PrefixCachePinnedPages/Bytes are the session pages currently
+	// held resident by in-flight and parked decode leases;
+	// PrefixCacheLeases counts lifetime lease acquisitions (trie
+	// prefix-cache mode only).
+	PrefixCachePinnedPages int    `json:"prefix_pinned_pages"`
+	PrefixCachePinnedBytes int64  `json:"prefix_pinned_bytes"`
+	PrefixCacheLeases      uint64 `json:"prefix_leases"`
 
 	CleanTokens uint64 `json:"clean_tokens"`
 	Steps       uint64 `json:"steps"`
@@ -305,6 +370,13 @@ func (e *Engine) Metrics() Metrics {
 		Batches:             e.st.batches,
 		QueueDepth:          len(e.queue),
 		Workers:             e.cfg.Workers,
+		Scheduler:           e.cfg.Scheduler,
+		SchedMaxBatch:       e.cfg.MaxBatch,
+		SchedRunning:        e.st.running,
+		SchedParked:         e.st.parked,
+		Sweeps:              e.st.sweeps,
+		Preemptions:         e.st.preemptions,
+		Resumes:             e.st.resumes,
 		CleanTokens:         e.st.cleanTokens,
 		Steps:               e.st.steps,
 		WallSeconds:         e.st.wall.Seconds(),
@@ -333,6 +405,15 @@ func (e *Engine) Metrics() Metrics {
 		m.PrefixCacheTokensSaved = st.TokensSaved
 		m.PrefixCacheHitRate = st.HitRate()
 		m.PrefixCacheEntries = st.Entries
+		m.PrefixCachePinnedPages = st.PinnedPages
+		m.PrefixCachePinnedBytes = st.PinnedBytes
+		m.PrefixCacheLeases = st.Leases
+	}
+	if m.SchedMaxBatch > 0 {
+		m.SchedOccupancy = float64(m.SchedRunning) / float64(m.SchedMaxBatch)
+	}
+	if m.Sweeps > 0 {
+		m.MeanSweepOccupancy = float64(e.st.sweptTasks) / float64(m.Sweeps)
 	}
 	if m.Batches > 0 {
 		m.MeanBatchSize = float64(e.st.batchedTasks) / float64(m.Batches)
@@ -377,6 +458,7 @@ func (e *Engine) Healthz() map[string]any {
 		"status":      "ok",
 		"model":       e.m.Config().Name,
 		"scheme":      e.m.Scheme().String(),
+		"scheduler":   e.cfg.Scheduler,
 		"workers":     e.Workers(),
 		"queue_depth": e.QueueDepth(),
 	}

@@ -51,6 +51,19 @@ func writePrometheus(w io.Writer, m Metrics, uptimeS float64, modelName string) 
 	g("queue_depth", "Requests waiting in the queue.", float64(m.QueueDepth))
 	g("workers", "Decoder worker pool size.", float64(m.Workers))
 
+	fmt.Fprintf(w, "# HELP vgend_sched_info Dispatch architecture (value is always 1).\n# TYPE vgend_sched_info gauge\nvgend_sched_info{scheduler=%q} 1\n", m.Scheduler)
+	g("sched_max_batch", "Continuous-scheduler batch slots.", float64(m.SchedMaxBatch))
+	g("sched_running", "Decodes currently in the running batch.", float64(m.SchedRunning))
+	g("sched_parked", "Preempted decodes parked awaiting a slot.", float64(m.SchedParked))
+	g("sched_occupancy", "Running decodes over batch slots.", m.SchedOccupancy)
+	c("sched_sweeps_total", "Verification sweeps over the running batch.", m.Sweeps)
+	g("sched_mean_sweep_occupancy", "Decodes stepped per verification sweep.", m.MeanSweepOccupancy)
+	c("sched_preemptions_total", "Decodes preempted (parked with pages pinned).", m.Preemptions)
+	c("sched_resumes_total", "Parked decodes resumed into the batch.", m.Resumes)
+	g("prefix_pinned_pages", "Session pages pinned by in-flight/parked decode leases.", float64(m.PrefixCachePinnedPages))
+	g("prefix_pinned_bytes", "Estimated bytes held resident by page leases.", float64(m.PrefixCachePinnedBytes))
+	c("prefix_leases_total", "Session page leases acquired.", m.PrefixCacheLeases)
+
 	c("clean_tokens_total", "Clean tokens generated.", m.CleanTokens)
 	c("steps_total", "Decoding steps (forward passes).", m.Steps)
 	g("mean_accepted", "Raw tokens emitted per decoding step.", m.MeanAccepted)
