@@ -11,7 +11,7 @@ SHELL := /bin/bash
 COVER_FLOOR := 87.0
 COVER_PKGS := ./internal/model/ ./internal/serve/
 
-.PHONY: build test race sched-soak golden differential cover fuzz bench loadgate fmt fmt-check vet serve ci
+.PHONY: build test race sched-soak golden differential adapt-gate cover fuzz bench loadgate fmt fmt-check vet serve ci
 
 build:
 	$(GO) build ./...
@@ -40,11 +40,26 @@ golden:
 
 # Byte-identical outputs across session-cache modes ({off, whole-prompt
 # LRU, token-prefix trie} × the full strategy matrix, tree strategies
-# included) plus the tree losslessness proof (greedy lookup-tree ==
-# linear prompt-lookup == NTP, byte for byte): the gates that make the
-# prefix cache and tree drafting admissible at all.
+# included), across adapt modes ({controller off, shadow, applied} for
+# fully-pinned requests), plus the tree losslessness proof (greedy
+# lookup-tree == linear prompt-lookup == NTP, byte for byte): the gates
+# that make the prefix cache, tree drafting and the speculation
+# controller admissible at all.
 differential:
-	$(GO) test -run 'TestDifferentialCacheModes|TestTreeLosslessGate|TestForkedSessionByteIdentical|TestLookupTreeGreedyLossless' -v ./internal/experiments/ ./internal/core/
+	$(GO) test -run 'TestDifferentialCacheModes|TestDifferentialAdaptModes|TestTreeLosslessGate|TestForkedSessionByteIdentical|TestLookupTreeGreedyLossless' -v ./internal/experiments/ ./internal/core/
+
+# The adaptive-speculation gate: (1) the load-sweep dominance claim —
+# across swept load points the self-tuning controller must sit on the
+# throughput/p95 frontier of the static (strategy, budget) grid,
+# strictly beating some static pair at both extremes, on a
+# deterministic simulation over measured decode profiles; (2) the
+# adapt-mode differential (shadow/on byte-identical to off for pinned
+# requests); (3) continuous-scheduler churn with the controller
+# applied, under the race detector with shuffled order.
+adapt-gate:
+	$(GO) test -run 'TestLoadSweepControllerDominates|TestLoadSweepDeterministic|TestDifferentialAdaptModes' -v -timeout 600s ./internal/experiments/
+	$(GO) test -race -shuffle=on -timeout 600s -run 'TestAdapt|TestContinuousAdaptChurn|TestParseAdaptModeTable' -v ./internal/serve/
+	$(GO) test -race -shuffle=on -timeout 600s ./internal/core/spec/adapt/
 
 # The latency-under-load gate: short-request p95 with one long decode
 # in flight must stay within 1.5x of unloaded under the continuous
@@ -74,9 +89,12 @@ fuzz:
 # Engine wall-clock throughput + strategy matrix + tree drafting +
 # fleet routing + prefix-cache + scheduler-load smoke; CI uploads
 # bench_output.txt as an artifact. Run `go test -bench=. ./...` for the
-# full paper harness.
+# full paper harness. The evalbench line regenerates BENCH_7.json —
+# the adaptive load sweep's structured rows (throughput, p50/p95,
+# mean accepted length, controller decisions) — also uploaded by CI.
 bench:
 	set -o pipefail; $(GO) test -run '^$$' -bench='BenchmarkEngine|BenchmarkStrategyMatrix|BenchmarkTreeDraft|BenchmarkFleetRouting|BenchmarkPrefixBench|BenchmarkLoadBench' -benchtime=1x ./... | tee bench_output.txt
+	set -o pipefail; $(GO) run ./cmd/evalbench -quick -exp sweep -json BENCH_7.json | tee -a bench_output.txt
 
 fmt:
 	gofmt -w .
@@ -96,4 +114,4 @@ serve:
 serve-fleet:
 	$(GO) run ./cmd/vgend -replicas 4 -shed-policy deadline,priority,budget
 
-ci: build fmt-check vet race sched-soak golden differential cover fuzz loadgate bench
+ci: build fmt-check vet race sched-soak golden differential adapt-gate cover fuzz loadgate bench

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	evalbench -exp table1|table2|matrix|tree|fleet|prefix|load|diff|fig1|fig5|fig6|all
-//	          [-quick] [-items N] [-samples N] [-seed N]
+//	evalbench -exp table1|table2|matrix|tree|fleet|prefix|load|sweep|diff|fig1|fig5|fig6|all
+//	          [-quick] [-items N] [-samples N] [-seed N] [-json BENCH_7.json]
 //
 // -quick selects the scaled-down setup (one model, one data size, few
 // samples); the default is the full harness described in DESIGN.md.
@@ -20,10 +20,18 @@
 // modes on a shared-stem workload; "diff" asserts all cache modes
 // decode byte-identically across the strategy matrix AND that greedy
 // lookup-tree byte streams equal linear prompt-lookup's (the tree
-// losslessness proof).
+// losslessness proof). "sweep" runs the adaptive-speculation load
+// sweep: offered load swept over every static (strategy, budget)
+// configuration and over the live self-tuning controller, on decode
+// profiles measured from real decodes.
+//
+// -json writes the structured rows of the tree, prefix, load and
+// sweep experiments (whichever ran) as one JSON document — CI writes
+// BENCH_7.json this way and uploads it as an artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,8 +41,18 @@ import (
 	"repro/internal/experiments"
 )
 
+// benchDoc accumulates the structured rows of the experiments that
+// emit them; -json serializes whichever fields were filled.
+type benchDoc struct {
+	Tree          []experiments.TreeBenchRow   `json:"tree,omitempty"`
+	Prefix        []experiments.PrefixBenchRow `json:"prefix,omitempty"`
+	Load          []experiments.LoadBenchRow   `json:"load,omitempty"`
+	SweepProfiles []*experiments.SweepProfile  `json:"sweep_profiles,omitempty"`
+	Sweep         []experiments.LoadSweepRow   `json:"sweep,omitempty"`
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, matrix, tree, fleet, prefix, load, diff, fig1, fig5, fig6 or all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, matrix, tree, fleet, prefix, load, sweep, diff, fig1, fig5, fig6 or all")
 	quick := flag.Bool("quick", false, "scaled-down setup (fast smoke run)")
 	items := flag.Int("items", 0, "override corpus item count")
 	samples := flag.Int("samples", 0, "override samples per prompt per temperature")
@@ -42,6 +60,7 @@ func main() {
 	temps := flag.String("temps", "", "override temperatures, comma-separated (e.g. 0.2,0.6)")
 	sizes := flag.String("sizes", "", "override data-size numerators over 4 (e.g. 2,4)")
 	speedPrompts := flag.Int("speedprompts", 0, "override Table II prompt count")
+	jsonOut := flag.String("json", "", "write tree/prefix/load/sweep rows as one JSON document to this path (e.g. BENCH_7.json)")
 	flag.Parse()
 
 	setup := experiments.Default()
@@ -82,6 +101,7 @@ func main() {
 
 	var t1 []experiments.QualityCell
 	var t2 []experiments.SpeedRow
+	var doc benchDoc
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
@@ -101,7 +121,8 @@ func main() {
 	}
 	if want("tree") {
 		fmt.Println("## Tree bench — mean accepted length, linear vs tree drafting")
-		printTreeBench(runner.RunTreeBench())
+		doc.Tree = runner.RunTreeBench()
+		printTreeBench(doc.Tree)
 	}
 	if want("fleet") {
 		fmt.Println("## Fleet bench — measured wall-clock throughput/latency per routing policy")
@@ -114,7 +135,8 @@ func main() {
 	}
 	if want("prefix") {
 		fmt.Println("## Prefix bench — session-prep tokens recomputed per prefix-cache mode (shared-stem workload)")
-		for _, row := range runner.RunPrefixBench(experiments.PrefixBenchConfig{}) {
+		doc.Prefix = runner.RunPrefixBench(experiments.PrefixBenchConfig{})
+		for _, row := range doc.Prefix {
 			fmt.Printf("  %-6s requests=%3d  prompt_toks=%6d  recomputed=%6d  saved=%6d  hits=%3d  partial=%3d  hit_rate=%.2f\n",
 				row.Mode, row.Requests, row.PromptTokens, row.TokensRecomputed,
 				row.TokensSaved, row.Hits, row.PartialHits, row.HitRate)
@@ -128,12 +150,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "load bench: %v\n", err)
 			os.Exit(1)
 		}
+		doc.Load = rows
 		for _, row := range rows {
 			fmt.Printf("  %-10s shorts=%3d  unloaded p95=%7.3fms  loaded p95=%7.3fms  ratio=%.2f  preemptions=%d  long_decodes=%d\n",
 				row.Scheduler, row.Shorts, row.UnloadedP95MS, row.LoadedP95MS,
 				row.LatencyRatio, row.Preemptions, row.LongDecodes)
 		}
 		fmt.Println()
+	}
+	if want("sweep") {
+		fmt.Println("## Load sweep — adaptive speculation controller vs the static (strategy, budget) grid")
+		rows, profiles, err := runner.RunLoadSweep(experiments.LoadSweepConfig{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load sweep: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Sweep, doc.SweepProfiles = rows, profiles
+		printLoadSweep(rows, profiles)
 	}
 	if want("diff") {
 		fmt.Println("## Differential — byte-identity of {off, whole, trie} session caches across the strategy matrix")
@@ -175,10 +208,54 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("# total %v\n", time.Since(t0).Round(time.Second))
-	if *exp != "all" && !want("table1") && !want("table2") && !want("matrix") && !want("tree") && !want("fleet") && !want("prefix") && !want("load") && !want("diff") && !want("fig1") && !want("fig5") && !want("fig6") {
+	if *exp != "all" && !want("table1") && !want("table2") && !want("matrix") && !want("tree") && !want("fleet") && !want("prefix") && !want("load") && !want("sweep") && !want("diff") && !want("fig1") && !want("fig5") && !want("fig6") {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %s\n", *jsonOut)
+	}
+}
+
+// printLoadSweep renders the measured decode profiles, then the rows
+// grouped per load point with the adaptive row last in each group.
+func printLoadSweep(rows []experiments.LoadSweepRow, profiles []*experiments.SweepProfile) {
+	fmt.Printf("  %-14s %9s %11s %8s %11s\n", "profile", "tok/step", "slots/step", "ms/tok", "nodes/step")
+	for _, p := range profiles {
+		fmt.Printf("  %-14s %9.2f %11.2f %8.2f %11.2f\n",
+			p.Name(), p.TokPerStep, p.SlotsPerStep, p.MSPerTok, p.NodesPerStep)
+	}
+	fmt.Println()
+	fmt.Printf("  %-5s %-14s %8s %8s %8s %9s %10s %11s %7s\n",
+		"load", "config", "rps", "p50 ms", "p95 ms", "accepted", "decisions", "downgrades", "level")
+	lastFrac := -1.0
+	for _, r := range rows {
+		if r.LoadFrac != lastFrac {
+			fmt.Println("  " + strings.Repeat("-", 88))
+			lastFrac = r.LoadFrac
+		}
+		extra := []string{"", "", ""}
+		if r.Adaptive {
+			extra = []string{
+				fmt.Sprintf("%d", r.Decisions),
+				fmt.Sprintf("%d", r.Downgrades),
+				r.FinalLevel,
+			}
+		}
+		fmt.Printf("  %-5.2f %-14s %8.2f %8.1f %8.1f %9.2f %10s %11s %7s\n",
+			r.LoadFrac, r.Config, r.ThroughputRPS, r.P50MS, r.P95MS, r.MeanAccepted,
+			extra[0], extra[1], extra[2])
+	}
+	fmt.Println()
 }
 
 func printMatrix(rows []experiments.StrategyRow) {

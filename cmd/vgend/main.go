@@ -41,7 +41,7 @@
 // [-scheduler continuous|microbatch] [-max-batch N] [-preempt-quantum N]
 // [-batch N] [-cache N]
 // [-prefix-cache trie|whole|off|N] [-prefix-cache-bytes N] [-no-dedup]
-// [-tree-budget N] [-replicas N] [-models specs]
+// [-tree-budget N] [-adapt off|shadow|on] [-replicas N] [-models specs]
 // [-router prefix-affinity|least-loaded|round-robin|random]
 // [-shed-policy none|deadline,priority,budget] [-budget-tps N]
 // [-budget-burst N] [-list-strategies]
@@ -57,6 +57,14 @@
 // -list-strategies) draft a branching candidate tree per decoding
 // step; -tree-budget sets the daemon-wide node budget for requests
 // that do not carry their own "tree_budget" field.
+//
+// -adapt enables the self-tuning speculation controller per replica:
+// "shadow" records the controller's decisions in /metrics without
+// applying any, "on" additionally sizes draft-tree budgets from the
+// measured accept-depth distribution, degrades drafting as load rises
+// (tree → linear → no draft) and routes requests that named no
+// strategy to the best-scoring drafter per prompt class. Requests
+// that pin a strategy or budget are never overridden.
 package main
 
 import (
@@ -175,6 +183,8 @@ func main() {
 	prefixCacheBytes := flag.Int64("prefix-cache-bytes", 0, "trie prefix-cache byte budget per replica (0 = 64 MiB)")
 	noDedup := flag.Bool("no-dedup", false, "disable single-flight dedup of identical in-flight requests")
 	treeBudget := flag.Int("tree-budget", 0, "draft-tree node budget per step for tree strategies when the request sets none (0 = decoder default)")
+	adaptFlag := flag.String("adapt", serve.AdaptOff,
+		"adaptive speculation per replica: off, shadow (record controller decisions without applying them) or on (size tree budgets, degrade drafting under load, route default-strategy requests)")
 	listStrategies := flag.Bool("list-strategies", false, "print the registered decoding strategies and exit")
 	replicas := flag.Int("replicas", 1, "fleet size (replicas cycle through -models specs)")
 	modelsFlag := flag.String("models", "", "replica specs model[:scheme[:strategy]], comma-separated (empty: -model/-scheme)")
@@ -224,6 +234,10 @@ func main() {
 		fail(err)
 	}
 	schedMode, err := serve.ParseSchedulerMode(*scheduler)
+	if err != nil {
+		fail(err)
+	}
+	adaptMode, err := serve.ParseAdaptMode(*adaptFlag)
 	if err != nil {
 		fail(err)
 	}
@@ -287,6 +301,7 @@ func main() {
 		PrefixCacheBytes:  *prefixCacheBytes,
 		DefaultTreeBudget: *treeBudget,
 		NoDedup:           *noDedup,
+		Adapt:             adaptMode,
 	}
 
 	var backend serve.Backend

@@ -142,6 +142,36 @@ func aggregate(ms []serve.Metrics) serve.Metrics {
 		case a.Scheduler != m.Scheduler:
 			a.Scheduler = "mixed"
 		}
+		// Adapt mode aggregates like Scheduler: uniform fleets report
+		// the mode, mixed fleets say so. Counters sum; the ladder rung
+		// and smoothed signals report the hottest replica (a fleet is
+		// as degraded as its most-loaded member).
+		switch {
+		case a.Adapt == "":
+			a.Adapt = m.Adapt
+		case a.Adapt != m.Adapt:
+			a.Adapt = "mixed"
+		}
+		if m.AdaptLevel > a.AdaptLevel {
+			a.AdaptLevel = m.AdaptLevel
+			a.AdaptLevelName = m.AdaptLevelName
+		}
+		if m.AdaptOccupancy > a.AdaptOccupancy {
+			a.AdaptOccupancy = m.AdaptOccupancy
+		}
+		if m.AdaptQueueFrac > a.AdaptQueueFrac {
+			a.AdaptQueueFrac = m.AdaptQueueFrac
+		}
+		if m.AdaptQueueWaitMS > a.AdaptQueueWaitMS {
+			a.AdaptQueueWaitMS = m.AdaptQueueWaitMS
+		}
+		a.AdaptDecisions += m.AdaptDecisions
+		a.AdaptReroutes += m.AdaptReroutes
+		a.AdaptBudgetResizes += m.AdaptBudgetResizes
+		a.AdaptDowngrades += m.AdaptDowngrades
+		a.AdaptExplorations += m.AdaptExplorations
+		a.AdaptLevelChanges += m.AdaptLevelChanges
+		a.AdaptShadowed += m.AdaptShadowed
 		a.SchedMaxBatch += m.SchedMaxBatch
 		a.SchedRunning += m.SchedRunning
 		a.SchedParked += m.SchedParked
@@ -181,6 +211,16 @@ func aggregate(ms []serve.Metrics) serve.Metrics {
 			agg.DedupHits += sm.DedupHits
 			agg.TreeNodes += sm.TreeNodes
 			agg.TreeBudget += sm.TreeBudget
+			if len(sm.AcceptDepthHist) > 0 {
+				if len(agg.AcceptDepthHist) < len(sm.AcceptDepthHist) {
+					grown := make([]uint64, len(sm.AcceptDepthHist))
+					copy(grown, agg.AcceptDepthHist)
+					agg.AcceptDepthHist = grown
+				}
+				for i, v := range sm.AcceptDepthHist {
+					agg.AcceptDepthHist[i] += v
+				}
+			}
 			// Recover this engine's per-strategy clean tokens from its
 			// simulated speed, as above.
 			if sm.TokensPerSecSim > 0 && sm.MeanAccepted > 0 {
@@ -361,5 +401,16 @@ func (f *Fleet) WritePrometheusTo(w io.Writer, uptimeS float64) {
 	fmt.Fprintf(w, "# HELP vgend_replica_prefix_pinned_pages Session pages pinned by in-flight/parked decode leases, per replica.\n# TYPE vgend_replica_prefix_pinned_pages gauge\n")
 	for _, r := range m.PerReplica {
 		fmt.Fprintf(w, "vgend_replica_prefix_pinned_pages{replica=%q} %d\n", r.Name, r.Engine.PrefixCachePinnedPages)
+	}
+	// Adaptive-speculation visibility per replica: which members have
+	// degraded their draft budgets and how many decisions each
+	// controller has made.
+	fmt.Fprintf(w, "# HELP vgend_replica_adapt_level Load-degradation rung per replica (0 tree, 1 linear, 2 nodraft).\n# TYPE vgend_replica_adapt_level gauge\n")
+	for _, r := range m.PerReplica {
+		fmt.Fprintf(w, "vgend_replica_adapt_level{replica=%q,mode=%q} %d\n", r.Name, r.Engine.Adapt, r.Engine.AdaptLevel)
+	}
+	fmt.Fprintf(w, "# HELP vgend_replica_adapt_decisions_total Speculation-controller decisions per replica.\n# TYPE vgend_replica_adapt_decisions_total counter\n")
+	for _, r := range m.PerReplica {
+		fmt.Fprintf(w, "vgend_replica_adapt_decisions_total{replica=%q} %d\n", r.Name, r.Engine.AdaptDecisions)
 	}
 }

@@ -1,0 +1,837 @@
+// Package adapt is the load-aware speculation controller: the feedback
+// loop that closes ROADMAP item 1. The serving engine exports every
+// signal speculative decoding needs to tune itself — per-strategy
+// accept-depth histograms, draft-tree budget utilization, batch
+// occupancy, queue wait — and this package turns them into decisions:
+//
+//   - budget sizing: each strategy's draft-tree node budget is derived
+//     from an EWMA of its measured accept-depth distribution
+//     (budget ≈ depth quantile × surviving width, clamped), so trees
+//     are as deep as acceptance actually reaches and no deeper;
+//   - load degradation: as scheduler occupancy and queue wait rise,
+//     drafting steps down tree → linear → NoDraft and back up, with
+//     hysteresis (split thresholds + patience) so the ladder does not
+//     flap — the answer to "Speculative Decoding: Performance or
+//     Illusion?", where draft compute competes with real work at high
+//     batch occupancy;
+//   - strategy routing: requests that named no strategy are routed by
+//     prompt class (token-count bucket, prefix-trie hit depth,
+//     detected Verilog construct) to the historically best drafter by
+//     accepted-tokens-per-draft-cost, with a deterministic round-robin
+//     exploration slot so cold arms keep getting measured.
+//
+// The controller is advisory and lossless by construction: it only
+// chooses WHICH configuration a request decodes under — it never
+// touches requests that named an explicit strategy, never overrides an
+// explicitly requested tree budget, and decoding stays deterministic
+// per (prompt, seed, strategy, budget) regardless of what it picks.
+// The serving layer applies decisions before cache canonicalization,
+// so adapted requests share cache entries and single-flights exactly
+// like explicitly-spelled ones.
+//
+// All methods are safe for concurrent use; every decision is a pure
+// function of the observation history, so a run that replays the same
+// observations in the same order makes the same decisions (the load-
+// sweep gate in internal/experiments depends on this).
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/core/spec"
+)
+
+// DepthBuckets sizes the accept-depth distribution the controller
+// smooths: bucket i holds steps that emitted i+1 tokens, the last
+// bucket everything at or past DepthBuckets. It matches the serving
+// layer's histogram resolution (serve.AcceptDepthBuckets).
+const DepthBuckets = 16
+
+// Level is a rung on the load-degradation ladder.
+type Level int
+
+const (
+	// LevelTree allows full tree drafting (low load: latency rules).
+	LevelTree Level = iota
+	// LevelLinear restricts routing to linear drafters and halves
+	// sized budgets for explicit tree requests (rising load: draft
+	// slots are getting expensive).
+	LevelLinear
+	// LevelNoDraft routes to plain next-token prediction and floors
+	// budgets (saturation: every verification slot should carry a real
+	// token).
+	LevelNoDraft
+)
+
+// String names the rung for metrics and logs.
+func (l Level) String() string {
+	switch l {
+	case LevelLinear:
+		return "linear"
+	case LevelNoDraft:
+		return "nodraft"
+	}
+	return "tree"
+}
+
+// Config tunes a Controller. Zero values select defaults.
+type Config struct {
+	// Candidates is the routing candidate set in preference order
+	// (strategy display names, e.g. "OursTree", "Ours", "PromptLookup",
+	// "NTP"). Before a class has observations, preference order breaks
+	// the tie — put the low-load favourite first. Every name must
+	// resolve via spec.Named. Default: OursTree, Ours, PromptLookup,
+	// NTP.
+	Candidates []string
+	// NoDraftStrategy is the LevelNoDraft routing target (default
+	// "NTP").
+	NoDraftStrategy string
+	// DepthQuantile is the accept-depth quantile a sized budget covers
+	// (default 0.9: the tree reaches as deep as 90% of steps accept).
+	DepthQuantile float64
+	// MinBudget/MaxBudget clamp sized budgets (defaults 16 / 192).
+	MinBudget, MaxBudget int
+	// DefaultBudget is the sized budget before a strategy has any
+	// observations (default spec.DefaultTreeBudget).
+	DefaultBudget int
+	// Alpha is the per-decode EWMA weight for accept-depth, width and
+	// score estimates (default 0.15).
+	Alpha float64
+	// LoadAlpha is the per-sweep EWMA weight for occupancy and queue
+	// signals (default 0.08: load is judged over tens of sweeps, not
+	// one).
+	LoadAlpha float64
+	// OccHigh/OccLow are the occupancy watermarks: the smoothed
+	// occupancy must exceed OccHigh to escalate a rung and fall below
+	// OccLow to de-escalate (defaults 0.80 / 0.40). The gap is the
+	// hysteresis band.
+	OccHigh, OccLow float64
+	// QueueHigh/QueueLow are the same watermarks for queue pressure
+	// (queued + parked over queue capacity; defaults 0.25 / 0.02).
+	QueueHigh, QueueLow float64
+	// QueueWaitHighMS/QueueWaitLowMS are watermarks on the smoothed
+	// per-request queue wait (defaults 200ms / 20ms).
+	QueueWaitHighMS, QueueWaitLowMS float64
+	// RaisePatience/LowerPatience are how many consecutive sweeps the
+	// signals must sit beyond a watermark before the rung moves
+	// (defaults 4 / 64: escalate fast when load arrives, come back
+	// slowly so the ladder cannot flap on a noisy boundary).
+	RaisePatience, LowerPatience int
+	// ExploreEvery routes every Nth non-explicit decision per prompt
+	// class to the least-observed allowed candidate instead of the
+	// best-scoring one (default 32; <0 disables exploration).
+	ExploreEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Candidates) == 0 {
+		c.Candidates = []string{"OursTree", "Ours", "PromptLookup", "NTP"}
+	}
+	if c.NoDraftStrategy == "" {
+		c.NoDraftStrategy = "NTP"
+	}
+	if c.DepthQuantile <= 0 || c.DepthQuantile > 1 {
+		c.DepthQuantile = 0.9
+	}
+	if c.MinBudget <= 0 {
+		c.MinBudget = 16
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 192
+	}
+	if c.MaxBudget < c.MinBudget {
+		c.MaxBudget = c.MinBudget
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = spec.DefaultTreeBudget
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.15
+	}
+	if c.LoadAlpha <= 0 || c.LoadAlpha > 1 {
+		c.LoadAlpha = 0.08
+	}
+	if c.OccHigh <= 0 {
+		c.OccHigh = 0.80
+	}
+	if c.OccLow <= 0 {
+		c.OccLow = 0.40
+	}
+	if c.QueueHigh <= 0 {
+		c.QueueHigh = 0.25
+	}
+	if c.QueueLow <= 0 {
+		c.QueueLow = 0.02
+	}
+	if c.QueueWaitHighMS <= 0 {
+		c.QueueWaitHighMS = 200
+	}
+	if c.QueueWaitLowMS <= 0 {
+		c.QueueWaitLowMS = 20
+	}
+	if c.RaisePatience <= 0 {
+		c.RaisePatience = 4
+	}
+	if c.LowerPatience <= 0 {
+		c.LowerPatience = 64
+	}
+	if c.ExploreEvery == 0 {
+		c.ExploreEvery = 32
+	}
+	return c
+}
+
+// linearCounterpart maps each tree strategy to the linear strategy
+// sharing its drafter family — the LevelLinear substitution.
+var linearCounterpart = map[string]string{
+	"OursTree":   "Ours",
+	"MedusaTree": "Medusa",
+	"LookupTree": "PromptLookup",
+}
+
+// Request is the controller's view of one submission, after strategy
+// canonicalization but before engine defaults fill in.
+type Request struct {
+	// Strategy is the canonical display name the request would decode
+	// under if the controller did nothing.
+	Strategy string
+	// Explicit marks a request that named its own mode or strategy —
+	// the controller never reroutes those.
+	Explicit bool
+	// TreeBudget is the request's own draft-tree budget (0 = unset;
+	// the controller only sizes unset budgets).
+	TreeBudget int
+}
+
+// Decision is what the controller chose for one request. The caller
+// applies it (or, in shadow mode, only records it).
+type Decision struct {
+	// Strategy is the display name the request should decode under
+	// (equal to the request's own when no reroute happened).
+	Strategy string
+	// TreeBudget is the sized draft-tree budget, or 0 to leave the
+	// request's budget handling untouched.
+	TreeBudget int
+	// Level is the load rung the decision was made under.
+	Level Level
+	// Rerouted/Resized/Explored describe what changed: a strategy
+	// substitution, a sized budget, an exploration slot.
+	Rerouted, Resized, Explored bool
+	// Downgraded marks a decision made above LevelTree — load forced a
+	// cheaper configuration than the unloaded choice.
+	Downgraded bool
+}
+
+// Outcome is one finished decode fed back into the controller.
+type Outcome struct {
+	// Strategy is the display name the decode actually ran under.
+	Strategy string
+	// Class is the prompt class the routing decision used (ClassOf of
+	// the same features; the zero Class is fine for unclassified
+	// traffic).
+	Class Class
+	// AcceptedPerStep is the decode's per-step accepted-token counts
+	// (core.Result.AcceptedPerStep).
+	AcceptedPerStep []int
+	// TreeNodes/TreeBudget are the decode's draft-tree totals (zero
+	// for linear strategies).
+	TreeNodes, TreeBudget int
+	// CleanTokens counts the decode's useful output tokens and
+	// SimulatedMS its cost-model inference time; their ratio is the
+	// routing score (accepted tokens per unit draft+verify cost).
+	CleanTokens int
+	SimulatedMS float64
+}
+
+// strategyState is the controller's learned model of one strategy.
+type strategyState struct {
+	// hist is the EWMA accept-depth distribution: each observation
+	// contributes its normalized per-decode histogram.
+	hist [DepthBuckets]float64
+	// nodesPerStep is the EWMA of draft-tree nodes proposed per step.
+	nodesPerStep float64
+	// score is the global EWMA of clean tokens per simulated
+	// millisecond — the routing fallback when a class has no data.
+	score        float64
+	observations uint64
+}
+
+// classState is the per-prompt-class routing memory.
+type classState struct {
+	score     map[string]float64 // strategy → EWMA tokens/ms within this class
+	observed  map[string]uint64  // strategy → decodes observed
+	tried     map[string]uint64  // strategy → cold-start forced tries issued
+	decisions uint64             // routing decisions made for this class
+}
+
+func newClassState() *classState {
+	return &classState{
+		score:    map[string]float64{},
+		observed: map[string]uint64{},
+		tried:    map[string]uint64{},
+	}
+}
+
+// Controller is the feedback controller. Create with New; the zero
+// value is not usable.
+type Controller struct {
+	cfg Config
+
+	mu sync.Mutex
+	// Smoothed load signals and the ladder state machine.
+	occ, queueFrac, queueWaitMS float64
+	// queueGrowth is the smoothed per-sweep change in RAW queue
+	// pressure and shrinkFor the consecutive sweeps it fell — the
+	// ladder's trend signals (see ObserveSweep).
+	queueGrowth, prevRawQueue float64
+	shrinkFor                 int
+	level                     Level
+	aboveFor, belowFor        int // consecutive sweeps beyond a watermark
+	sweeps                    uint64
+
+	strategies map[string]*strategyState
+	classes    map[Class]*classState
+
+	// Decision counters (Snapshot exposes them; the serving layer
+	// mirrors them into /metrics).
+	decisions, reroutes, resizes     uint64
+	downgrades, explores, levelMoves uint64
+}
+
+// New validates cfg and builds a controller at LevelTree.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	for _, name := range cfg.Candidates {
+		if _, ok := spec.Named(name); !ok {
+			return nil, fmt.Errorf("adapt: unknown candidate strategy %q", name)
+		}
+	}
+	if _, ok := spec.Named(cfg.NoDraftStrategy); !ok {
+		return nil, fmt.Errorf("adapt: unknown no-draft strategy %q", cfg.NoDraftStrategy)
+	}
+	return &Controller{
+		cfg:        cfg,
+		strategies: map[string]*strategyState{},
+		classes:    map[Class]*classState{},
+	}, nil
+}
+
+// isTree reports whether a display name is a tree-drafting strategy.
+func isTree(name string) bool {
+	s, ok := spec.Named(name)
+	if !ok {
+		return false
+	}
+	_, tree := s.Drafter.(spec.TreeDrafter)
+	return tree
+}
+
+// queuePegged is the raw queue fraction treated as saturation: a queue
+// pinned this close to capacity escalates even when it has stopped
+// growing (it cannot grow — admission control is about to shed).
+const queuePegged = 0.9
+
+// ObserveSweep feeds one scheduler sweep's load signals: batch
+// occupancy (running decodes over batch slots) and queue pressure
+// (queued + parked requests over queue capacity), both in [0, 1]. It
+// advances the degradation ladder.
+//
+// Escalation requires load that is high AND not improving. The second
+// condition is what keeps the ladder from overshooting: after a step
+// down to a cheaper rung, the backlog accumulated under the old rung
+// still reads as high queue pressure — and as rising queue WAITS,
+// since the deepest-queued requests are admitted last — for the whole
+// drain, even though the new rung has already restored stability.
+// Queue LENGTH trend is the one signal that turns immediately, so the
+// raw per-sweep queue delta gates the pressure signals: queue pressure
+// escalates only while the queue is growing (or pegged at capacity),
+// and queue wait only while the queue is not shrinking. The trend is
+// read two ways — a smoothed growth EWMA for slow, interleaved drains,
+// and a consecutive-shrink counter that flips the verdict within two
+// sweeps of a turn, before the EWMA has caught up. High occupancy
+// needs no gate — it is batch-slot saturation, not backlog, and drains
+// by itself.
+//
+// Rung moves are additionally score-gated. Stepping down the ladder is
+// only worth anything if the cheaper rung actually clears more useful
+// tokens per unit cost — the premise is that draft compute is being
+// wasted, and the controller MEASURES that premise through the same
+// per-strategy scores routing exploits. So escalation to a rung whose
+// best observed strategy scores strictly worse than the current rung's
+// is refused (degrading cannot help; the pressure is genuine capacity
+// shortage), and a rung held under sustained pressure while scoring
+// strictly worse than the rung below it is undone. The undo is what
+// makes a mistaken degrade recoverable: a slow rung keeps occupancy
+// high by itself, so the low watermark alone would never release it.
+// Unobserved rungs escalate freely — until measured, the designed
+// cost ordering (tree > linear > no-draft) is assumed.
+func (c *Controller) ObserveSweep(occupancy, queueFrac float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.cfg.LoadAlpha
+	c.occ += a * (occupancy - c.occ)
+	c.queueFrac += a * (queueFrac - c.queueFrac)
+	const growthEps = 1e-9
+	delta := queueFrac - c.prevRawQueue
+	c.prevRawQueue = queueFrac
+	c.queueGrowth += a * (delta - c.queueGrowth)
+	if delta < -growthEps {
+		c.shrinkFor++
+	} else {
+		c.shrinkFor = 0
+	}
+	// Queue wait decays toward zero between requests so a stale spike
+	// cannot pin the ladder up after the queue has drained.
+	c.queueWaitMS *= 1 - a/4
+	c.sweeps++
+
+	shrinking := c.queueGrowth < -growthEps || c.shrinkFor >= 2
+	growing := c.queueGrowth > growthEps && !shrinking
+	high := c.occ >= c.cfg.OccHigh ||
+		(c.queueFrac >= c.cfg.QueueHigh && (growing || queueFrac >= queuePegged)) ||
+		(c.queueWaitMS >= c.cfg.QueueWaitHighMS && !shrinking)
+	low := c.occ <= c.cfg.OccLow && c.queueFrac <= c.cfg.QueueLow && c.queueWaitMS <= c.cfg.QueueWaitLowMS
+	switch {
+	case high:
+		c.belowFor = 0
+		c.aboveFor++
+		if c.aboveFor >= c.cfg.RaisePatience {
+			c.aboveFor = 0
+			cur, curKnown := c.bestKnownScoreLocked(c.level)
+			moved := false
+			if c.level < LevelNoDraft {
+				next, nextKnown := c.bestKnownScoreLocked(c.level + 1)
+				if !(curKnown && nextKnown && next < cur) {
+					c.level++
+					c.levelMoves++
+					moved = true
+				}
+			}
+			// Escalation refused or exhausted while pressure persists:
+			// if the rung below measures strictly better, this degrade
+			// is hurting, not helping — undo it.
+			if !moved && c.level > LevelTree {
+				below, belowKnown := c.bestKnownScoreLocked(c.level - 1)
+				if curKnown && belowKnown && below > cur {
+					c.level--
+					c.levelMoves++
+				}
+			}
+		}
+	case low:
+		c.aboveFor = 0
+		c.belowFor++
+		if c.belowFor >= c.cfg.LowerPatience && c.level > LevelTree {
+			c.level--
+			c.levelMoves++
+			c.belowFor = 0
+		}
+	default:
+		// Inside the hysteresis band: hold the rung, reset patience.
+		c.aboveFor, c.belowFor = 0, 0
+	}
+}
+
+// ObserveQueueWait feeds one request's measured queue wait.
+func (c *Controller) ObserveQueueWait(ms float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.queueWaitMS += c.cfg.LoadAlpha * (ms - c.queueWaitMS)
+}
+
+// Observe feeds one finished decode back into the per-strategy and
+// per-class estimates.
+func (c *Controller) Observe(o Outcome) {
+	if o.Strategy == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ss := c.strategies[o.Strategy]
+	if ss == nil {
+		ss = &strategyState{}
+		c.strategies[o.Strategy] = ss
+	}
+	a := c.cfg.Alpha
+	if steps := len(o.AcceptedPerStep); steps > 0 {
+		var obs [DepthBuckets]float64
+		for _, n := range o.AcceptedPerStep {
+			if n < 1 {
+				n = 1
+			}
+			if n > DepthBuckets {
+				n = DepthBuckets
+			}
+			obs[n-1] += 1 / float64(steps)
+		}
+		if ss.observations == 0 {
+			ss.hist = obs
+		} else {
+			for i := range ss.hist {
+				ss.hist[i] += a * (obs[i] - ss.hist[i])
+			}
+		}
+		nps := float64(o.TreeNodes) / float64(steps)
+		if ss.observations == 0 {
+			ss.nodesPerStep = nps
+		} else {
+			ss.nodesPerStep += a * (nps - ss.nodesPerStep)
+		}
+	}
+	score := 0.0
+	if o.SimulatedMS > 0 {
+		score = float64(o.CleanTokens) / o.SimulatedMS
+	}
+	if ss.observations == 0 {
+		ss.score = score
+	} else {
+		ss.score += a * (score - ss.score)
+	}
+	ss.observations++
+
+	cs := c.classes[o.Class]
+	if cs == nil {
+		cs = newClassState()
+		c.classes[o.Class] = cs
+	}
+	if prev, seen := cs.score[o.Strategy]; seen {
+		cs.score[o.Strategy] = prev + a*(score-prev)
+	} else {
+		cs.score[o.Strategy] = score
+	}
+	cs.observed[o.Strategy]++
+}
+
+// Decide picks the configuration one request should decode under. It
+// must be called for every submission (shadow mode included): the
+// decision counters and the per-class exploration clock advance here.
+func (c *Controller) Decide(f Features, req Request) Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := Decision{Strategy: req.Strategy, Level: c.level}
+	c.decisions++
+	if !req.Explicit {
+		class := ClassOf(f)
+		chosen, explored := c.routeLocked(class, c.level)
+		if chosen != "" && chosen != req.Strategy {
+			d.Strategy = chosen
+			d.Rerouted = true
+		}
+		d.Explored = explored
+	}
+	// Size the budget only where it can matter: a tree strategy whose
+	// request left the budget unset.
+	if req.TreeBudget <= 0 && isTree(d.Strategy) {
+		b := c.budgetLocked(d.Strategy)
+		switch c.level {
+		case LevelLinear:
+			b /= 2
+		case LevelNoDraft:
+			b = c.cfg.MinBudget
+		}
+		if b < c.cfg.MinBudget {
+			b = c.cfg.MinBudget
+		}
+		d.TreeBudget = b
+		d.Resized = true
+	}
+	if c.level > LevelTree {
+		d.Downgraded = true
+		c.downgrades++
+	}
+	if d.Rerouted {
+		c.reroutes++
+	}
+	if d.Resized {
+		c.resizes++
+	}
+	if d.Explored {
+		c.explores++
+	}
+	return d
+}
+
+// routeLocked picks the strategy for one non-explicit request of the
+// given class at the given rung. Returns the display name ("" keeps
+// the request's own) and whether this was an exploration slot.
+func (c *Controller) routeLocked(class Class, level Level) (string, bool) {
+	allowed := c.allowedLocked(level)
+	if len(allowed) == 0 {
+		return "", false
+	}
+	cs := c.classes[class]
+	if cs == nil {
+		cs = newClassState()
+		c.classes[class] = cs
+	}
+	cs.decisions++
+	// Deterministic exploration: every Nth decision for this class
+	// measures the least-observed allowed arm so scores stay honest.
+	// Only at LevelTree — exploration spends capacity on deliberately
+	// slow configurations, and near saturation that spare capacity is
+	// exactly what the backlog needs to drain (one slow exploration
+	// decode can pin a verification slot for its whole service time).
+	// An elevated ladder is the controller's own signal that there is
+	// no slack to spend. Long-generation classes never explore: a
+	// probe's cost is its decode length, and a long decode on a
+	// batch-monopolizing arm stalls admission for everything behind it
+	// — the exploited arm's scores stay fresh from regular completions
+	// either way.
+	if n := uint64(c.cfg.ExploreEvery); c.cfg.ExploreEvery > 0 && level == LevelTree && !class.Long && cs.decisions%n == 0 && len(allowed) > 1 {
+		pick, best := "", uint64(math.MaxUint64)
+		for _, name := range allowed {
+			if o := cs.observed[name]; o < best {
+				pick, best = name, o
+			}
+		}
+		return pick, true
+	}
+	// Forced first try: an arm this class has never seen complete is
+	// measured before any exploitation. Without this the first arm to
+	// report a score — however poor — wins every exploit comparison
+	// against the unobserved rest and sticks forever (scheduled
+	// exploration alone is far too sparse to recover). ONE try per
+	// arm, marked at decision time, not completion: a slow arm's first
+	// decode can span many arrival windows, and re-forcing it for every
+	// decision until it reports back would stampede a burst of traffic
+	// onto the slowest candidate exactly when load is highest. A try
+	// that never completes is re-measured by scheduled exploration
+	// (least-observed wins that slot). Preference order, so the cold
+	// start walks the candidates front to back. Disabled with scheduled
+	// exploration (ExploreEvery <= 0): both are ways of spending
+	// requests on measurement.
+	if c.cfg.ExploreEvery > 0 {
+		for _, name := range allowed {
+			if cs.observed[name] == 0 && cs.tried[name] == 0 {
+				cs.tried[name]++
+				return name, true
+			}
+		}
+		// Jury still out: some arm's first measurement is in flight.
+		// Hold the request's own default rather than exploiting a
+		// half-measured ranking — the arm that happens to finish first
+		// (often the one that monopolizes the batch) would otherwise
+		// soak up every decision until the slower measurements land.
+		for _, name := range allowed {
+			if cs.observed[name] == 0 {
+				return "", false
+			}
+		}
+	}
+	// Exploit: best class score; fall back to the global strategy
+	// score, then to preference order (allowed is already in order).
+	pick, bestScore, scored := "", 0.0, false
+	for _, name := range allowed {
+		score, ok := cs.score[name]
+		if !ok {
+			if ss := c.strategies[name]; ss != nil && ss.observations > 0 {
+				score, ok = ss.score, true
+			}
+		}
+		if ok && (!scored || score > bestScore) {
+			pick, bestScore, scored = name, score, true
+		}
+	}
+	if !scored {
+		return allowed[0], false
+	}
+	return pick, false
+}
+
+// allowedLocked is the candidate set at a rung, preference order kept:
+// LevelTree allows everything, LevelLinear substitutes each tree
+// candidate's linear counterpart, LevelNoDraft allows only the
+// no-draft strategy.
+func (c *Controller) allowedLocked(level Level) []string {
+	switch level {
+	case LevelNoDraft:
+		return []string{c.cfg.NoDraftStrategy}
+	case LevelLinear:
+		var out []string
+		seen := map[string]bool{}
+		for _, name := range c.cfg.Candidates {
+			if lin, ok := linearCounterpart[name]; ok {
+				name = lin
+			}
+			if !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+		return out
+	}
+	return c.cfg.Candidates
+}
+
+// bestKnownScoreLocked is the best observed global score among the
+// rung's allowed strategies, and whether any of them has been observed
+// at all — the ladder's measurement of what a rung is worth.
+func (c *Controller) bestKnownScoreLocked(level Level) (float64, bool) {
+	best, known := 0.0, false
+	for _, name := range c.allowedLocked(level) {
+		if ss := c.strategies[name]; ss != nil && ss.observations > 0 {
+			if !known || ss.score > best {
+				best, known = ss.score, true
+			}
+		}
+	}
+	return best, known
+}
+
+// budgetLocked sizes a tree strategy's node budget from its learned
+// accept-depth distribution: the depth quantile (how deep acceptance
+// actually reaches) times the surviving width (proposed nodes per
+// accepted depth level), clamped to [MinBudget, MaxBudget].
+func (c *Controller) budgetLocked(strategy string) int {
+	ss := c.strategies[strategy]
+	if ss == nil || ss.observations == 0 {
+		return clamp(c.cfg.DefaultBudget, c.cfg.MinBudget, c.cfg.MaxBudget)
+	}
+	var total, mean float64
+	for i, v := range ss.hist {
+		total += v
+		mean += float64(i+1) * v
+	}
+	if total <= 0 {
+		return clamp(c.cfg.DefaultBudget, c.cfg.MinBudget, c.cfg.MaxBudget)
+	}
+	mean /= total
+	// Depth quantile: smallest depth d with CDF(d) >= DepthQuantile.
+	qd, cum := DepthBuckets, 0.0
+	for i, v := range ss.hist {
+		cum += v / total
+		if cum >= c.cfg.DepthQuantile {
+			qd = i + 1
+			break
+		}
+	}
+	// Surviving width: nodes proposed per accepted depth level. A
+	// linear-looking tree (width 1) still budgets one node per level.
+	width := 1.0
+	if mean > 0 && ss.nodesPerStep > 0 {
+		width = ss.nodesPerStep / mean
+		if width < 1 {
+			width = 1
+		}
+	}
+	return clamp(int(math.Round(float64(qd)*width)), c.cfg.MinBudget, c.cfg.MaxBudget)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// StrategyLearned is one strategy's learned state in a Snapshot.
+type StrategyLearned struct {
+	// Observations counts decodes folded into the estimates.
+	Observations uint64 `json:"observations"`
+	// QuantileDepth is the current accept-depth quantile (tokens) and
+	// Width the surviving nodes per depth level; Budget is the sized
+	// tree budget they produce (after clamping, before load shrink).
+	QuantileDepth int     `json:"quantile_depth"`
+	Width         float64 `json:"width"`
+	Budget        int     `json:"budget"`
+	// Score is the global EWMA of clean tokens per simulated
+	// millisecond.
+	Score float64 `json:"score"`
+}
+
+// Snapshot is a point-in-time view of the controller for metrics.
+type Snapshot struct {
+	Level     Level  `json:"level"`
+	LevelName string `json:"level_name"`
+	// Occupancy/QueueFrac/QueueWaitMS are the smoothed load signals
+	// the ladder runs on.
+	Occupancy   float64 `json:"occupancy"`
+	QueueFrac   float64 `json:"queue_frac"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	Sweeps      uint64  `json:"sweeps"`
+	// Decision counters.
+	Decisions     uint64 `json:"decisions"`
+	Reroutes      uint64 `json:"reroutes"`
+	BudgetResizes uint64 `json:"budget_resizes"`
+	Downgrades    uint64 `json:"downgrades"`
+	Explorations  uint64 `json:"explorations"`
+	LevelChanges  uint64 `json:"level_changes"`
+	// Classes counts distinct prompt classes seen by routing.
+	Classes int `json:"classes"`
+	// PerStrategy is the learned per-strategy state, keyed by display
+	// name.
+	PerStrategy map[string]StrategyLearned `json:"per_strategy"`
+}
+
+// Snapshot captures the controller's current state.
+func (c *Controller) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		Level:         c.level,
+		LevelName:     c.level.String(),
+		Occupancy:     c.occ,
+		QueueFrac:     c.queueFrac,
+		QueueWaitMS:   c.queueWaitMS,
+		Sweeps:        c.sweeps,
+		Decisions:     c.decisions,
+		Reroutes:      c.reroutes,
+		BudgetResizes: c.resizes,
+		Downgrades:    c.downgrades,
+		Explorations:  c.explores,
+		LevelChanges:  c.levelMoves,
+		Classes:       len(c.classes),
+		PerStrategy:   map[string]StrategyLearned{},
+	}
+	names := make([]string, 0, len(c.strategies))
+	for name := range c.strategies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := c.strategies[name]
+		sl := StrategyLearned{Observations: ss.observations, Score: ss.score}
+		if isTree(name) {
+			sl.Budget = c.budgetLocked(name)
+			var total, mean, cum float64
+			for i, v := range ss.hist {
+				total += v
+				mean += float64(i+1) * v
+			}
+			if total > 0 {
+				mean /= total
+				for i, v := range ss.hist {
+					cum += v / total
+					if cum >= c.cfg.DepthQuantile {
+						sl.QuantileDepth = i + 1
+						break
+					}
+				}
+				if sl.QuantileDepth == 0 {
+					sl.QuantileDepth = DepthBuckets
+				}
+				if mean > 0 && ss.nodesPerStep > 0 {
+					sl.Width = ss.nodesPerStep / mean
+					if sl.Width < 1 {
+						sl.Width = 1
+					}
+				}
+			}
+		}
+		s.PerStrategy[name] = sl
+	}
+	return s
+}
+
+// CurrentLevel reports the current load rung.
+func (c *Controller) CurrentLevel() Level {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.level
+}

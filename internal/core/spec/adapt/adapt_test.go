@@ -1,0 +1,468 @@
+package adapt
+
+import (
+	"testing"
+)
+
+func mustNew(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewRejectsUnknownCandidates(t *testing.T) {
+	if _, err := New(Config{Candidates: []string{"NoSuchStrategy"}}); err == nil {
+		t.Fatal("New accepted an unknown candidate strategy")
+	}
+	if _, err := New(Config{NoDraftStrategy: "bogus"}); err == nil {
+		t.Fatal("New accepted an unknown no-draft strategy")
+	}
+}
+
+// TestBudgetSizing: the sized budget tracks the measured accept-depth
+// quantile times the surviving width, clamped — deep wide acceptance
+// earns a big tree, shallow acceptance a small one.
+func TestBudgetSizing(t *testing.T) {
+	c := mustNew(t, Config{MinBudget: 8, MaxBudget: 256, DepthQuantile: 0.9})
+	// Shallow: every step accepts 2 tokens, trees propose 6 nodes/step.
+	for i := 0; i < 50; i++ {
+		c.Observe(Outcome{
+			Strategy:        "OursTree",
+			AcceptedPerStep: []int{2, 2, 2, 2},
+			TreeNodes:       24, TreeBudget: 96 * 4,
+			CleanTokens: 8, SimulatedMS: 4,
+		})
+	}
+	d := c.Decide(Features{}, Request{Strategy: "OursTree", Explicit: true})
+	if !d.Resized || d.TreeBudget <= 0 {
+		t.Fatalf("expected a sized budget, got %+v", d)
+	}
+	// Quantile depth 2, width 6/2 = 3 → budget ≈ 6, clamped to 8.
+	if d.TreeBudget > 16 {
+		t.Fatalf("shallow acceptance sized budget %d, want small (<=16)", d.TreeBudget)
+	}
+	shallow := d.TreeBudget
+
+	// Deep: steps accept 8, trees propose 40 nodes/step.
+	c2 := mustNew(t, Config{MinBudget: 8, MaxBudget: 256, DepthQuantile: 0.9})
+	for i := 0; i < 50; i++ {
+		c2.Observe(Outcome{
+			Strategy:        "OursTree",
+			AcceptedPerStep: []int{8, 8, 8},
+			TreeNodes:       120, TreeBudget: 96 * 3,
+			CleanTokens: 24, SimulatedMS: 4,
+		})
+	}
+	d2 := c2.Decide(Features{}, Request{Strategy: "OursTree", Explicit: true})
+	if d2.TreeBudget <= shallow {
+		t.Fatalf("deep acceptance budget %d not larger than shallow %d", d2.TreeBudget, shallow)
+	}
+}
+
+// TestBudgetRespectsExplicitRequest: a request naming its own budget is
+// never resized, and explicit strategies are never rerouted.
+func TestBudgetRespectsExplicitRequest(t *testing.T) {
+	c := mustNew(t, Config{})
+	d := c.Decide(Features{}, Request{Strategy: "OursTree", Explicit: true, TreeBudget: 40})
+	if d.Resized || d.TreeBudget != 0 {
+		t.Fatalf("explicit budget was resized: %+v", d)
+	}
+	if d.Rerouted || d.Strategy != "OursTree" {
+		t.Fatalf("explicit strategy was rerouted: %+v", d)
+	}
+}
+
+// TestLoadLadderHysteresis: sustained high load steps the rung up
+// (after RaisePatience sweeps), sustained low load steps it back down
+// (after the much longer LowerPatience), and load inside the
+// hysteresis band moves nothing.
+func TestLoadLadderHysteresis(t *testing.T) {
+	c := mustNew(t, Config{
+		LoadAlpha: 1, // undamped: the test drives the raw signal
+		OccHigh:   0.8, OccLow: 0.4,
+		RaisePatience: 3, LowerPatience: 10,
+	})
+	if got := c.CurrentLevel(); got != LevelTree {
+		t.Fatalf("initial level = %v, want tree", got)
+	}
+	// Two high sweeps: not enough patience.
+	c.ObserveSweep(1.0, 0)
+	c.ObserveSweep(1.0, 0)
+	if got := c.CurrentLevel(); got != LevelTree {
+		t.Fatalf("level moved after %d sweeps (patience 3): %v", 2, got)
+	}
+	c.ObserveSweep(1.0, 0)
+	if got := c.CurrentLevel(); got != LevelLinear {
+		t.Fatalf("level after 3 high sweeps = %v, want linear", got)
+	}
+	// Mid-band load holds the rung indefinitely.
+	for i := 0; i < 50; i++ {
+		c.ObserveSweep(0.6, 0)
+	}
+	if got := c.CurrentLevel(); got != LevelLinear {
+		t.Fatalf("mid-band load moved the rung: %v", got)
+	}
+	// Low load needs LowerPatience consecutive sweeps.
+	for i := 0; i < 9; i++ {
+		c.ObserveSweep(0.1, 0)
+	}
+	if got := c.CurrentLevel(); got != LevelLinear {
+		t.Fatalf("level dropped before patience: %v", got)
+	}
+	c.ObserveSweep(0.1, 0)
+	if got := c.CurrentLevel(); got != LevelTree {
+		t.Fatalf("level after sustained low load = %v, want tree", got)
+	}
+	if s := c.Snapshot(); s.LevelChanges != 2 {
+		t.Fatalf("LevelChanges = %d, want 2", s.LevelChanges)
+	}
+}
+
+// TestLadderEscalatesToNoDraft: saturation walks all the way to
+// NoDraft and routing then refuses to draft at all.
+func TestLadderEscalatesToNoDraft(t *testing.T) {
+	c := mustNew(t, Config{LoadAlpha: 1, RaisePatience: 1})
+	for i := 0; i < 4; i++ {
+		c.ObserveSweep(1.0, 1.0)
+	}
+	if got := c.CurrentLevel(); got != LevelNoDraft {
+		t.Fatalf("level under saturation = %v, want nodraft", got)
+	}
+	d := c.Decide(Features{}, Request{Strategy: "OursTree"})
+	if d.Strategy != "NTP" || !d.Rerouted || !d.Downgraded {
+		t.Fatalf("saturated routing = %+v, want NTP reroute + downgrade", d)
+	}
+}
+
+// TestLinearLevelSubstitutesCounterparts: at LevelLinear, tree
+// candidates route to their linear counterparts.
+func TestLinearLevelSubstitutesCounterparts(t *testing.T) {
+	c := mustNew(t, Config{
+		Candidates: []string{"OursTree", "PromptLookup", "NTP"},
+		LoadAlpha:  1, RaisePatience: 1,
+	})
+	c.ObserveSweep(1.0, 0) // tree → linear
+	d := c.Decide(Features{}, Request{Strategy: "OursTree"})
+	if d.Strategy != "Ours" {
+		t.Fatalf("linear-level route = %q, want Ours (OursTree's counterpart)", d.Strategy)
+	}
+	if d.TreeBudget != 0 {
+		t.Fatalf("linear strategy got a tree budget: %+v", d)
+	}
+}
+
+// TestRoutingLearnsBestStrategy: with per-class scores observed,
+// routing picks the historically best arm for that class, and a class
+// with different history routes differently.
+func TestRoutingLearnsBestStrategy(t *testing.T) {
+	c := mustNew(t, Config{
+		Candidates:   []string{"OursTree", "Ours", "PromptLookup", "NTP"},
+		ExploreEvery: -1, // pure exploitation for the assertion
+	})
+	seq := Class{Construct: "seq"}
+	comb := Class{Construct: "comb"}
+	for i := 0; i < 20; i++ {
+		c.Observe(Outcome{Strategy: "OursTree", Class: seq, AcceptedPerStep: []int{6}, TreeNodes: 20, CleanTokens: 6, SimulatedMS: 1})
+		c.Observe(Outcome{Strategy: "PromptLookup", Class: seq, AcceptedPerStep: []int{2}, CleanTokens: 2, SimulatedMS: 1})
+		c.Observe(Outcome{Strategy: "OursTree", Class: comb, AcceptedPerStep: []int{2}, TreeNodes: 20, CleanTokens: 2, SimulatedMS: 2})
+		c.Observe(Outcome{Strategy: "PromptLookup", Class: comb, AcceptedPerStep: []int{5}, CleanTokens: 5, SimulatedMS: 1})
+	}
+	dSeq := c.Decide(Features{Construct: "seq"}, Request{Strategy: "NTP"})
+	if dSeq.Strategy != "OursTree" {
+		t.Fatalf("seq class routed to %q, want OursTree", dSeq.Strategy)
+	}
+	dComb := c.Decide(Features{Construct: "comb"}, Request{Strategy: "NTP"})
+	if dComb.Strategy != "PromptLookup" {
+		t.Fatalf("comb class routed to %q, want PromptLookup", dComb.Strategy)
+	}
+}
+
+// TestExplorationIsDeterministicAndBounded: every Nth decision per
+// class explores the least-observed arm; replaying the same sequence
+// reproduces the same decisions.
+func TestExplorationIsDeterministicAndBounded(t *testing.T) {
+	run := func() ([]string, int) {
+		c := mustNew(t, Config{
+			Candidates:   []string{"OursTree", "Ours", "NTP"},
+			ExploreEvery: 4,
+		})
+		var picks []string
+		explored := 0
+		for i := 0; i < 40; i++ {
+			d := c.Decide(Features{Construct: "seq"}, Request{Strategy: "NTP"})
+			picks = append(picks, d.Strategy)
+			if d.Explored {
+				explored++
+			}
+			c.Observe(Outcome{Strategy: d.Strategy, Class: Class{Construct: "seq"}, AcceptedPerStep: []int{3}, CleanTokens: 3, SimulatedMS: 1})
+		}
+		return picks, explored
+	}
+	a, na := run()
+	b, nb := run()
+	if na != nb {
+		t.Fatalf("exploration count differs across identical replays: %d vs %d", na, nb)
+	}
+	// 3 cold-start forced tries (one per arm, none observed yet) plus
+	// every 4th of the 40 decisions on the scheduled cadence.
+	if na != 13 {
+		t.Fatalf("explored %d of 40 decisions with ExploreEvery=4, want 13", na)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical replays: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	c := mustNew(t, Config{ExploreEvery: -1})
+	c.Observe(Outcome{Strategy: "OursTree", AcceptedPerStep: []int{4, 4}, TreeNodes: 30, CleanTokens: 8, SimulatedMS: 2})
+	c.Decide(Features{}, Request{Strategy: "NTP"})
+	c.Decide(Features{}, Request{Strategy: "OursTree", Explicit: true})
+	s := c.Snapshot()
+	if s.Decisions != 2 {
+		t.Fatalf("Decisions = %d, want 2", s.Decisions)
+	}
+	if s.Reroutes != 1 {
+		t.Fatalf("Reroutes = %d, want 1 (the non-explicit NTP request)", s.Reroutes)
+	}
+	if s.BudgetResizes != 2 {
+		t.Fatalf("BudgetResizes = %d, want 2 (both decodes run a tree with unset budget)", s.BudgetResizes)
+	}
+	sl, ok := s.PerStrategy["OursTree"]
+	if !ok || sl.Observations != 1 || sl.Budget <= 0 {
+		t.Fatalf("PerStrategy[OursTree] = %+v ok=%v, want 1 observation and a sized budget", sl, ok)
+	}
+}
+
+func TestQueueWaitEscalates(t *testing.T) {
+	c := mustNew(t, Config{LoadAlpha: 1, RaisePatience: 2, QueueWaitHighMS: 100})
+	c.ObserveQueueWait(5000)
+	c.ObserveSweep(0.1, 0)
+	c.ObserveSweep(0.1, 0)
+	if got := c.CurrentLevel(); got != LevelLinear {
+		t.Fatalf("level with huge queue wait = %v, want linear", got)
+	}
+}
+
+// TestColdStartTriesEveryArmBeforeExploiting: the first arm to report
+// a score must not win every exploit comparison against arms that
+// merely have no data yet. With a (poor) NTP observation already in
+// the class, routing must still measure each remaining candidate once
+// before settling — and then settle on the best, not the first.
+func TestColdStartTriesEveryArmBeforeExploiting(t *testing.T) {
+	c := mustNew(t, Config{
+		Candidates:   []string{"OursTree", "Ours", "PromptLookup", "NTP"},
+		ExploreEvery: 1000, // scheduled cadence effectively off
+	})
+	cl := Class{Construct: "seq"}
+	c.Observe(Outcome{Strategy: "NTP", Class: cl, AcceptedPerStep: []int{1}, CleanTokens: 8, SimulatedMS: 10})
+	scores := map[string]float64{"OursTree": 4, "Ours": 4, "PromptLookup": 1.5}
+	var tried []string
+	for i := 0; i < 6; i++ {
+		d := c.Decide(Features{Construct: "seq"}, Request{Strategy: "NTP"})
+		tried = append(tried, d.Strategy)
+		ms := 1.0
+		if s := scores[d.Strategy]; s > 0 {
+			ms = 8 / s
+		}
+		c.Observe(Outcome{Strategy: d.Strategy, Class: cl, AcceptedPerStep: []int{3}, CleanTokens: 8, SimulatedMS: ms})
+	}
+	// Decisions 1-3 are the forced tries in preference order; after
+	// that every arm has data and exploitation picks the best score
+	// (OursTree and Ours tie at 4; preference order breaks the tie).
+	want := []string{"OursTree", "Ours", "PromptLookup", "OursTree", "OursTree", "OursTree"}
+	for i := range want {
+		if tried[i] != want[i] {
+			t.Fatalf("decision sequence %v, want %v", tried, want)
+		}
+	}
+}
+
+// TestLadderHoldsWhileBacklogDrains: after load forces a step down to
+// the linear rung, the backlog built under the tree rung keeps queue
+// pressure and queue waits high for the whole drain — but the queue is
+// SHRINKING, so the ladder must hold at linear instead of overshooting
+// to nodraft (where it would then be too slow to ever drain).
+func TestLadderHoldsWhileBacklogDrains(t *testing.T) {
+	c := mustNew(t, Config{LoadAlpha: 0.5, RaisePatience: 2, LowerPatience: 100})
+	// Overload: queue grows sweep over sweep until the ladder steps to
+	// linear.
+	qf := 0.0
+	for i := 0; i < 20 && c.CurrentLevel() == LevelTree; i++ {
+		qf += 0.05
+		c.ObserveSweep(0.2, qf)
+	}
+	if got := c.CurrentLevel(); got != LevelLinear {
+		t.Fatalf("growing queue left level at %v, want linear", got)
+	}
+	// Drain: pressure still far above the high watermark, waits rising
+	// (deepest-queued requests admitted last), but the queue shrinks
+	// every sweep.
+	for i := 0; i < 60 && qf > 0.05; i++ {
+		qf -= 0.01
+		c.ObserveQueueWait(1000)
+		c.ObserveSweep(0.2, qf)
+		if got := c.CurrentLevel(); got != LevelLinear {
+			t.Fatalf("ladder moved to %v during the drain (sweep %d, qf=%.2f)", got, i, qf)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct{ prompt, want string }{
+		{"Design a module with an always block triggered on posedge clk", "seq"},
+		{"Implement a Moore FSM with four states using a case statement", "fsm"},
+		{"Build a 4-to-1 mux with assign statements over wire inputs", "comb"},
+		{"A synchronous FIFO buffer with configurable depth", "mem"},
+		{"Write something nice", "generic"},
+		{"", "generic"},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.prompt); got != tc.want {
+			t.Errorf("Classify(%q) = %q, want %q", tc.prompt, got, tc.want)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	cl := ClassOf(Features{PromptTokens: 100, CachedTokens: 80, MaxNewTokens: 96, Construct: "fsm"})
+	want := Class{Size: 2, Long: true, Cached: 2, Construct: "fsm"}
+	if cl != want {
+		t.Fatalf("ClassOf = %+v, want %+v", cl, want)
+	}
+	cold := ClassOf(Features{PromptTokens: 10})
+	if cold != (Class{Construct: ""}) {
+		t.Fatalf("cold ClassOf = %+v, want zero-ish", cold)
+	}
+}
+
+// TestEscalationRefusedWhenCheaperRungScoresWorse: the ladder's
+// premise — that a cheaper rung clears more useful tokens per unit
+// cost under load — is measured, not assumed. Once the no-draft
+// strategy has reported a strictly worse score than the linear rung's
+// best arm, sustained pressure must NOT push the ladder onto it:
+// degrading cannot relieve a genuine capacity shortage.
+func TestEscalationRefusedWhenCheaperRungScoresWorse(t *testing.T) {
+	c := mustNew(t, Config{LoadAlpha: 1, RaisePatience: 1})
+	c.Observe(Outcome{Strategy: "Ours", CleanTokens: 100, SimulatedMS: 100}) // 1.0 tok/ms
+	c.Observe(Outcome{Strategy: "NTP", CleanTokens: 10, SimulatedMS: 1000})  // 0.01 tok/ms
+	for i := 0; i < 20; i++ {
+		c.ObserveSweep(1.0, 0)
+	}
+	// tree → linear is allowed (linear still routes Ours, the best
+	// arm); linear → nodraft is refused for as long as the pressure
+	// lasts, because NTP measurably underperforms.
+	if got := c.CurrentLevel(); got != LevelLinear {
+		t.Fatalf("level under saturation with a slow no-draft arm = %v, want linear", got)
+	}
+}
+
+// TestFailedDegradeUndone: a rung entered blind (no scores yet) that
+// then measures strictly worse than the rung below must be undone
+// while pressure persists. Without the undo the slow rung is an
+// absorbing state: its own slowness keeps occupancy and queue
+// pressure high, so the low watermark that normally walks the ladder
+// back down is never reached.
+func TestFailedDegradeUndone(t *testing.T) {
+	c := mustNew(t, Config{LoadAlpha: 1, RaisePatience: 1})
+	// Saturation before any measurement: the ladder walks to nodraft
+	// on the designed cost ordering.
+	for i := 0; i < 4; i++ {
+		c.ObserveSweep(1.0, 1.0)
+	}
+	if got := c.CurrentLevel(); got != LevelNoDraft {
+		t.Fatalf("unmeasured saturation = %v, want nodraft", got)
+	}
+	// Measurements land: the no-draft arm is far slower than linear.
+	c.Observe(Outcome{Strategy: "NTP", CleanTokens: 10, SimulatedMS: 1000})
+	c.Observe(Outcome{Strategy: "Ours", CleanTokens: 100, SimulatedMS: 100})
+	for i := 0; i < 4; i++ {
+		c.ObserveSweep(1.0, 1.0)
+	}
+	if got := c.CurrentLevel(); got != LevelLinear {
+		t.Fatalf("level after the degrade measured worse = %v, want linear (undone)", got)
+	}
+	// It settles there: nodraft stays refused, and tree measures no
+	// better than linear (both route Ours), so there is nothing to
+	// undo further.
+	for i := 0; i < 20; i++ {
+		c.ObserveSweep(1.0, 1.0)
+	}
+	if got := c.CurrentLevel(); got != LevelLinear {
+		t.Fatalf("level drifted to %v under sustained pressure, want linear", got)
+	}
+}
+
+// TestColdStartHoldsDefaultWhileMeasuring: after the one forced try
+// per arm, decisions hold the request's own default until EVERY arm
+// has reported — exploiting a half-measured ranking would stampede
+// traffic onto whichever arm happened to finish first.
+func TestColdStartHoldsDefaultWhileMeasuring(t *testing.T) {
+	c := mustNew(t, Config{ExploreEvery: 1000})
+	cl := ClassOf(Features{})
+	for _, want := range []string{"OursTree", "Ours", "PromptLookup", "NTP"} {
+		d := c.Decide(Features{}, Request{Strategy: "Ours"})
+		if d.Strategy != want || !d.Explored {
+			t.Fatalf("forced try = %+v, want explored %s", d, want)
+		}
+	}
+	// All four measurements in flight: hold the default.
+	for i := 0; i < 5; i++ {
+		d := c.Decide(Features{}, Request{Strategy: "Ours"})
+		if d.Strategy != "Ours" || d.Rerouted || d.Explored {
+			t.Fatalf("jury-out decision = %+v, want the request default held", d)
+		}
+	}
+	// Three of four reported — still out.
+	c.Observe(Outcome{Strategy: "NTP", Class: cl, CleanTokens: 10, SimulatedMS: 1000})
+	c.Observe(Outcome{Strategy: "PromptLookup", Class: cl, CleanTokens: 10, SimulatedMS: 500})
+	c.Observe(Outcome{Strategy: "OursTree", Class: cl, AcceptedPerStep: []int{4}, TreeNodes: 12, CleanTokens: 90, SimulatedMS: 100})
+	if d := c.Decide(Features{}, Request{Strategy: "Ours"}); d.Strategy != "Ours" || d.Rerouted {
+		t.Fatalf("decision with one arm unmeasured = %+v, want default held", d)
+	}
+	// Last report lands; exploitation picks the best score.
+	c.Observe(Outcome{Strategy: "Ours", Class: cl, CleanTokens: 50, SimulatedMS: 100})
+	d := c.Decide(Features{}, Request{Strategy: "Ours"})
+	if d.Strategy != "OursTree" || !d.Rerouted {
+		t.Fatalf("post-measurement decision = %+v, want OursTree exploit", d)
+	}
+}
+
+// TestExplorationRespectsLoadAndClass: scheduled exploration only
+// spends capacity where there is slack to spend — never for
+// long-generation classes (a probe's cost is its decode length) and
+// never while the load ladder is elevated.
+func TestExplorationRespectsLoadAndClass(t *testing.T) {
+	c := mustNew(t, Config{ExploreEvery: 2, LoadAlpha: 1, RaisePatience: 1})
+	short := Features{MaxNewTokens: 10}
+	long := Features{MaxNewTokens: 100}
+	for _, s := range []string{"OursTree", "Ours", "PromptLookup", "NTP"} {
+		c.Observe(Outcome{Strategy: s, Class: ClassOf(short), CleanTokens: 10, SimulatedMS: 100})
+		c.Observe(Outcome{Strategy: s, Class: ClassOf(long), CleanTokens: 10, SimulatedMS: 100})
+	}
+	for i := 0; i < 8; i++ {
+		if d := c.Decide(long, Request{Strategy: "Ours"}); d.Explored {
+			t.Fatalf("long-generation class explored (decision %d): %+v", i, d)
+		}
+	}
+	sawExplore := false
+	for i := 0; i < 8; i++ {
+		if c.Decide(short, Request{Strategy: "Ours"}).Explored {
+			sawExplore = true
+		}
+	}
+	if !sawExplore {
+		t.Fatal("short class at tree level never explored (ExploreEvery 2)")
+	}
+	c.ObserveSweep(1.0, 0) // tree → linear
+	for i := 0; i < 8; i++ {
+		if d := c.Decide(short, Request{Strategy: "Ours"}); d.Explored {
+			t.Fatalf("elevated ladder still explored (decision %d): %+v", i, d)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package adapt
+
+import (
+	"strings"
+
+	"repro/internal/verilog"
+)
+
+// Features are the cheap per-request signals routing classifies on.
+// They must be computable in microseconds at submission time: a token
+// count the engine already has, a read-only prefix-trie probe, and one
+// lexer pass over the prompt text.
+type Features struct {
+	// PromptTokens is the prompt's canonical token count.
+	PromptTokens int
+	// CachedTokens is the deepest prefix-trie hit for the prompt (0
+	// when nothing is cached): a deep hit means session preparation is
+	// nearly free and the decode's cost is all drafting/verification.
+	CachedTokens int
+	// MaxNewTokens is the requested generation length (0 = model
+	// default) — long decodes hold batch slots longer, which routing
+	// may learn to price differently.
+	MaxNewTokens int
+	// Construct is the detected Verilog construct class (see Classify).
+	Construct string
+}
+
+// Class is the discrete prompt class routing learns over. Buckets are
+// deliberately coarse: a class must see repeated traffic for its
+// scores to mean anything.
+type Class struct {
+	// Size buckets PromptTokens: 0 short (<32), 1 medium (<96), 2 long.
+	Size int
+	// Long marks a generation request past 64 tokens.
+	Long bool
+	// Cached buckets trie reuse: 0 cold, 1 partial (<half the prompt),
+	// 2 mostly cached.
+	Cached int
+	// Construct is Features.Construct verbatim.
+	Construct string
+}
+
+// ClassOf buckets features into a Class.
+func ClassOf(f Features) Class {
+	cl := Class{Construct: f.Construct}
+	switch {
+	case f.PromptTokens >= 96:
+		cl.Size = 2
+	case f.PromptTokens >= 32:
+		cl.Size = 1
+	}
+	cl.Long = f.MaxNewTokens >= 64
+	if f.CachedTokens > 0 && f.PromptTokens > 0 {
+		if 2*f.CachedTokens >= f.PromptTokens {
+			cl.Cached = 2
+		} else {
+			cl.Cached = 1
+		}
+	}
+	return cl
+}
+
+// constructClass maps a lexed keyword or identifier to the construct
+// family it suggests. Keyword entries come straight from the Verilog
+// lexer's keyword table; the identifier entries catch the English
+// prompt phrasings the eval corpus uses ("build an FSM", "4-to-1
+// mux").
+var constructClass = map[string]string{
+	// Sequential logic: clocked processes and state elements.
+	"always": "seq", "posedge": "seq", "negedge": "seq", "reg": "seq",
+	"clk": "seq", "clock": "seq", "flop": "seq", "counter": "seq",
+	"register": "seq", "shift": "seq",
+	// State machines.
+	"case": "fsm", "casez": "fsm", "casex": "fsm", "state": "fsm",
+	"fsm": "fsm", "states": "fsm", "machine": "fsm", "moore": "fsm",
+	"mealy": "fsm",
+	// Combinational logic.
+	"assign": "comb", "wire": "comb", "mux": "comb", "adder": "comb",
+	"decoder": "comb", "encoder": "comb", "xor": "comb", "nand": "comb",
+	"nor": "comb", "multiplexer": "comb", "alu": "comb", "parity": "comb",
+	// Memories and buffering.
+	"memory": "mem", "ram": "mem", "rom": "mem", "fifo": "mem",
+	"buffer": "mem", "queue": "mem",
+}
+
+// constructOrder fixes the tie-break order so classification is
+// deterministic regardless of map iteration.
+var constructOrder = []string{"seq", "fsm", "comb", "mem"}
+
+// Classify detects the dominant Verilog construct a prompt asks for by
+// running the existing Verilog lexer over it and voting lexed keywords
+// and identifiers into construct families. Prompts are mostly English,
+// so the lexer will usually stop at the first character it cannot
+// tokenize — everything scanned up to that point still votes, and a
+// prompt with no recognizable votes classifies as "generic".
+func Classify(prompt string) string {
+	counts := map[string]int{}
+	vote := func(word string) {
+		if fam, ok := constructClass[strings.ToLower(word)]; ok {
+			counts[fam]++
+		}
+	}
+	lx := verilog.NewLexer(prompt)
+	for {
+		t, err := lx.Next()
+		if err != nil || t.Kind == verilog.TokEOF {
+			break
+		}
+		if t.Kind == verilog.TokKeyword || t.Kind == verilog.TokIdent {
+			vote(t.Text)
+		}
+	}
+	if len(counts) == 0 {
+		// The lexer choked before reaching anything recognizable
+		// (punctuation-heavy English): fall back to whitespace words so
+		// classification still sees something.
+		for _, w := range strings.Fields(prompt) {
+			vote(strings.Trim(w, ".,;:!?()\"'"))
+		}
+	}
+	best, bestN := "generic", 0
+	for _, fam := range constructOrder {
+		if counts[fam] > bestN {
+			best, bestN = fam, counts[fam]
+		}
+	}
+	return best
+}

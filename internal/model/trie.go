@@ -389,6 +389,17 @@ func (c *TrieCache) SessionStats() SessionStats {
 	}
 }
 
+// CachedPrefixLen reports the depth (token count) of the deepest
+// cached session prefix of ids, without mutating hit/miss stats, the
+// LRU order or the trie itself — the read-only probe behind the
+// adaptive speculation controller's prefix-reuse feature.
+func (c *TrieCache) CachedPrefixLen(ids []int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, depth := c.lookupLocked(ids)
+	return depth
+}
+
 // DepthHits returns the per-depth histogram of prefix reuse: bucket i
 // counts hits (exact and partial) whose matched depth d had
 // 2^i <= d < 2^(i+1), with depth 1 in bucket 0.

@@ -57,6 +57,10 @@ type stats struct {
 	treeNodes  uint64
 	treeBudget uint64
 
+	// adaptShadowed counts speculation-controller decisions recorded
+	// but not applied (Config.Adapt = AdaptShadow).
+	adaptShadowed uint64
+
 	perStrategy map[string]*strategyStats
 }
 
@@ -71,6 +75,11 @@ type strategyStats struct {
 	simMS       float64
 	treeNodes   uint64
 	treeBudget  uint64
+	// acceptHist is the per-strategy slice of the global accept-depth
+	// histogram — the distribution the adaptive speculation controller
+	// sizes this strategy's tree budget from, exported so metrics agree
+	// with what the controller sees.
+	acceptHist [AcceptDepthBuckets]uint64
 }
 
 // AcceptDepthBuckets sizes the acceptance-depth histogram: buckets
@@ -138,6 +147,12 @@ func (s *stats) queueWait(d time.Duration) {
 	}
 }
 
+func (s *stats) adaptShadow() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.adaptShadowed++
+}
+
 func (s *stats) cancel() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -191,6 +206,9 @@ func (s *stats) complete(label string, res *core.Result, wall time.Duration) {
 	s.steps += uint64(res.Steps)
 	s.wall += wall
 	s.simMS += res.SimulatedMS
+	s.treeNodes += uint64(res.TreeNodes)
+	s.treeBudget += uint64(res.TreeBudget)
+	ss := s.strategy(label)
 	for _, n := range res.AcceptedPerStep {
 		if n < 1 {
 			n = 1
@@ -199,10 +217,8 @@ func (s *stats) complete(label string, res *core.Result, wall time.Duration) {
 			n = AcceptDepthBuckets
 		}
 		s.acceptHist[n-1]++
+		ss.acceptHist[n-1]++
 	}
-	s.treeNodes += uint64(res.TreeNodes)
-	s.treeBudget += uint64(res.TreeBudget)
-	ss := s.strategy(label)
 	ss.completed++
 	ss.steps += uint64(res.Steps)
 	ss.rawTokens += uint64(len(res.Tokens))
@@ -236,6 +252,11 @@ type StrategyMetrics struct {
 	TreeNodes             uint64  `json:"tree_nodes"`
 	TreeBudget            uint64  `json:"tree_budget"`
 	TreeBudgetUtilization float64 `json:"tree_budget_utilization"`
+	// AcceptDepthHist buckets this strategy's decoding steps by
+	// accepted length (entry i = steps emitting i+1 tokens, last entry
+	// open-ended) — the per-strategy view the adaptive controller
+	// sizes budgets from.
+	AcceptDepthHist []uint64 `json:"accept_depth_hist"`
 }
 
 // Metrics is a point-in-time snapshot of engine counters.
@@ -345,6 +366,32 @@ type Metrics struct {
 	// TokensPerSecSim is clean tokens over simulated GPU seconds.
 	TokensPerSecSim float64 `json:"tokens_per_sec_sim"`
 
+	// Adapt names the speculation controller's mode ("off", "shadow",
+	// "on"); the remaining Adapt* fields mirror the controller's own
+	// snapshot. AdaptLevel is the load-degradation rung (0 tree, 1
+	// linear, 2 nodraft) and AdaptLevelName its spelling; the smoothed
+	// signals it runs on are AdaptOccupancy / AdaptQueueFrac /
+	// AdaptQueueWaitMS. AdaptDecisions counts Decide calls (shadow
+	// included), AdaptReroutes strategy substitutions, AdaptBudget-
+	// Resizes sized tree budgets, AdaptDowngrades decisions made above
+	// the tree rung, AdaptExplorations deterministic exploration slots,
+	// AdaptLevelChanges rung moves, and AdaptShadowed decisions that
+	// shadow mode recorded without applying. All zero when Adapt is
+	// "off".
+	Adapt              string  `json:"adapt"`
+	AdaptLevel         int     `json:"adapt_level"`
+	AdaptLevelName     string  `json:"adapt_level_name,omitempty"`
+	AdaptOccupancy     float64 `json:"adapt_occupancy"`
+	AdaptQueueFrac     float64 `json:"adapt_queue_frac"`
+	AdaptQueueWaitMS   float64 `json:"adapt_queue_wait_ms"`
+	AdaptDecisions     uint64  `json:"adapt_decisions"`
+	AdaptReroutes      uint64  `json:"adapt_reroutes"`
+	AdaptBudgetResizes uint64  `json:"adapt_budget_resizes"`
+	AdaptDowngrades    uint64  `json:"adapt_downgrades"`
+	AdaptExplorations  uint64  `json:"adapt_explorations"`
+	AdaptLevelChanges  uint64  `json:"adapt_level_changes"`
+	AdaptShadowed      uint64  `json:"adapt_shadowed"`
+
 	// PerStrategy groups counters by decoding strategy. PerMode is the
 	// same map under the legacy key for pre-strategy consumers.
 	PerStrategy map[string]StrategyMetrics `json:"per_strategy"`
@@ -427,14 +474,34 @@ func (e *Engine) Metrics() Metrics {
 	if e.st.simMS > 0 {
 		m.TokensPerSecSim = float64(m.CleanTokens) / (e.st.simMS / 1000)
 	}
+	m.Adapt = e.adaptMode
+	if m.Adapt == "" {
+		m.Adapt = AdaptOff
+	}
+	m.AdaptShadowed = e.st.adaptShadowed
+	if e.ctrl != nil {
+		snap := e.ctrl.Snapshot()
+		m.AdaptLevel = int(snap.Level)
+		m.AdaptLevelName = snap.LevelName
+		m.AdaptOccupancy = snap.Occupancy
+		m.AdaptQueueFrac = snap.QueueFrac
+		m.AdaptQueueWaitMS = snap.QueueWaitMS
+		m.AdaptDecisions = snap.Decisions
+		m.AdaptReroutes = snap.Reroutes
+		m.AdaptBudgetResizes = snap.BudgetResizes
+		m.AdaptDowngrades = snap.Downgrades
+		m.AdaptExplorations = snap.Explorations
+		m.AdaptLevelChanges = snap.LevelChanges
+	}
 	for name, ss := range e.st.perStrategy {
 		sm := StrategyMetrics{
-			Requests:   ss.requests,
-			Completed:  ss.completed,
-			CacheHits:  ss.cacheHits,
-			DedupHits:  ss.dedupHits,
-			TreeNodes:  ss.treeNodes,
-			TreeBudget: ss.treeBudget,
+			Requests:        ss.requests,
+			Completed:       ss.completed,
+			CacheHits:       ss.cacheHits,
+			DedupHits:       ss.dedupHits,
+			TreeNodes:       ss.treeNodes,
+			TreeBudget:      ss.treeBudget,
+			AcceptDepthHist: append([]uint64(nil), ss.acceptHist[:]...),
 		}
 		if ss.steps > 0 {
 			sm.MeanAccepted = float64(ss.rawTokens) / float64(ss.steps)

@@ -85,6 +85,22 @@ func writePrometheus(w io.Writer, m Metrics, uptimeS float64, modelName string) 
 	g("tokens_per_sec_wall", "Clean tokens per worker-busy-second.", m.TokensPerSecWall)
 	g("tokens_per_sec_sim", "Clean tokens per simulated GPU second (paper eq. 3).", m.TokensPerSecSim)
 
+	// Adaptive speculation controller families. The info/level gauges
+	// are always rendered (mode "off" with zeros when disabled) so
+	// dashboards can tell "controller off" from "metric missing".
+	fmt.Fprintf(w, "# HELP vgend_adapt_info Speculation-controller mode (value is always 1).\n# TYPE vgend_adapt_info gauge\nvgend_adapt_info{mode=%q} 1\n", m.Adapt)
+	g("adapt_level", "Load-degradation rung (0 tree, 1 linear, 2 nodraft).", float64(m.AdaptLevel))
+	g("adapt_occupancy", "Controller's smoothed batch occupancy.", m.AdaptOccupancy)
+	g("adapt_queue_frac", "Controller's smoothed queue pressure.", m.AdaptQueueFrac)
+	g("adapt_queue_wait_ms", "Controller's smoothed queue wait (ms).", m.AdaptQueueWaitMS)
+	c("adapt_decisions_total", "Controller decisions (shadow mode included).", m.AdaptDecisions)
+	c("adapt_reroutes_total", "Strategy substitutions decided.", m.AdaptReroutes)
+	c("adapt_budget_resizes_total", "Draft-tree budgets sized from the accept-depth EWMA.", m.AdaptBudgetResizes)
+	c("adapt_downgrades_total", "Decisions made above the tree rung (load-degraded).", m.AdaptDowngrades)
+	c("adapt_explorations_total", "Deterministic exploration slots routed.", m.AdaptExplorations)
+	c("adapt_level_changes_total", "Load-degradation rung moves.", m.AdaptLevelChanges)
+	c("adapt_shadowed_total", "Decisions recorded but not applied (shadow mode).", m.AdaptShadowed)
+
 	// Per-strategy families, strategies sorted for stable scrapes.
 	names := make([]string, 0, len(m.PerStrategy))
 	for name := range m.PerStrategy {
@@ -112,6 +128,20 @@ func writePrometheus(w io.Writer, m Metrics, uptimeS float64, modelName string) 
 		sg("strategy_tokens_per_sec_sim", "Simulated tokens/s per strategy.", func(s StrategyMetrics) float64 { return s.TokensPerSecSim })
 		sc("strategy_tree_nodes_total", "Draft-tree nodes proposed per strategy.", func(s StrategyMetrics) uint64 { return s.TreeNodes })
 		sg("strategy_tree_budget_utilization", "Draft-tree node-budget utilization per strategy.", func(s StrategyMetrics) float64 { return s.TreeBudgetUtilization })
+		// The per-strategy accept-depth histogram: the distribution the
+		// adaptive controller sizes each strategy's tree budget from,
+		// exported so Prometheus sees exactly what the controller sees.
+		fmt.Fprintf(w, "# HELP vgend_strategy_accept_depth_total Decoding steps by accepted length per strategy (last bucket open-ended).\n# TYPE vgend_strategy_accept_depth_total counter\n")
+		for _, s := range names {
+			hist := m.PerStrategy[s].AcceptDepthHist
+			for i, v := range hist {
+				label := fmt.Sprintf("%d", i+1)
+				if i == len(hist)-1 {
+					label += "+"
+				}
+				fmt.Fprintf(w, "vgend_strategy_accept_depth_total{strategy=%q,depth=%q} %d\n", s, label, v)
+			}
+		}
 	}
 }
 
