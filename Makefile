@@ -11,7 +11,7 @@ SHELL := /bin/bash
 COVER_FLOOR := 87.0
 COVER_PKGS := ./internal/model/ ./internal/serve/
 
-.PHONY: build test race sched-soak golden differential adapt-gate cover fuzz bench loadgate fmt fmt-check vet serve ci
+.PHONY: build test race sched-soak golden differential adapt-gate grammar-gate cover fuzz bench loadgate fmt fmt-check vet serve ci
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,20 @@ adapt-gate:
 	$(GO) test -race -shuffle=on -timeout 600s -run 'TestAdapt|TestContinuousAdaptChurn|TestParseAdaptModeTable' -v ./internal/serve/
 	$(GO) test -race -shuffle=on -timeout 600s ./internal/core/spec/adapt/
 
+# The grammar-constrained-drafting gate: (1) the accepted-length claim
+# — grammar-pruned trees must beat plain ours-tree mean accepted length
+# on the bench prompt schedule, with the oracle demonstrably engaged;
+# (2) the losslessness proof — greedy grammar-lookup-tree byte streams
+# equal NTP's, and grammar decodes are deterministic with stats; (3)
+# the sim-pass-rate floor — testbench simulation pass rates of the
+# grammar strategies never drop below their ungated counterparts'.
+# (The cache-mode/adapt-mode differentials already cover the grammar
+# strategies via the strategy matrix in the differential target.)
+grammar-gate:
+	$(GO) test -run 'TestGrammarBenchGrammarBeatsOursTree|TestSimBenchPassRateFloor' -v -timeout 600s ./internal/experiments/
+	$(GO) test -run 'TestGrammarLookupTreeGreedyLossless|TestGrammarDecodeStatsAndDeterminism|TestGrammarAcceptsAtLeastOursTree' -v ./internal/core/
+	$(GO) test -v ./internal/core/spec/grammar/
+
 # The latency-under-load gate: short-request p95 with one long decode
 # in flight must stay within 1.5x of unloaded under the continuous
 # scheduler, while the micro-batch baseline must fail the same bound.
@@ -77,24 +91,29 @@ cover:
 	{ echo "coverage below floor" >&2; exit 1; }
 
 # Native fuzzing smoke: the trie lookup/insert invariant, the Verilog
-# lexer and the draft-tree arena (insert/walk/longest-accepted-path
-# invariants), each for a short budget on top of the committed seed
-# corpora (testdata/fuzz/). Run longer locally with -fuzztime.
+# lexer, the full parser (no-panic, *SyntaxError contract, and the
+# prefix-soundness invariant the grammar oracle rests on) and the
+# draft-tree arena (insert/walk/longest-accepted-path invariants),
+# each for a short budget on top of the committed seed corpora
+# (testdata/fuzz/). Run longer locally with -fuzztime.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTrieLookupInsert -fuzztime $(FUZZTIME) ./internal/model/
 	$(GO) test -run '^$$' -fuzz FuzzLexer -fuzztime $(FUZZTIME) ./internal/verilog/
+	$(GO) test -run '^$$' -fuzz FuzzParser -fuzztime $(FUZZTIME) ./internal/verilog/
 	$(GO) test -run '^$$' -fuzz FuzzDraftTree -fuzztime $(FUZZTIME) ./internal/core/spec/tree/
 
 # Engine wall-clock throughput + strategy matrix + tree drafting +
 # fleet routing + prefix-cache + scheduler-load smoke; CI uploads
 # bench_output.txt as an artifact. Run `go test -bench=. ./...` for the
-# full paper harness. The evalbench line regenerates BENCH_7.json —
-# the adaptive load sweep's structured rows (throughput, p50/p95,
-# mean accepted length, controller decisions) — also uploaded by CI.
+# full paper harness. The evalbench lines regenerate BENCH_7.json (the
+# adaptive load sweep's structured rows) and BENCH_8.json (the grammar
+# bench's accepted-length comparison plus the sim-pass-rate tier) —
+# both uploaded by CI.
 bench:
 	set -o pipefail; $(GO) test -run '^$$' -bench='BenchmarkEngine|BenchmarkStrategyMatrix|BenchmarkTreeDraft|BenchmarkFleetRouting|BenchmarkPrefixBench|BenchmarkLoadBench' -benchtime=1x ./... | tee bench_output.txt
 	set -o pipefail; $(GO) run ./cmd/evalbench -quick -exp sweep -json BENCH_7.json | tee -a bench_output.txt
+	set -o pipefail; $(GO) run ./cmd/evalbench -quick -exp grammar,sim -json BENCH_8.json | tee -a bench_output.txt
 
 fmt:
 	gofmt -w .
@@ -114,4 +133,4 @@ serve:
 serve-fleet:
 	$(GO) run ./cmd/vgend -replicas 4 -shed-policy deadline,priority,budget
 
-ci: build fmt-check vet race sched-soak golden differential adapt-gate cover fuzz loadgate bench
+ci: build fmt-check vet race sched-soak golden differential adapt-gate grammar-gate cover fuzz loadgate bench

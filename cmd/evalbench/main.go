@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	evalbench -exp table1|table2|matrix|tree|fleet|prefix|load|sweep|diff|fig1|fig5|fig6|all
-//	          [-quick] [-items N] [-samples N] [-seed N] [-json BENCH_7.json]
+//	evalbench -exp table1|table2|matrix|tree|grammar|sim|fleet|prefix|load|sweep|diff|fig1|fig5|fig6|all
+//	          [-quick] [-items N] [-samples N] [-seed N] [-json BENCH_8.json]
 //
 // -quick selects the scaled-down setup (one model, one data size, few
 // samples); the default is the full harness described in DESIGN.md.
@@ -13,7 +13,13 @@
 // tree-drafting lifts) under the Table II protocol, with measured
 // wall-clock ms/token next to the simulated speedup. "tree" compares
 // each tree strategy against its linear counterpart: mean accepted
-// length, draft nodes per step and node-budget utilization. "fleet"
+// length, draft nodes per step and node-budget utilization. "grammar"
+// compares each grammar-constrained strategy against the ungated tree
+// drafter it extends: mean accepted length plus oracle pruning and
+// construct-drafting rates. "sim" is the simulation-in-the-loop
+// quality tier: greedy decodes of every benchmark problem are
+// elaborated and run against their self-checking testbenches, and the
+// rows report sim-pass rate next to syntax rate per strategy. "fleet"
 // runs the multi-replica load scenario: measured wall-clock throughput
 // and latency percentiles per routing policy. "prefix" compares
 // session-preparation tokens recomputed across the three prefix-cache
@@ -25,9 +31,9 @@
 // configuration and over the live self-tuning controller, on decode
 // profiles measured from real decodes.
 //
-// -json writes the structured rows of the tree, prefix, load and
-// sweep experiments (whichever ran) as one JSON document — CI writes
-// BENCH_7.json this way and uploads it as an artifact.
+// -json writes the structured rows of the tree, grammar, sim, prefix,
+// load and sweep experiments (whichever ran) as one JSON document —
+// CI writes BENCH_8.json this way and uploads it as an artifact.
 package main
 
 import (
@@ -44,15 +50,17 @@ import (
 // benchDoc accumulates the structured rows of the experiments that
 // emit them; -json serializes whichever fields were filled.
 type benchDoc struct {
-	Tree          []experiments.TreeBenchRow   `json:"tree,omitempty"`
-	Prefix        []experiments.PrefixBenchRow `json:"prefix,omitempty"`
-	Load          []experiments.LoadBenchRow   `json:"load,omitempty"`
-	SweepProfiles []*experiments.SweepProfile  `json:"sweep_profiles,omitempty"`
-	Sweep         []experiments.LoadSweepRow   `json:"sweep,omitempty"`
+	Tree          []experiments.TreeBenchRow    `json:"tree,omitempty"`
+	Grammar       []experiments.GrammarBenchRow `json:"grammar,omitempty"`
+	Sim           []experiments.SimBenchRow     `json:"sim,omitempty"`
+	Prefix        []experiments.PrefixBenchRow  `json:"prefix,omitempty"`
+	Load          []experiments.LoadBenchRow    `json:"load,omitempty"`
+	SweepProfiles []*experiments.SweepProfile   `json:"sweep_profiles,omitempty"`
+	Sweep         []experiments.LoadSweepRow    `json:"sweep,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, matrix, tree, fleet, prefix, load, sweep, diff, fig1, fig5, fig6 or all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, matrix, tree, grammar, sim, fleet, prefix, load, sweep, diff, fig1, fig5, fig6 or all")
 	quick := flag.Bool("quick", false, "scaled-down setup (fast smoke run)")
 	items := flag.Int("items", 0, "override corpus item count")
 	samples := flag.Int("samples", 0, "override samples per prompt per temperature")
@@ -60,7 +68,7 @@ func main() {
 	temps := flag.String("temps", "", "override temperatures, comma-separated (e.g. 0.2,0.6)")
 	sizes := flag.String("sizes", "", "override data-size numerators over 4 (e.g. 2,4)")
 	speedPrompts := flag.Int("speedprompts", 0, "override Table II prompt count")
-	jsonOut := flag.String("json", "", "write tree/prefix/load/sweep rows as one JSON document to this path (e.g. BENCH_7.json)")
+	jsonOut := flag.String("json", "", "write tree/grammar/sim/prefix/load/sweep rows as one JSON document to this path (e.g. BENCH_8.json)")
 	flag.Parse()
 
 	setup := experiments.Default()
@@ -103,7 +111,13 @@ func main() {
 	var t2 []experiments.SpeedRow
 	var doc benchDoc
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
+	// -exp accepts a comma-separated list ("grammar,sim"), so one run
+	// can emit several experiments' rows into one JSON document.
+	wanted := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		wanted[strings.TrimSpace(name)] = true
+	}
+	want := func(name string) bool { return wanted["all"] || wanted[name] }
 
 	if want("table1") || want("fig1") || want("fig6") {
 		fmt.Println("## Table I — quality of generated Verilog (percent)")
@@ -123,6 +137,16 @@ func main() {
 		fmt.Println("## Tree bench — mean accepted length, linear vs tree drafting")
 		doc.Tree = runner.RunTreeBench()
 		printTreeBench(doc.Tree)
+	}
+	if want("grammar") {
+		fmt.Println("## Grammar bench — mean accepted length, ungated vs grammar-constrained tree drafting")
+		doc.Grammar = runner.RunGrammarBench()
+		printGrammarBench(doc.Grammar)
+	}
+	if want("sim") {
+		fmt.Println("## Sim bench — testbench simulation pass rate per decoding strategy (greedy)")
+		doc.Sim = runner.RunSimBench()
+		printSimBench(doc.Sim)
 	}
 	if want("fleet") {
 		fmt.Println("## Fleet bench — measured wall-clock throughput/latency per routing policy")
@@ -208,9 +232,14 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("# total %v\n", time.Since(t0).Round(time.Second))
-	if *exp != "all" && !want("table1") && !want("table2") && !want("matrix") && !want("tree") && !want("fleet") && !want("prefix") && !want("load") && !want("sweep") && !want("diff") && !want("fig1") && !want("fig5") && !want("fig6") {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+	known := map[string]bool{"all": true, "table1": true, "table2": true, "matrix": true,
+		"tree": true, "grammar": true, "sim": true, "fleet": true, "prefix": true,
+		"load": true, "sweep": true, "diff": true, "fig1": true, "fig5": true, "fig6": true}
+	for name := range wanted {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
 	}
 	if *jsonOut != "" {
 		buf, err := json.MarshalIndent(doc, "", "  ")
@@ -276,6 +305,30 @@ func printTreeBench(rows []experiments.TreeBenchRow) {
 		fmt.Printf("%-14s %-8s %-12s %-12s %9.3f %9.3f %6.3f %11.1f %10.2f %6.2f\n",
 			r.Model, r.Scheme, r.Linear, r.Tree, r.LinearAccepted, r.TreeAccepted,
 			r.AcceptedGain, r.TreeNodesPerStep, r.TreeTokensPerSec, r.BudgetUtilization)
+	}
+	fmt.Println()
+}
+
+func printGrammarBench(rows []experiments.GrammarBenchRow) {
+	fmt.Printf("%-14s %-8s %-12s %-20s %9s %9s %6s %12s %10s\n",
+		"model", "scheme", "base", "grammar", "base acc", "gram acc", "gain", "pruned/step", "gtok/step")
+	fmt.Println(strings.Repeat("-", 110))
+	for _, r := range rows {
+		fmt.Printf("%-14s %-8s %-12s %-20s %9.3f %9.3f %6.3f %12.2f %10.2f\n",
+			r.Model, r.Scheme, r.Base, r.Grammar, r.BaseAccepted, r.GrammarAccepted,
+			r.AcceptedGain, r.PrunedPerStep, r.GrammarTokensPerStep)
+	}
+	fmt.Println()
+}
+
+func printSimBench(rows []experiments.SimBenchRow) {
+	fmt.Printf("%-14s %-8s %-20s %9s %10s %12s %11s %14s\n",
+		"model", "scheme", "strategy", "problems", "syntax ok", "syntax rate", "sim passed", "sim-pass rate")
+	fmt.Println(strings.Repeat("-", 104))
+	for _, r := range rows {
+		fmt.Printf("%-14s %-8s %-20s %9d %10d %11.1f%% %11d %13.1f%%\n",
+			r.Model, r.Scheme, r.Strategy, r.Problems,
+			r.SyntaxOK, r.SyntaxRate, r.SimPassed, r.SimPassRate)
 	}
 	fmt.Println()
 }

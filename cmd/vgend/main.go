@@ -53,10 +53,13 @@
 // resumed later — long decodes cannot head-of-line-block short ones.
 // -scheduler microbatch restores the legacy worker pool.
 //
-// The tree strategies (medusa-tree, lookup-tree, ours-tree; see
+// The tree strategies (medusa-tree, lookup-tree, ours-tree, and the
+// grammar-constrained grammar-tree / grammar-lookup-tree; see
 // -list-strategies) draft a branching candidate tree per decoding
 // step; -tree-budget sets the daemon-wide node budget for requests
-// that do not carry their own "tree_budget" field.
+// that do not carry their own "tree_budget" field. The grammar
+// strategies additionally report oracle work through /metrics
+// (grammar_pruned_nodes, grammar_draft_tokens).
 //
 // -adapt enables the self-tuning speculation controller per replica:
 // "shadow" records the controller's decisions in /metrics without

@@ -187,6 +187,8 @@ func aggregate(ms []serve.Metrics) serve.Metrics {
 		a.WallSeconds += m.WallSeconds
 		a.TreeNodes += m.TreeNodes
 		a.TreeBudget += m.TreeBudget
+		a.GrammarPrunedNodes += m.GrammarPrunedNodes
+		a.GrammarDraftTokens += m.GrammarDraftTokens
 		if len(m.AcceptDepthHist) > 0 {
 			if len(a.AcceptDepthHist) < len(m.AcceptDepthHist) {
 				grown := make([]uint64, len(m.AcceptDepthHist))
@@ -211,6 +213,8 @@ func aggregate(ms []serve.Metrics) serve.Metrics {
 			agg.DedupHits += sm.DedupHits
 			agg.TreeNodes += sm.TreeNodes
 			agg.TreeBudget += sm.TreeBudget
+			agg.GrammarPrunedNodes += sm.GrammarPrunedNodes
+			agg.GrammarDraftTokens += sm.GrammarDraftTokens
 			if len(sm.AcceptDepthHist) > 0 {
 				if len(agg.AcceptDepthHist) < len(sm.AcceptDepthHist) {
 					grown := make([]uint64, len(sm.AcceptDepthHist))

@@ -274,6 +274,12 @@ type Result struct {
 	// tree-drafting decode (steps × Options.TreeBudget; zero for linear
 	// strategies) — the utilization denominator.
 	TreeBudget int
+	// GrammarPruned totals the draft nodes the grammar oracle withheld
+	// across the decode (zero for non-grammar strategies).
+	GrammarPruned int
+	// GrammarDraftTokens totals the draft nodes contributed by
+	// synthesized grammar constructs across the decode.
+	GrammarDraftTokens int
 }
 
 // TokensPerSecond returns the simulated generation speed for this
@@ -583,8 +589,9 @@ func (d *Decoder) acceptDrafts(gen *model.Gen, seq, prefix []int, fw model.Forwa
 // which changes nothing about outputs — their scores could only be
 // discarded. The simulated cost model charges the step exactly like
 // its linear counterpart. Also returns the number of draft nodes
-// proposed, for the budget-utilization metrics.
-func (d *Decoder) acceptTree(gen *model.Gen, seq, prefix []int, fw model.Forward, strat spec.Strategy, td spec.TreeDrafter, opts Options) ([]int, int) {
+// proposed, for the budget-utilization metrics, and the grammar draft
+// stats when the drafter reports them (spec.StatsTreeDrafter).
+func (d *Decoder) acceptTree(gen *model.Gen, seq, prefix []int, fw model.Forward, strat spec.Strategy, td spec.TreeDrafter, opts Options) ([]int, int, spec.DraftStats) {
 	dc := spec.DraftCtx{
 		Gen:     gen,
 		Seq:     seq,
@@ -592,9 +599,15 @@ func (d *Decoder) acceptTree(gen *model.Gen, seq, prefix []int, fw model.Forward
 		Forward: fw,
 		TopK:    opts.TopK,
 	}
-	t := td.BuildTree(dc, opts.TreeBudget)
+	var gs spec.DraftStats
+	var t *tree.Tree
+	if std, ok := td.(spec.StatsTreeDrafter); ok {
+		t, gs = std.BuildTreeStats(dc, opts.TreeBudget)
+	} else {
+		t = td.BuildTree(dc, opts.TreeBudget)
+	}
 	if t == nil || t.DraftNodes() == 0 {
-		return nil, 0
+		return nil, 0, gs
 	}
 	params := spec.VerifyParams{Epsilon: opts.Epsilon, Delta: opts.Delta}
 	ctx := append(append([]int(nil), seq...), prefix...)
@@ -651,7 +664,7 @@ func (d *Decoder) acceptTree(gen *model.Gen, seq, prefix []int, fw model.Forward
 			best, bestKept = n, kept
 		}
 	}
-	return t.PathTokens(best, nil), t.DraftNodes()
+	return t.PathTokens(best, nil), t.DraftNodes(), gs
 }
 
 // extendChain continues drafting below an accepted tree leaf with the

@@ -187,9 +187,11 @@ func (c Config) withDefaults() Config {
 // linearCounterpart maps each tree strategy to the linear strategy
 // sharing its drafter family — the LevelLinear substitution.
 var linearCounterpart = map[string]string{
-	"OursTree":   "Ours",
-	"MedusaTree": "Medusa",
-	"LookupTree": "PromptLookup",
+	"OursTree":          "Ours",
+	"MedusaTree":        "Medusa",
+	"LookupTree":        "PromptLookup",
+	"GrammarTree":       "Ours",
+	"GrammarLookupTree": "PromptLookup",
 }
 
 // Request is the controller's view of one submission, after strategy

@@ -154,6 +154,34 @@ func TestLinearLevelSubstitutesCounterparts(t *testing.T) {
 	}
 }
 
+// TestGrammarStrategiesClassified: the grammar strategies carry the
+// routing metadata the controller's arms rely on — both classify as
+// tree drafters, and each degrades to the right linear counterpart at
+// LevelLinear (grammar constraint has no linear form, so the hybrid
+// falls back to Ours and the lookup hybrid to PromptLookup).
+func TestGrammarStrategiesClassified(t *testing.T) {
+	for _, name := range []string{"GrammarTree", "GrammarLookupTree"} {
+		if !isTree(name) {
+			t.Errorf("%s not classified as a tree strategy", name)
+		}
+	}
+	wants := map[string]string{"GrammarTree": "Ours", "GrammarLookupTree": "PromptLookup"}
+	for treeName, want := range wants {
+		c := mustNew(t, Config{
+			Candidates: []string{treeName, want, "NTP"},
+			LoadAlpha:  1, RaisePatience: 1,
+		})
+		c.ObserveSweep(1.0, 0) // tree → linear
+		d := c.Decide(Features{}, Request{Strategy: treeName})
+		if d.Strategy != want {
+			t.Errorf("linear-level route for %s = %q, want %q", treeName, d.Strategy, want)
+		}
+		if d.TreeBudget != 0 {
+			t.Errorf("%s counterpart got a tree budget: %+v", treeName, d)
+		}
+	}
+}
+
 // TestRoutingLearnsBestStrategy: with per-class scores observed,
 // routing picks the historically best arm for that class, and a class
 // with different history routes differently.

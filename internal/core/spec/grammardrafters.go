@@ -1,0 +1,321 @@
+package spec
+
+import (
+	"strings"
+
+	"repro/internal/core/spec/grammar"
+	"repro/internal/core/spec/tree"
+	"repro/internal/model"
+	"repro/internal/tokenizer"
+	"repro/internal/verilog"
+)
+
+// DraftStats reports what grammar constraint did to one step's draft
+// tree — the numerators behind the serve/cluster grammar metrics.
+type DraftStats struct {
+	// PrunedNodes counts draft tokens withheld because the syntax
+	// oracle classified their path as a doomed continuation (the
+	// verification budget they would have burned).
+	PrunedNodes int
+	// GrammarTokens counts draft nodes contributed by synthesized
+	// construct chains (origin grammar, dedup-adjusted).
+	GrammarTokens int
+}
+
+// StatsTreeDrafter is a TreeDrafter that also reports per-step draft
+// statistics. The decoding loop prefers BuildTreeStats when available;
+// BuildTree must behave identically with the stats discarded. Drafters
+// stay stateless — stats are returned per call, never accumulated.
+type StatsTreeDrafter interface {
+	TreeDrafter
+	BuildTreeStats(dc DraftCtx, budget int) (*tree.Tree, DraftStats)
+}
+
+// Grammar drafting deepens the lookup half beyond the plain hybrid's
+// defaults: pruning doomed branches pays for deeper speculation, so
+// each surviving match run may extend further and more matches branch.
+const (
+	grammarMaxSpan     = 16
+	grammarMaxBranches = 6
+)
+
+// GrammarTree is the grammar-constrained hybrid drafter: prompt-lookup
+// match runs and Medusa head fan-out, exactly like HybridTree, but
+// every branch is screened by the incremental Verilog syntax oracle
+// (internal/core/spec/grammar) before it spends verification budget —
+// a path that cannot lex/parse as a continuation of the generated text
+// is withheld — and synthesized whole-construct chains (sensitivity
+// lists, begin/closer skeletons, port-list continuations) join the
+// tree from the root. The freed budget funds a deeper lookup half
+// (span 16, 6 branches vs the hybrid's 10/4).
+//
+// The oracle is a pure function of the decoded generated text, so the
+// drafter is deterministic given (Seq, Prefix) — byte identity across
+// cache modes and scheduler preemption holds exactly as for the other
+// tree drafters. When the generated text cannot be classified (the
+// model emitted unlexable bytes), the oracle disables itself and the
+// drafter degrades to a plain deepened hybrid.
+type GrammarTree struct {
+	// Lookup configures the lookup half (zero values = the deepened
+	// grammar defaults, not LookupTree's).
+	Lookup LookupTree
+}
+
+// Name identifies the drafter.
+func (GrammarTree) Name() string { return "grammar-tree" }
+
+// NeedsHeads reports that head distributions are required (the Medusa
+// half consumes them).
+func (GrammarTree) NeedsHeads() bool { return true }
+
+// ExtraCostMS charges the heads, like the hybrid; the oracle runs on
+// the CPU beside the model and adds nothing to the simulated cost.
+func (GrammarTree) ExtraCostMS(cfg model.Config, numHeads int) float64 {
+	return float64(numHeads) * cfg.HeadLatencyMS
+}
+
+// BeginStep proposes nothing — tree drafters draft through BuildTree.
+func (GrammarTree) BeginStep(DraftCtx) CandidateSource { return nil }
+
+// BuildTree builds the step's tree, discarding the statistics.
+func (g GrammarTree) BuildTree(dc DraftCtx, budget int) *tree.Tree {
+	t, _ := g.BuildTreeStats(dc, budget)
+	return t
+}
+
+// BuildTreeStats builds the grammar-constrained draft tree and reports
+// what the oracle pruned and contributed.
+func (g GrammarTree) BuildTreeStats(dc DraftCtx, budget int) (*tree.Tree, DraftStats) {
+	return buildGrammarTree(dc, budget, g.lookup(), true)
+}
+
+func (g GrammarTree) lookup() LookupTree {
+	lk := g.Lookup
+	if lk.MaxSpan <= 0 {
+		lk.MaxSpan = grammarMaxSpan
+	}
+	if lk.MaxBranches <= 0 {
+		lk.MaxBranches = grammarMaxBranches
+	}
+	return lk
+}
+
+// Extend serves head depth's full top-k, like the hybrid — surviving
+// branches get head-guided chain tails past their span.
+func (GrammarTree) Extend(dc DraftCtx, depth int) []int {
+	return MedusaTree{}.Extend(dc, depth)
+}
+
+// GrammarLookupTree is the grammar+lookup hybrid for headless models:
+// the deepened lookup-tree drafter with oracle pruning and construct
+// chains, screened greedy-exact — every accepted token is the base
+// argmax, so greedy decodes stay byte-identical to NTP and to linear
+// prompt lookup no matter what the oracle proposes or withholds.
+type GrammarLookupTree struct {
+	// Lookup configures the lookup half (zero values = the deepened
+	// grammar defaults).
+	Lookup LookupTree
+}
+
+// Name identifies the drafter.
+func (GrammarLookupTree) Name() string { return "grammar-lookup-tree" }
+
+// NeedsHeads reports that no head distributions are consumed.
+func (GrammarLookupTree) NeedsHeads() bool { return false }
+
+// ExtraCostMS adds nothing, like prompt lookup.
+func (GrammarLookupTree) ExtraCostMS(model.Config, int) float64 { return 0 }
+
+// BeginStep proposes nothing — tree drafters draft through BuildTree.
+func (GrammarLookupTree) BeginStep(DraftCtx) CandidateSource { return nil }
+
+// BuildTree builds the step's tree, discarding the statistics.
+func (g GrammarLookupTree) BuildTree(dc DraftCtx, budget int) *tree.Tree {
+	t, _ := g.BuildTreeStats(dc, budget)
+	return t
+}
+
+// BuildTreeStats builds the pruned lookup tree plus construct chains.
+func (g GrammarLookupTree) BuildTreeStats(dc DraftCtx, budget int) (*tree.Tree, DraftStats) {
+	lk := g.Lookup
+	if lk.MaxSpan <= 0 {
+		lk.MaxSpan = grammarMaxSpan
+	}
+	if lk.MaxBranches <= 0 {
+		lk.MaxBranches = grammarMaxBranches
+	}
+	return buildGrammarTree(dc, budget, lk, false)
+}
+
+// beginOracle decodes the generated region (everything after the
+// prompt, plus the tokens already accepted this step) back into text
+// and opens the syntax oracle over it. Returns nil when the context
+// carries no session or tokenizer (pure-drafter unit tests).
+func beginOracle(dc DraftCtx) *grammar.Step {
+	if dc.Gen == nil {
+		return nil
+	}
+	tok := dc.Gen.Tokenizer()
+	if tok == nil {
+		return nil
+	}
+	start := dc.Gen.PromptLen()
+	if start > len(dc.Seq) {
+		start = len(dc.Seq)
+	}
+	var sb strings.Builder
+	for _, id := range dc.Seq[start:] {
+		sb.WriteString(tokenText(tok, id))
+	}
+	for _, id := range dc.Prefix {
+		sb.WriteString(tokenText(tok, id))
+	}
+	return grammar.Begin(sb.String())
+}
+
+// tokenText renders one token id's surface text; specials ([FRAG],
+// <eos>, ...) render empty — they carry no bytes the oracle sees.
+func tokenText(tok *tokenizer.Tokenizer, id int) string {
+	if tokenizer.IsSpecial(id) {
+		return ""
+	}
+	return tok.Token(id)
+}
+
+// buildGrammarTree lays oracle-screened lookup runs, synthesized
+// construct chains, and (optionally) oracle-screened head fan-out into
+// one budgeted tree. Insertion order mirrors HybridTree — lookup runs
+// first, then constructs, then head levels — so shared paths dedup the
+// same way.
+func buildGrammarTree(dc DraftCtx, budget int, lk LookupTree, withHeads bool) (*tree.Tree, DraftStats) {
+	var st DraftStats
+	runs := lk.runs(dc)
+	if len(runs) == 0 && !withHeads && dc.Gen == nil {
+		return nil, st
+	}
+	oracle := beginOracle(dc)
+	var tok *tokenizer.Tokenizer
+	if dc.Gen != nil {
+		tok = dc.Gen.Tokenizer()
+	}
+	t := tree.New(budget)
+
+	// Lookup runs, each truncated at the first token whose path the
+	// oracle condemns (the rest of the run could only be verified
+	// against a continuation that cannot parse).
+	for _, run := range runs {
+		parent := tree.Root
+		ext := ""
+		for i, id := range run {
+			if oracle != nil && tok != nil {
+				next := ext + tokenText(tok, id)
+				if oracle.Check(next) == verilog.PrefixInvalid {
+					st.PrunedNodes += len(run) - i
+					break
+				}
+				ext = next
+			}
+			node, _ := t.Add(parent, id, tree.OriginLookup)
+			if node < 0 {
+				return doneGrammarTree(t), st
+			}
+			parent = node
+			if id == tokenizer.EosID {
+				break
+			}
+		}
+	}
+
+	// Synthesized construct chains from the root — whole idiomatic
+	// continuations the verifier screens like any other branch.
+	if oracle != nil && tok != nil {
+		for _, text := range oracle.Constructs() {
+			parent := tree.Root
+			for _, id := range tok.Encode(text) {
+				node, added := t.Add(parent, id, tree.OriginGrammar)
+				if node < 0 {
+					return doneGrammarTree(t), st
+				}
+				if added {
+					st.GrammarTokens++
+				}
+				parent = node
+			}
+		}
+	}
+
+	if withHeads {
+		growHeadTreePruned(t, dc, oracle, tok, &st)
+	}
+	return doneGrammarTree(t), st
+}
+
+// doneGrammarTree normalizes an empty tree to nil (propose nothing).
+func doneGrammarTree(t *tree.Tree) *tree.Tree {
+	if t.DraftNodes() == 0 {
+		return nil
+	}
+	return t
+}
+
+// growHeadTreePruned is growHeadTree with the oracle screening each
+// candidate's path text before insertion: same levels, same top-k,
+// same budget behaviour, minus branches that cannot parse.
+func growHeadTreePruned(t *tree.Tree, dc DraftCtx, oracle *grammar.Step, tok *tokenizer.Tokenizer, st *DraftStats) {
+	type extNode struct {
+		id  int
+		ext string
+	}
+	frontier := []extNode{{tree.Root, ""}}
+	for d, head := range dc.Forward.Heads {
+		if d >= staticHeadLevels {
+			return
+		}
+		cands := head.TopK(dc.TopK)
+		if len(cands) == 0 {
+			return
+		}
+		var next []extNode
+		for _, p := range frontier {
+			if p.id != tree.Root && t.Node(p.id).Token == tokenizer.EosID {
+				continue
+			}
+			for _, c := range cands {
+				ext := p.ext
+				if oracle != nil && tok != nil {
+					ext += tokenText(tok, c)
+					if oracle.Check(ext) == verilog.PrefixInvalid {
+						st.PrunedNodes++
+						continue
+					}
+				}
+				id, added := t.Add(p.id, c, tree.OriginHead)
+				if id < 0 {
+					return // budget exhausted
+				}
+				if added {
+					next = append(next, extNode{id, ext})
+				}
+			}
+		}
+		if len(next) == 0 {
+			return
+		}
+		frontier = next
+	}
+}
+
+// GrammarTreeStrategy is grammar-constrained tree drafting over the
+// paper's method: the hybrid tree with syntax-doomed branches pruned,
+// construct chains added, screened by typical acceptance with the
+// [FRAG] integrity stop — directly comparable to ours-tree.
+func GrammarTreeStrategy() Strategy {
+	return Strategy{Name: "GrammarTree", Drafter: GrammarTree{}, Verifier: Integrity{Inner: TypicalAcceptance{}}}
+}
+
+// GrammarLookupTreeStrategy is the headless grammar hybrid: pruned
+// deepened lookup plus construct chains, screened greedy-exact so
+// greedy decodes stay lossless versus NTP.
+func GrammarLookupTreeStrategy() Strategy {
+	return Strategy{Name: "GrammarLookupTree", Drafter: GrammarLookupTree{}, Verifier: GreedyExact{}}
+}

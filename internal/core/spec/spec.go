@@ -175,6 +175,8 @@ var registry = []struct {
 	{"medusa-tree", []string{"medusatree", "mt"}, MedusaTreeStrategy},
 	{"lookup-tree", []string{"lookuptree", "lt"}, LookupTreeStrategy},
 	{"ours-tree", []string{"ourstree", "tree"}, OursTreeStrategy},
+	{"grammar-tree", []string{"grammartree", "gt", "grammar"}, GrammarTreeStrategy},
+	{"grammar-lookup-tree", []string{"grammarlookuptree", "glt"}, GrammarLookupTreeStrategy},
 }
 
 // named maps normalized strategy names (and aliases) to constructors,

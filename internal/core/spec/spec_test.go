@@ -213,7 +213,7 @@ func TestNamedRegistry(t *testing.T) {
 	if got := WithoutIntegrity(ntp); got.Verifier != ntp.Verifier {
 		t.Fatal("WithoutIntegrity mutated an unwrapped strategy")
 	}
-	if len(Names()) != 7 {
+	if len(Names()) != 9 {
 		t.Fatalf("Names() = %v", Names())
 	}
 	pl, _ := Named("prompt-lookup")

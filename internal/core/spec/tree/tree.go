@@ -39,6 +39,9 @@ const (
 	OriginHead
 	// OriginLookup marks nodes drafted from a prompt-lookup n-gram match.
 	OriginLookup
+	// OriginGrammar marks nodes drafted from a synthesized grammar
+	// construct (sensitivity list, closer chain, ...).
+	OriginGrammar
 )
 
 // String names the provenance.
@@ -52,6 +55,8 @@ func (o Origin) String() string {
 		return "head"
 	case OriginLookup:
 		return "lookup"
+	case OriginGrammar:
+		return "grammar"
 	}
 	return "?"
 }

@@ -134,9 +134,11 @@ func (s *DecodeState) Step() bool {
 
 	if base != tokenizer.EosID {
 		if td, ok := s.strat.Drafter.(spec.TreeDrafter); ok {
-			drafts, nodes := d.acceptTree(gen, s.seq, accepted, fw, s.strat, td, opts)
+			drafts, nodes, gs := d.acceptTree(gen, s.seq, accepted, fw, s.strat, td, opts)
 			res.TreeNodes += nodes
 			res.TreeBudget += opts.TreeBudget
+			res.GrammarPruned += gs.PrunedNodes
+			res.GrammarDraftTokens += gs.GrammarTokens
 			accepted = append(accepted, drafts...)
 		} else {
 			accepted = append(accepted, d.acceptDrafts(gen, s.seq, accepted, fw, s.strat, opts)...)

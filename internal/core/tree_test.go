@@ -31,9 +31,11 @@ func TestStrategyListing(t *testing.T) {
 // strategies report no tree work at all.
 func TestTreeStrategiesDecode(t *testing.T) {
 	schemes := map[string]model.Scheme{
-		"medusa-tree": model.SchemeMedusa,
-		"lookup-tree": model.SchemeNTP,
-		"ours-tree":   model.SchemeOurs,
+		"medusa-tree":         model.SchemeMedusa,
+		"lookup-tree":         model.SchemeNTP,
+		"ours-tree":           model.SchemeOurs,
+		"grammar-tree":        model.SchemeOurs,
+		"grammar-lookup-tree": model.SchemeNTP,
 	}
 	for strategy, scheme := range schemes {
 		m := trained(t, scheme)
@@ -97,6 +99,79 @@ func TestLookupTreeGreedyLossless(t *testing.T) {
 				pi, lt.Steps, pl.Steps)
 		}
 	}
+}
+
+// TestGrammarLookupTreeGreedyLossless extends the losslessness pin to
+// the grammar hybrid: oracle pruning and construct chains change what
+// gets drafted, never what greedy-exact screening emits — the byte
+// stream stays identical to NTP's.
+func TestGrammarLookupTreeGreedyLossless(t *testing.T) {
+	m := trained(t, model.SchemeNTP)
+	d := NewDecoder(m)
+	for pi, ex := range trainExamples {
+		ntp := d.Generate(ex.Prompt, Options{Strategy: "ntp"})
+		gl := d.Generate(ex.Prompt, Options{Strategy: "grammar-lookup-tree"})
+		if gl.Text != ntp.Text {
+			t.Fatalf("prompt %d: greedy byte streams diverged\n  ntp: %q\n  glt: %q", pi, ntp.Text, gl.Text)
+		}
+		if len(gl.Tokens) != len(ntp.Tokens) {
+			t.Fatalf("prompt %d: grammar-lookup-tree emitted %d raw tokens, ntp %d",
+				pi, len(gl.Tokens), len(ntp.Tokens))
+		}
+	}
+}
+
+// TestGrammarDecodeStatsAndDeterminism pins the grammar accounting and
+// the property the differential gate relies on: the oracle is a pure
+// function of the decoded text, so repeated decodes are byte-identical
+// and report identical stats; non-grammar strategies report none.
+func TestGrammarDecodeStatsAndDeterminism(t *testing.T) {
+	m := trained(t, model.SchemeOurs)
+	d := NewDecoder(m)
+	a := d.Generate(trainExamples[0].Prompt, Options{Strategy: "grammar-tree"})
+	b := d.Generate(trainExamples[0].Prompt, Options{Strategy: "grammar-tree"})
+	if a.Text != b.Text {
+		t.Fatalf("grammar-tree decode not deterministic:\n a: %q\n b: %q", a.Text, b.Text)
+	}
+	if a.GrammarPruned != b.GrammarPruned || a.GrammarDraftTokens != b.GrammarDraftTokens {
+		t.Fatalf("grammar stats not deterministic: (%d,%d) vs (%d,%d)",
+			a.GrammarPruned, a.GrammarDraftTokens, b.GrammarPruned, b.GrammarDraftTokens)
+	}
+	if a.GrammarPruned < 0 || a.GrammarDraftTokens < 0 {
+		t.Fatalf("negative grammar stats: pruned=%d constructs=%d", a.GrammarPruned, a.GrammarDraftTokens)
+	}
+	t.Logf("grammar-tree: pruned=%d construct-tokens=%d over %d steps",
+		a.GrammarPruned, a.GrammarDraftTokens, a.Steps)
+	ours := d.Generate(trainExamples[0].Prompt, Options{Strategy: "ours-tree"})
+	if ours.GrammarPruned != 0 || ours.GrammarDraftTokens != 0 {
+		t.Fatalf("ours-tree reported grammar stats: pruned=%d constructs=%d",
+			ours.GrammarPruned, ours.GrammarDraftTokens)
+	}
+}
+
+// TestGrammarAcceptsAtLeastOursTree pins the headline mechanism at the
+// unit level: grammar constraint (pruning + deeper lookup + construct
+// chains) must not lower mean accepted length versus the plain hybrid
+// tree on the shared fixtures. (The strict improvement on the bench
+// corpus is pinned by experiments.TestGrammarBench.)
+func TestGrammarAcceptsAtLeastOursTree(t *testing.T) {
+	m := trained(t, model.SchemeOurs)
+	d := NewDecoder(m)
+	var oursSteps, oursTokens, gSteps, gTokens int
+	for _, ex := range trainExamples {
+		ours := d.Generate(ex.Prompt, Options{Strategy: "ours-tree"})
+		g := d.Generate(ex.Prompt, Options{Strategy: "grammar-tree"})
+		oursSteps += ours.Steps
+		oursTokens += len(ours.Tokens)
+		gSteps += g.Steps
+		gTokens += len(g.Tokens)
+	}
+	oursMean := float64(oursTokens) / float64(oursSteps)
+	gMean := float64(gTokens) / float64(gSteps)
+	if gMean < oursMean {
+		t.Fatalf("grammar-tree mean accepted %.3f below ours-tree %.3f", gMean, oursMean)
+	}
+	t.Logf("mean accepted: ours-tree %.3f, grammar-tree %.3f", oursMean, gMean)
 }
 
 // TestTreeAcceptsAtLeastLinear pins the mechanism at the unit level:

@@ -405,11 +405,13 @@ type MatrixEntry struct {
 var StrategyMatrix = []MatrixEntry{
 	{Scheme: model.SchemeOurs, Strategy: "ours"},
 	{Scheme: model.SchemeOurs, Strategy: "ours-tree"},
+	{Scheme: model.SchemeOurs, Strategy: "grammar-tree"},
 	{Scheme: model.SchemeMedusa, Strategy: "medusa"},
 	{Scheme: model.SchemeMedusa, Strategy: "medusa-tree"},
 	{Scheme: model.SchemeNTP, Strategy: "ntp"},
 	{Scheme: model.SchemeNTP, Strategy: "prompt-lookup"},
 	{Scheme: model.SchemeNTP, Strategy: "lookup-tree"},
+	{Scheme: model.SchemeNTP, Strategy: "grammar-lookup-tree"},
 }
 
 // StrategyRow is one strategy-matrix result row.

@@ -1,0 +1,139 @@
+// GrammarBench measures what grammar-constrained drafting exists to
+// change: how much of the draft-tree budget survives verification once
+// syntactically doomed branches are pruned before the verifier pays
+// for them and idiomatic Verilog constructs are drafted as whole
+// chains. Each row compares a baseline tree strategy with its
+// grammar-constrained lift on the same trained model and the same
+// prompt schedule, so the only difference is the oracle; the grammar
+// side also reports how hard the oracle worked (pruned nodes and
+// construct tokens per step).
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// GrammarPair names a baseline tree strategy and its grammar-
+// constrained counterpart on the scheme both decode naturally.
+type GrammarPair struct {
+	Scheme model.Scheme
+	// Base and Grammar are registry strategy names.
+	Base, Grammar string
+}
+
+// GrammarPairs is the grammar comparison axis: each grammar strategy
+// against the ungated tree drafter it extends.
+var GrammarPairs = []GrammarPair{
+	{Scheme: model.SchemeOurs, Base: "ours-tree", Grammar: "grammar-tree"},
+	{Scheme: model.SchemeNTP, Base: "lookup-tree", Grammar: "grammar-lookup-tree"},
+}
+
+// GrammarBenchRow is one (model, pair) comparison.
+type GrammarBenchRow struct {
+	Model, Scheme string
+	// Base/Grammar are the pair's display names.
+	Base, Grammar string
+	// BaseAccepted/GrammarAccepted are mean tokens emitted per decoding
+	// step; AcceptedGain is their ratio (> 1 means the oracle-shaped
+	// trees survive verification longer).
+	BaseAccepted, GrammarAccepted, AcceptedGain float64
+	// BaseTokensPerSec/GrammarTokensPerSec are the eq. 3 simulated
+	// speeds over the prompt set.
+	BaseTokensPerSec, GrammarTokensPerSec float64
+	// BaseWallMSPerToken/GrammarWallMSPerToken are measured wall-clock
+	// decoder milliseconds per clean token — the oracle re-lexes the
+	// draft tail on every candidate, and this is where that cost shows.
+	BaseWallMSPerToken, GrammarWallMSPerToken float64
+	// PrunedPerStep is mean draft nodes the oracle rejected per step;
+	// GrammarTokensPerStep is mean construct-chain tokens drafted per
+	// step. Both zero on the base side by construction.
+	PrunedPerStep, GrammarTokensPerStep float64
+}
+
+// grammarBenchSide aggregates one strategy's half of a comparison row.
+type grammarBenchSide struct {
+	accepted, tokensPerSec, wallMSPerToken float64
+	prunedPerStep, grammarPerStep          float64
+}
+
+// RunGrammarBench decodes the Table II prompt schedule (greedy + T=0.8
+// per prompt, dispatched through the shared worker pool) with both
+// sides of every GrammarPair, one trained model per scheme reused
+// across pairs.
+func (r *Runner) RunGrammarBench() []GrammarBenchRow {
+	var rows []GrammarBenchRow
+	prompts := r.speedPrompts()
+	for _, cfg := range r.setup.Models {
+		tk := r.toks[cfg.Name]
+		trained := map[model.Scheme]*model.Model{}
+		for _, pair := range GrammarPairs {
+			m := trained[pair.Scheme]
+			if m == nil {
+				m = model.Train(tk, cfg, pair.Scheme, r.examples)
+				trained[pair.Scheme] = m
+			}
+			base := r.grammarBenchSide(m, prompts, pair.Base)
+			gr := r.grammarBenchSide(m, prompts, pair.Grammar)
+			row := GrammarBenchRow{
+				Model: cfg.Name, Scheme: pair.Scheme.String(),
+				Base: displayName(pair.Base), Grammar: displayName(pair.Grammar),
+				BaseAccepted: base.accepted, GrammarAccepted: gr.accepted,
+				BaseTokensPerSec: base.tokensPerSec, GrammarTokensPerSec: gr.tokensPerSec,
+				BaseWallMSPerToken: base.wallMSPerToken, GrammarWallMSPerToken: gr.wallMSPerToken,
+				PrunedPerStep: gr.prunedPerStep, GrammarTokensPerStep: gr.grammarPerStep,
+			}
+			if base.accepted > 0 {
+				row.AcceptedGain = gr.accepted / base.accepted
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// grammarBenchSide runs one strategy over the prompt schedule and folds
+// the result metrics.
+func (r *Runner) grammarBenchSide(m *model.Model, prompts []string, strategy string) grammarBenchSide {
+	reqs := make([]serve.Request, 0, 2*len(prompts))
+	for i, prompt := range prompts {
+		reqs = append(reqs,
+			serve.Request{Prompt: prompt, Options: core.Options{Strategy: strategy}},
+			serve.Request{Prompt: prompt, Options: core.Options{Strategy: strategy, Temperature: 0.8, Seed: int64(i)}})
+	}
+	eng := r.newEngine(m)
+	resps := eng.GenerateBatch(context.Background(), reqs)
+	eng.Close()
+	tokens := make([]int, len(resps))
+	secs := make([]float64, len(resps))
+	var rawTokens, steps, cleanTokens, wallMS, pruned, grammar float64
+	for i, resp := range resps {
+		if resp.Err != nil {
+			panic(resp.Err)
+		}
+		res := resp.Result
+		tokens[i] = len(res.CleanTokens)
+		secs[i] = res.SimulatedMS / 1000
+		rawTokens += float64(len(res.Tokens))
+		steps += float64(res.Steps)
+		cleanTokens += float64(len(res.CleanTokens))
+		wallMS += float64(resp.Wall) / float64(time.Millisecond)
+		pruned += float64(res.GrammarPruned)
+		grammar += float64(res.GrammarDraftTokens)
+	}
+	side := grammarBenchSide{tokensPerSec: metrics.Speed(tokens, secs)}
+	if steps > 0 {
+		side.accepted = rawTokens / steps
+		side.prunedPerStep = pruned / steps
+		side.grammarPerStep = grammar / steps
+	}
+	if cleanTokens > 0 {
+		side.wallMSPerToken = wallMS / cleanTokens
+	}
+	return side
+}

@@ -708,6 +708,11 @@ func (g *Gen) NumSeeds() int { return len(g.seeds) }
 // prepared with (drafters use it to tell prompt from generated text).
 func (g *Gen) PromptLen() int { return g.promptLen }
 
+// Tokenizer exposes the model's tokenizer — grammar-aware drafters
+// decode the generated region back into text to consult the syntax
+// oracle, and encode synthesized constructs into draft chains.
+func (g *Gen) Tokenizer() *tokenizer.Tokenizer { return g.m.tok }
+
 // KwDF exposes a keyword's document frequency (diagnostics).
 func (m *Model) KwDF(w string) int { return m.kwDF[w] }
 

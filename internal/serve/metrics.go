@@ -56,6 +56,11 @@ type stats struct {
 	// is the budget-utilization gauge.
 	treeNodes  uint64
 	treeBudget uint64
+	// grammarPruned/grammarDraftTokens total the draft nodes withheld
+	// by the grammar oracle and the nodes contributed by synthesized
+	// construct chains (grammar strategies only).
+	grammarPruned      uint64
+	grammarDraftTokens uint64
 
 	// adaptShadowed counts speculation-controller decisions recorded
 	// but not applied (Config.Adapt = AdaptShadow).
@@ -65,16 +70,18 @@ type stats struct {
 }
 
 type strategyStats struct {
-	requests    uint64
-	completed   uint64
-	cacheHits   uint64
-	dedupHits   uint64
-	steps       uint64
-	rawTokens   uint64
-	cleanTokens uint64
-	simMS       float64
-	treeNodes   uint64
-	treeBudget  uint64
+	requests           uint64
+	completed          uint64
+	cacheHits          uint64
+	dedupHits          uint64
+	steps              uint64
+	rawTokens          uint64
+	cleanTokens        uint64
+	simMS              float64
+	treeNodes          uint64
+	treeBudget         uint64
+	grammarPruned      uint64
+	grammarDraftTokens uint64
 	// acceptHist is the per-strategy slice of the global accept-depth
 	// histogram — the distribution the adaptive speculation controller
 	// sizes this strategy's tree budget from, exported so metrics agree
@@ -208,6 +215,8 @@ func (s *stats) complete(label string, res *core.Result, wall time.Duration) {
 	s.simMS += res.SimulatedMS
 	s.treeNodes += uint64(res.TreeNodes)
 	s.treeBudget += uint64(res.TreeBudget)
+	s.grammarPruned += uint64(res.GrammarPruned)
+	s.grammarDraftTokens += uint64(res.GrammarDraftTokens)
 	ss := s.strategy(label)
 	for _, n := range res.AcceptedPerStep {
 		if n < 1 {
@@ -226,6 +235,8 @@ func (s *stats) complete(label string, res *core.Result, wall time.Duration) {
 	ss.simMS += res.SimulatedMS
 	ss.treeNodes += uint64(res.TreeNodes)
 	ss.treeBudget += uint64(res.TreeBudget)
+	ss.grammarPruned += uint64(res.GrammarPruned)
+	ss.grammarDraftTokens += uint64(res.GrammarDraftTokens)
 }
 
 // StrategyMetrics is the per-decoding-strategy slice of a metrics
@@ -252,6 +263,12 @@ type StrategyMetrics struct {
 	TreeNodes             uint64  `json:"tree_nodes"`
 	TreeBudget            uint64  `json:"tree_budget"`
 	TreeBudgetUtilization float64 `json:"tree_budget_utilization"`
+	// GrammarPrunedNodes/GrammarDraftTokens total the draft nodes the
+	// syntax oracle withheld from this strategy's trees and the nodes
+	// its construct synthesis contributed (zero for non-grammar
+	// strategies).
+	GrammarPrunedNodes uint64 `json:"grammar_pruned_nodes"`
+	GrammarDraftTokens uint64 `json:"grammar_draft_tokens"`
 	// AcceptDepthHist buckets this strategy's decoding steps by
 	// accepted length (entry i = steps emitting i+1 tokens, last entry
 	// open-ended) — the per-strategy view the adaptive controller
@@ -356,6 +373,11 @@ type Metrics struct {
 	TreeNodes             uint64  `json:"tree_nodes_total"`
 	TreeBudget            uint64  `json:"tree_budget_total"`
 	TreeBudgetUtilization float64 `json:"tree_budget_utilization"`
+	// GrammarPrunedNodes/GrammarDraftTokens total the draft nodes the
+	// grammar oracle withheld and the nodes construct synthesis
+	// contributed across grammar-strategy decodes.
+	GrammarPrunedNodes uint64 `json:"grammar_pruned_nodes"`
+	GrammarDraftTokens uint64 `json:"grammar_draft_tokens"`
 	// WallSeconds is summed worker decode time (busy time, not
 	// wall-clock span: with W workers it accrues up to W seconds per
 	// second).
@@ -430,6 +452,8 @@ func (e *Engine) Metrics() Metrics {
 		AcceptDepthHist:     append([]uint64(nil), e.st.acceptHist[:]...),
 		TreeNodes:           e.st.treeNodes,
 		TreeBudget:          e.st.treeBudget,
+		GrammarPrunedNodes:  e.st.grammarPruned,
+		GrammarDraftTokens:  e.st.grammarDraftTokens,
 		PerStrategy:         map[string]StrategyMetrics{},
 	}
 	if m.TreeBudget > 0 {
@@ -495,13 +519,15 @@ func (e *Engine) Metrics() Metrics {
 	}
 	for name, ss := range e.st.perStrategy {
 		sm := StrategyMetrics{
-			Requests:        ss.requests,
-			Completed:       ss.completed,
-			CacheHits:       ss.cacheHits,
-			DedupHits:       ss.dedupHits,
-			TreeNodes:       ss.treeNodes,
-			TreeBudget:      ss.treeBudget,
-			AcceptDepthHist: append([]uint64(nil), ss.acceptHist[:]...),
+			Requests:           ss.requests,
+			Completed:          ss.completed,
+			CacheHits:          ss.cacheHits,
+			DedupHits:          ss.dedupHits,
+			TreeNodes:          ss.treeNodes,
+			TreeBudget:         ss.treeBudget,
+			GrammarPrunedNodes: ss.grammarPruned,
+			GrammarDraftTokens: ss.grammarDraftTokens,
+			AcceptDepthHist:    append([]uint64(nil), ss.acceptHist[:]...),
 		}
 		if ss.steps > 0 {
 			sm.MeanAccepted = float64(ss.rawTokens) / float64(ss.steps)

@@ -80,6 +80,8 @@ func writePrometheus(w io.Writer, m Metrics, uptimeS float64, modelName string) 
 	c("tree_nodes_total", "Draft-tree nodes proposed across tree-drafting decodes.", m.TreeNodes)
 	c("tree_budget_total", "Draft-tree node budget available across tree-drafting decodes.", m.TreeBudget)
 	g("tree_budget_utilization", "Fraction of the draft-tree node budget actually proposed.", m.TreeBudgetUtilization)
+	c("grammar_pruned_nodes_total", "Draft nodes withheld by the grammar syntax oracle.", m.GrammarPrunedNodes)
+	c("grammar_draft_tokens_total", "Draft nodes contributed by synthesized grammar constructs.", m.GrammarDraftTokens)
 	// Monotonic float accumulation: a counter, despite not being integral.
 	fmt.Fprintf(w, "# HELP vgend_wall_seconds_total Summed worker decode time in seconds.\n# TYPE vgend_wall_seconds_total counter\nvgend_wall_seconds_total %g\n", m.WallSeconds)
 	g("tokens_per_sec_wall", "Clean tokens per worker-busy-second.", m.TokensPerSecWall)
@@ -128,6 +130,8 @@ func writePrometheus(w io.Writer, m Metrics, uptimeS float64, modelName string) 
 		sg("strategy_tokens_per_sec_sim", "Simulated tokens/s per strategy.", func(s StrategyMetrics) float64 { return s.TokensPerSecSim })
 		sc("strategy_tree_nodes_total", "Draft-tree nodes proposed per strategy.", func(s StrategyMetrics) uint64 { return s.TreeNodes })
 		sg("strategy_tree_budget_utilization", "Draft-tree node-budget utilization per strategy.", func(s StrategyMetrics) float64 { return s.TreeBudgetUtilization })
+		sc("strategy_grammar_pruned_nodes_total", "Draft nodes withheld by the grammar oracle per strategy.", func(s StrategyMetrics) uint64 { return s.GrammarPrunedNodes })
+		sc("strategy_grammar_draft_tokens_total", "Construct-chain draft nodes per strategy.", func(s StrategyMetrics) uint64 { return s.GrammarDraftTokens })
 		// The per-strategy accept-depth histogram: the distribution the
 		// adaptive controller sizes each strategy's tree budget from,
 		// exported so Prometheus sees exactly what the controller sees.

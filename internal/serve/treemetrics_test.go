@@ -106,6 +106,56 @@ func TestAcceptDepthHistogramMetrics(t *testing.T) {
 	}
 }
 
+// TestGrammarMetricsFlow pins the grammar observability surface: the
+// oracle's pruned-node and construct-token counters flow from decode
+// results into the snapshot (globally and per strategy) and into the
+// Prometheus exposition, while non-grammar strategies report zeros.
+func TestGrammarMetricsFlow(t *testing.T) {
+	m, prompts := fixture(t)
+	eng := NewEngine(m, Config{Workers: 2, CacheSize: -1})
+	defer eng.Close()
+
+	var reqs []Request
+	for i, p := range prompts[:4] {
+		reqs = append(reqs,
+			Request{Prompt: p, Options: core.Options{Strategy: "grammar-tree", MaxNewTokens: 32, Seed: int64(i)}},
+			Request{Prompt: p, Options: core.Options{Strategy: "ours-tree", MaxNewTokens: 32, Seed: int64(i)}},
+		)
+	}
+	for i, resp := range eng.GenerateBatch(context.Background(), reqs) {
+		if resp.Err != nil {
+			t.Fatalf("request %d: %v", i, resp.Err)
+		}
+	}
+
+	mt := eng.Metrics()
+	g, ours := mt.PerStrategy["GrammarTree"], mt.PerStrategy["OursTree"]
+	if g.Completed == 0 {
+		t.Fatal("no grammar-tree decodes recorded")
+	}
+	if ours.GrammarPrunedNodes != 0 || ours.GrammarDraftTokens != 0 {
+		t.Fatalf("ours-tree reported grammar work: %+v", ours)
+	}
+	if g.GrammarPrunedNodes != mt.GrammarPrunedNodes || g.GrammarDraftTokens != mt.GrammarDraftTokens {
+		t.Fatalf("per-strategy grammar totals (%d/%d) disagree with globals (%d/%d)",
+			g.GrammarPrunedNodes, g.GrammarDraftTokens, mt.GrammarPrunedNodes, mt.GrammarDraftTokens)
+	}
+
+	var sb strings.Builder
+	eng.WritePrometheusTo(&sb, 1)
+	body := sb.String()
+	for _, want := range []string{
+		"vgend_grammar_pruned_nodes_total ",
+		"vgend_grammar_draft_tokens_total ",
+		`vgend_strategy_grammar_pruned_nodes_total{strategy="GrammarTree"} `,
+		`vgend_strategy_grammar_draft_tokens_total{strategy="GrammarTree"} `,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
 // TestTreeMetricsPrometheusExposition pins the text exposition of the
 // new families: the depth histogram with its open-ended last bucket,
 // the node counters and the per-strategy utilization gauge.

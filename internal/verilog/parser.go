@@ -1026,7 +1026,7 @@ func (p *Parser) parseDelayValue() (Expr, error) {
 	switch {
 	case t.Kind == TokNumber:
 		p.pos++
-		return ParseNumberLiteral(t.Text, t.Line)
+		return p.numberLiteral(t)
 	case t.Kind == TokIdent:
 		p.pos++
 		return &Ident{Line: t.Line, Name: t.Text}, nil
@@ -1127,12 +1127,23 @@ func (p *Parser) parseUnary() (Expr, error) {
 	return p.parsePrimary()
 }
 
+// numberLiteral parses a number token's spelling, wrapping the
+// literal-level error into a positioned *SyntaxError so Parse's error
+// contract holds on malformed literals the lexer accepted.
+func (p *Parser) numberLiteral(t Token) (Expr, error) {
+	n, err := ParseNumberLiteral(t.Text, t.Line)
+	if err != nil {
+		return nil, p.errAt(t, "%v", err)
+	}
+	return n, nil
+}
+
 func (p *Parser) parsePrimary() (Expr, error) {
 	t := p.cur()
 	switch {
 	case t.Kind == TokNumber:
 		p.pos++
-		return ParseNumberLiteral(t.Text, t.Line)
+		return p.numberLiteral(t)
 	case t.Kind == TokString:
 		p.pos++
 		return &StringLit{Line: t.Line, Val: t.Text}, nil

@@ -1,0 +1,140 @@
+package verilog_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/verilog"
+)
+
+func TestCheckPrefixHandCases(t *testing.T) {
+	cases := []struct {
+		src  string
+		want verilog.PrefixStatus
+	}{
+		// Viable prefixes, cut at every kind of seam.
+		{"", verilog.PrefixValid},
+		{"  \n", verilog.PrefixValid},
+		{"module", verilog.PrefixValid},
+		{"module ", verilog.PrefixValid},
+		{"module m", verilog.PrefixValid},
+		{"module m(", verilog.PrefixValid},
+		{"module m(input a", verilog.PrefixValid},
+		{"module m(input a, output y);", verilog.PrefixValid},
+		{"module m(input a, output y); assign y = a", verilog.PrefixValid},
+		{"module m(input a, output y); assign y = a;", verilog.PrefixValid},
+		{"module m; always @(", verilog.PrefixValid},
+		{"module m; always @(posedge clk) begin", verilog.PrefixValid},
+		{"module m; wire [3:0", verilog.PrefixValid},
+		{"module m; wire w = 4'b", verilog.PrefixValid},          // pending based literal
+		{"module m; initial $display(\"hi", verilog.PrefixValid}, // pending string
+		{"module m; /* comment", verilog.PrefixValid},            // pending block comment
+		{"module m; initial $", verilog.PrefixValid},             // pending sysname
+		{"module m; alw", verilog.PrefixValid},                   // mid-keyword cut
+		{"module m; assign y <", verilog.PrefixValid},            // operator could grow to <=
+		{"module m; endmodule mod", verilog.PrefixValid},         // "mod" may grow into "module"
+
+		// Complete sources.
+		{"module m(input a, output y); assign y = a; endmodule", verilog.PrefixComplete},
+		{"module m; endmodule", verilog.PrefixComplete},
+		{"module m; endmodule\n", verilog.PrefixComplete},
+		{"module a; endmodule module b; endmodule", verilog.PrefixComplete},
+
+		// No continuation can help these.
+		{"wire w;", verilog.PrefixInvalid},                // no module
+		{"module m;; endmodule", verilog.PrefixInvalid},   // stray ';' item
+		{"module m(input a)) ", verilog.PrefixInvalid},    // unbalanced ')'
+		{"module m; assign = a; ", verilog.PrefixInvalid}, // missing lvalue
+		{"module m; always @() ", verilog.PrefixInvalid},  // empty sensitivity list
+		{"module m; wire 4'b0; ", verilog.PrefixInvalid},  // number where ident expected
+		{"module m; assign y = a b; ", verilog.PrefixInvalid},
+		{"module m; wire w = 4'q", verilog.PrefixInvalid}, // bad base before the end
+	}
+	for _, tc := range cases {
+		if got := verilog.CheckPrefix(tc.src); got != tc.want {
+			t.Errorf("CheckPrefix(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+// TestCheckPrefixCompleteAgreesWithCheck pins the anchor invariant:
+// a source that passes the full parse gate must classify Complete,
+// and one that fails it must never classify Complete.
+func TestCheckPrefixCompleteAgreesWithCheck(t *testing.T) {
+	for _, p := range bench.All() {
+		for name, src := range map[string]string{"ref": p.Ref, "tb": p.Testbench} {
+			ok := verilog.Check(src) == nil
+			st := verilog.CheckPrefix(src)
+			if ok && st != verilog.PrefixComplete {
+				t.Errorf("%s/%s: Check passes but CheckPrefix = %v", p.ID, name, st)
+			}
+			if !ok && st == verilog.PrefixComplete {
+				t.Errorf("%s/%s: Check fails but CheckPrefix = complete", p.ID, name)
+			}
+		}
+	}
+}
+
+// TestCheckPrefixMonotoneOnBenchCorpus is the soundness property the
+// draft pruner rests on: every byte-level prefix of a source that
+// parses must classify Valid or Complete — if any prefix of a valid
+// module reported Invalid, the oracle would prune a branch the model
+// was entitled to take. Every reference design and testbench in the
+// bench corpus is swept at every byte.
+func TestCheckPrefixMonotoneOnBenchCorpus(t *testing.T) {
+	checked := 0
+	for _, p := range bench.All() {
+		for name, src := range map[string]string{"ref": p.Ref, "tb": p.Testbench} {
+			if verilog.Check(src) != nil {
+				continue // only parsable sources carry the invariant
+			}
+			for i := 0; i <= len(src); i++ {
+				if st := verilog.CheckPrefix(src[:i]); st == verilog.PrefixInvalid {
+					t.Fatalf("%s/%s: prefix of %d/%d bytes classified invalid:\n%q",
+						p.ID, name, i, len(src), tail(src[:i], 60))
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no parsable bench sources — the sweep checked nothing")
+	}
+}
+
+func tail(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "…" + s[len(s)-n:]
+}
+
+func TestLexPrefixSeams(t *testing.T) {
+	pl := verilog.LexPrefix("assign y = a; // trailing comment")
+	if pl.Err != nil || pl.Pending {
+		t.Fatalf("unexpected err=%v pending=%v", pl.Err, pl.Pending)
+	}
+	if len(pl.Toks) != 5 {
+		t.Fatalf("got %d tokens, want 5", len(pl.Toks))
+	}
+	// Ends must advance and stop before the comment.
+	last := 0
+	for i, e := range pl.Ends {
+		if e <= last {
+			t.Fatalf("Ends[%d]=%d does not advance past %d", i, e, last)
+		}
+		last = e
+	}
+	if want := len("assign y = a;"); last != want {
+		t.Fatalf("final token ends at %d, want %d", last, want)
+	}
+
+	for _, src := range []string{"\"open", "/* open", "4'b", "$", "\\"} {
+		if pl := verilog.LexPrefix(src); !pl.Pending || pl.Err != nil {
+			t.Errorf("LexPrefix(%q): pending=%v err=%v, want pending", src, pl.Pending, pl.Err)
+		}
+	}
+	if pl := verilog.LexPrefix("4'q + 1"); pl.Pending || pl.Err == nil {
+		t.Errorf("LexPrefix(4'q...): pending=%v err=%v, want hard error", pl.Pending, pl.Err)
+	}
+}
