@@ -10,8 +10,12 @@ SHELL := /bin/bash
 # landed; CI fails below the floor so cache/fork coverage cannot rot.
 COVER_FLOOR := 87.0
 COVER_PKGS := ./internal/model/ ./internal/serve/
+# Separate floor for the cluster layer (routing, shedding, breakers,
+# hedged dispatch, stealing, autoscaling). Recorded at 89.8% when the
+# elasticity tier landed.
+CLUSTER_COVER_FLOOR := 80.0
 
-.PHONY: build test race sched-soak golden differential adapt-gate grammar-gate cover fuzz bench loadgate fmt fmt-check vet serve ci
+.PHONY: build test race sched-soak golden differential adapt-gate grammar-gate cover fuzz bench loadgate chaos-gate chaos-soak fmt fmt-check vet serve ci
 
 build:
 	$(GO) build ./...
@@ -81,14 +85,40 @@ grammar-gate:
 loadgate:
 	$(GO) test -run TestLoadBenchLatencyGate -v -timeout 600s ./internal/experiments/
 
+# The chaos recovery gate: with a replica killed (and, separately,
+# wedged) mid-bench, the fleet must answer every request within
+# protocol — zero client-visible errors beyond documented shedding —
+# and after healing, short-request p99 must recover to within 1.5x of
+# an unfaulted run. Fault injection is deterministic
+# (serve.Config.StepFault wired to the experiments fault plane).
+chaos-gate:
+	$(GO) test -run 'TestChaosRecoveryGate|TestFaultPlaneKinds' -v -timeout 600s ./internal/experiments/
+
+# Fault-injection churn under the race detector: the fault plane cycles
+# kill/wedge/slow/error-rate across the replicas of a hedging, stealing,
+# breaker-guarded fleet while clients hammer it, alongside the
+# elasticity unit tier (breakers, hedges, stealing, autoscaling, drain,
+# rolling swap). The explicit -timeout turns a wedged dispatch into a
+# fast failure instead of a hung CI runner.
+chaos-soak:
+	$(GO) test -race -shuffle=on -timeout 600s \
+		-run 'TestChaosChurnSoak|TestBreaker|TestHedge|TestSteal|TestAutoscale|TestDrain|TestRollingSwap|TestSwapUnknownModelRejected' \
+		-v ./internal/experiments/ ./internal/cluster/
+
 # Coverage gate over the prefix-cache packages: fails if total coverage
-# of internal/model + internal/serve drops below COVER_FLOOR.
+# of internal/model + internal/serve drops below COVER_FLOOR — then the
+# same for the cluster layer against CLUSTER_COVER_FLOOR.
 cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic $(COVER_PKGS)
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
 	echo "model+serve coverage: $$total% (floor $(COVER_FLOOR)%)"; \
 	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
 	{ echo "coverage below floor" >&2; exit 1; }
+	$(GO) test -coverprofile=cover_cluster.out -covermode=atomic ./internal/cluster/
+	@total=$$($(GO) tool cover -func=cover_cluster.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "cluster coverage: $$total% (floor $(CLUSTER_COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(CLUSTER_COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+	{ echo "cluster coverage below floor" >&2; exit 1; }
 
 # Native fuzzing smoke: the trie lookup/insert invariant, the Verilog
 # lexer, the full parser (no-panic, *SyntaxError contract, and the
@@ -133,4 +163,4 @@ serve:
 serve-fleet:
 	$(GO) run ./cmd/vgend -replicas 4 -shed-policy deadline,priority,budget
 
-ci: build fmt-check vet race sched-soak golden differential adapt-gate grammar-gate cover fuzz loadgate bench
+ci: build fmt-check vet race sched-soak golden differential adapt-gate grammar-gate cover fuzz loadgate chaos-gate chaos-soak bench

@@ -23,18 +23,31 @@
 //	                     Accept header) selects the text exposition.
 //
 // Fleet mode starts when -replicas > 1, -models lists more than one
-// spec (or one with a default strategy), a -shed-policy is set or a
-// non-default -router is chosen; with none of those the daemon runs
-// the exact single-engine path of previous releases. Replica specs are
-// model[:scheme[:default-strategy]], e.g.
+// spec (or one with a default strategy), a -shed-policy is set, a
+// non-default -router is chosen, or any elasticity feature
+// (-hedge-after, -steal, -autoscale) is enabled; with none of those
+// the daemon runs the exact single-engine path of previous releases.
+// Replica specs are model[:scheme[:default-strategy]], e.g.
 //
 //	vgend -replicas 4 -shed-policy deadline,priority,budget
 //	vgend -models codellama:ours,codet5p:ntp:prompt-lookup -router prefix-affinity
+//	vgend -replicas 3 -hedge-after 50ms -steal -autoscale -max-replicas 6
 //
 // Requests are routed per prefix-affinity consistent hashing (with a
 // least-loaded fallback), so shared-prefix traffic concentrates where
 // its caches are warm; shed requests always get an explicit 429/503
 // with a Retry-After header.
+//
+// The fleet self-heals and scales: every replica carries a circuit
+// breaker (consecutive faults open it, routing steers around it, a
+// cooldown probe closes it again); -hedge-after races a second replica
+// when the routed one is slow or wedged and fails over on replica
+// faults; -steal lets idle replicas pull queued overflow from affinity
+// hotspots; -autoscale grows the fleet on sustained queue-wait or shed
+// pressure and shrinks it when idle, within [-min-replicas,
+// -max-replicas]. All of it is observable via /metrics
+// (vgend_fleet_scale_*, vgend_replica_breaker_*, hedge/failover/steal
+// counters).
 //
 // Usage: vgend [-addr :8080] [-model codellama|codet5p] [-scheme ours]
 // [-items 3400] [-workers N] [-queue N]
@@ -44,7 +57,8 @@
 // [-tree-budget N] [-adapt off|shadow|on] [-replicas N] [-models specs]
 // [-router prefix-affinity|least-loaded|round-robin|random]
 // [-shed-policy none|deadline,priority,budget] [-budget-tps N]
-// [-budget-burst N] [-list-strategies]
+// [-budget-burst N] [-hedge-after D] [-steal] [-autoscale]
+// [-min-replicas N] [-max-replicas N] [-list-strategies]
 //
 // Dispatch defaults to the continuous scheduler: requests join and
 // leave the running batch at every verification sweep, and a decode
@@ -195,6 +209,11 @@ func main() {
 	shedPolicy := flag.String("shed-policy", "none", "admission chain: none, or a comma list of deadline, priority, budget")
 	budgetTPS := flag.Float64("budget-tps", 0, "budget policy: sustained tokens/s per client (0 = default)")
 	budgetBurst := flag.Float64("budget-burst", 0, "budget policy: burst tokens per client (0 = default)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "fleet: race a second replica when the routed one hasn't answered within this wait (0 = no hedging)")
+	steal := flag.Bool("steal", false, "fleet: let idle replicas steal queued overflow from affinity hotspots")
+	autoscale := flag.Bool("autoscale", false, "fleet: scale the replica count with load, between -min-replicas and -max-replicas")
+	minReplicas := flag.Int("min-replicas", 0, "autoscaler floor (0 = the starting replica count; requires -autoscale)")
+	maxReplicas := flag.Int("max-replicas", 0, "autoscaler ceiling (0 = twice the floor; requires -autoscale)")
 	flag.Parse()
 	if *listStrategies {
 		fmt.Print(core.StrategyListing())
@@ -252,11 +271,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if (*minReplicas != 0 || *maxReplicas != 0) && !*autoscale {
+		fail(fmt.Errorf("-min-replicas/-max-replicas require -autoscale"))
+	}
 	// A non-default router is an explicit ask for the cluster layer,
 	// even with one replica — silently ignoring it would leave the
-	// operator believing a routing policy is active.
+	// operator believing a routing policy is active. So are the
+	// resilience/elasticity features: hedging, stealing, autoscaling.
 	fleetMode := *replicas > 1 || len(specs) > 1 || len(policies) > 0 ||
-		specs[0].strategy != "" || *routerName != "prefix-affinity"
+		specs[0].strategy != "" || *routerName != "prefix-affinity" ||
+		*hedgeAfter > 0 || *steal || *autoscale
 	n := *replicas
 	if n < len(specs) {
 		n = len(specs)
@@ -327,7 +351,17 @@ func main() {
 				DefaultStrategy: spec.strategy,
 			}
 		}
-		fleet, err := cluster.New(replicaSpecs, cluster.Config{Router: router, Policies: policies})
+		fleet, err := cluster.New(replicaSpecs, cluster.Config{
+			Router:     router,
+			Policies:   policies,
+			HedgeAfter: *hedgeAfter,
+			Steal:      *steal,
+			Autoscale: cluster.AutoscaleConfig{
+				Enabled: *autoscale,
+				Min:     *minReplicas,
+				Max:     *maxReplicas,
+			},
+		})
 		if err != nil {
 			fail(err)
 		}
@@ -340,8 +374,19 @@ func main() {
 		if len(names) > 0 {
 			shed = strings.Join(names, ",")
 		}
-		fmt.Fprintf(os.Stderr, "# vgend fleet: %d replicas, router %s, shed %s, serving on %s\n",
-			n, router.Name(), shed, *addr)
+		elastic := ""
+		if *hedgeAfter > 0 {
+			elastic += fmt.Sprintf(", hedge %s", *hedgeAfter)
+		}
+		if *steal {
+			elastic += ", steal"
+		}
+		if *autoscale {
+			lo, hi := fleet.AutoscaleBounds()
+			elastic += fmt.Sprintf(", autoscale %d..%d", lo, hi)
+		}
+		fmt.Fprintf(os.Stderr, "# vgend fleet: %d replicas, router %s, shed %s%s, serving on %s\n",
+			n, router.Name(), shed, elastic, *addr)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: serve.NewBackendServer(backend).Handler()}

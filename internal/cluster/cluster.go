@@ -3,7 +3,7 @@
 // (possibly different backbones, training schemes or default decoding
 // strategies) — behind one front door.
 //
-// Three concerns live here and nowhere else:
+// Four concerns live here and nowhere else:
 //
 //   - Routing: which replica serves a request. The default policy is
 //     prefix-affinity consistent hashing (rendezvous form) with a
@@ -19,14 +19,22 @@
 //     publishes its drop and followers retry on their own behalf. A
 //     shed request always gets an explicit error carrying a
 //     Retry-After hint; nothing is dropped silently.
+//   - Resilience and elasticity: per-replica circuit breakers route
+//     traffic away from faulting members (dispatch.go), hedged retries
+//     cover the latency tail of a wedged replica, work stealing
+//     rebalances affinity hotspots, replicas drain gracefully and swap
+//     models without a restart (lifecycle.go), and an autoscaler grows
+//     and shrinks the fleet on queue-wait and shed pressure
+//     (autoscale.go).
 //   - Aggregation: fleet-level metrics — per-replica engine snapshots
-//     plus fleet-wide sums, shed/routing counters and a decode-time
-//     EWMA — in JSON and Prometheus forms.
+//     plus fleet-wide sums, shed/routing/breaker/scale counters and a
+//     decode-time EWMA — in JSON and Prometheus forms.
 //
 // A Fleet implements serve.Backend, so cmd/vgend serves it over the
-// same HTTP handlers as a single engine. With one replica and no
-// policies the fleet adds nothing to the decode path: outputs are
-// byte-identical to the bare engine's (pinned by TestSingleReplicaByteIdentical).
+// same HTTP handlers as a single engine. With one replica, no policies
+// and hedging off, the fleet adds nothing to the decode path: outputs
+// are byte-identical to the bare engine's (pinned by
+// TestSingleReplicaByteIdentical).
 package cluster
 
 import (
@@ -67,18 +75,54 @@ type Config struct {
 	// Policies is the admission chain, applied in order; empty admits
 	// everything (the engines' queue-full backstop still rejects).
 	Policies []ShedPolicy
+	// HedgeAfter, when positive, races a second replica for any request
+	// the first hasn't answered within this duration — latency-tail
+	// cover for a slow or wedged member. A hedge winning by timeout is
+	// the wedge signal that feeds the loser's circuit breaker. Zero
+	// disables hedging (and keeps the single-replica path byte-
+	// identical to the bare engine).
+	HedgeAfter time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// replica's circuit open (default 3); BreakerCooldown is the open
+	// dwell before a half-open probe (default 1s). Breakers are always
+	// on — with no faults they never trip.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Steal enables work stealing: a routed request whose replica is
+	// backlogged is offered to a fleet-wide queue that any idle replica
+	// may serve, so prefix-affinity hotspots shed overflow to idle
+	// siblings instead of queueing behind the hot set.
+	Steal bool
+	// Autoscale grows and shrinks the fleet at runtime (autoscale.go).
+	Autoscale AutoscaleConfig
 }
+
+// Replica lifecycle states (Replica.state).
+const (
+	stateActive int32 = iota
+	stateDraining
+)
 
 // Replica is one running fleet member.
 type Replica struct {
 	name            string
-	modelName       string
-	scheme          string
 	defaultStrategy string
-	eng             *serve.Engine
+	engCfg          serve.Config // rebuild recipe for model swaps
+
+	// mu guards the swap-mutable identity fields.
+	mu        sync.Mutex
+	modelName string
+	scheme    string
+
+	eng     atomic.Pointer[serve.Engine]
+	state   atomic.Int32 // stateActive / stateDraining
+	breaker *breaker
+	scaled  bool // added by the autoscaler (only these scale back down)
 
 	routed   atomic.Uint64 // requests routed here
 	inflight atomic.Int64  // routed and not yet answered
+	serving  atomic.Int64  // submitted to this replica's engine right now
+	stolen   atomic.Uint64 // requests served here that were routed elsewhere
 }
 
 // Name returns the replica's identity.
@@ -86,22 +130,58 @@ func (r *Replica) Name() string { return r.name }
 
 // Engine exposes the replica's engine (tests and the fleet bench read
 // its metrics directly).
-func (r *Replica) Engine() *serve.Engine { return r.eng }
+func (r *Replica) Engine() *serve.Engine { return r.eng.Load() }
+
+// ModelName reports the replica's current model (swap-safe).
+func (r *Replica) ModelName() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.modelName
+}
+
+func (r *Replica) schemeName() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.scheme
+}
+
+// Draining reports whether the replica has stopped admitting new work.
+func (r *Replica) Draining() bool { return r.state.Load() == stateDraining }
 
 // load is the replica's current backlog: queued plus routed-but-
 // unanswered requests. Routers order replicas by it.
 func (r *Replica) load() int {
-	return r.eng.QueueDepth() + int(r.inflight.Load())
+	return r.Engine().QueueDepth() + int(r.inflight.Load())
 }
 
-// Fleet owns the replicas and fronts them with routing and admission.
+// serveable reports whether the router may send new work here: active
+// and with a circuit that would admit a request.
+func (r *Replica) serveable() bool {
+	return r.state.Load() == stateActive && r.breaker.ready()
+}
+
+// Fleet owns the replicas and fronts them with routing, admission and
+// the resilience machinery.
 type Fleet struct {
+	// mu guards the member set (replicas, byModel, nextID) against
+	// scaling and swaps; the hot path takes it only to snapshot.
+	mu       sync.RWMutex
 	replicas []*Replica
 	byModel  map[string][]*Replica
+	nextID   int
+
 	router   Router
 	policies []ShedPolicy
+	cfg      Config
+	template ReplicaSpec // clone source for autoscaled replicas
 
-	st fleetStats
+	stealq chan *stealJob
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	auto   *autoscaler
+
+	st      fleetStats
+	elastic elasticStats
 }
 
 // fleetStats accumulates fleet-level counters under one mutex.
@@ -114,6 +194,29 @@ type fleetStats struct {
 	// meanDecodeMS is an EWMA of completed decode wall times; admission
 	// deadline math runs on it.
 	meanDecodeMS float64
+}
+
+// elasticStats counts the resilience machinery's actions (lock-free:
+// every field is written from hot paths).
+type elasticStats struct {
+	hedges     atomic.Uint64 // hedge attempts launched
+	hedgeWins  atomic.Uint64 // hedges that answered before the primary
+	failovers  atomic.Uint64 // retries on a sibling after a replica fault
+	steals     atomic.Uint64 // requests served by a non-routed replica
+	drains     atomic.Uint64 // drains started
+	swaps      atomic.Uint64 // completed model swaps
+	scaleUps   atomic.Uint64 // autoscaler replica additions
+	scaleDowns atomic.Uint64 // autoscaler replica removals
+}
+
+func (f *Fleet) shedTotal() uint64 {
+	f.st.mu.Lock()
+	defer f.st.mu.Unlock()
+	var n uint64
+	for _, v := range f.st.shedByPolicy {
+		n += v
+	}
+	return n
 }
 
 // New builds and starts a fleet. Each spec's engine is created here so
@@ -129,6 +232,9 @@ func New(specs []ReplicaSpec, cfg Config) (*Fleet, error) {
 		byModel:  map[string][]*Replica{},
 		router:   cfg.Router,
 		policies: cfg.Policies,
+		cfg:      cfg,
+		template: specs[0],
+		quit:     make(chan struct{}),
 	}
 	f.st.shedByPolicy = map[string]uint64{}
 	f.st.shedByPriority = map[string]uint64{}
@@ -136,34 +242,69 @@ func New(specs []ReplicaSpec, cfg Config) (*Fleet, error) {
 		if spec.Model == nil {
 			return nil, fmt.Errorf("cluster: replica %d has no model", i)
 		}
-		if spec.Engine.Admit != nil {
-			return nil, fmt.Errorf("cluster: replica %d sets Engine.Admit (owned by the fleet)", i)
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("r%d:%s/%s", i, spec.Model.Config().Name, spec.Model.Scheme().String())
 		}
-		if spec.DefaultStrategy != "" {
-			if _, err := core.ResolveStrategy(spec.DefaultStrategy, false); err != nil {
-				return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
-			}
-		}
-		r := &Replica{
-			modelName:       spec.Model.Config().Name,
-			scheme:          spec.Model.Scheme().String(),
-			defaultStrategy: spec.DefaultStrategy,
-		}
-		r.name = spec.Name
-		if r.name == "" {
-			r.name = fmt.Sprintf("r%d:%s/%s", i, r.modelName, r.scheme)
-		}
-		engCfg := spec.Engine
-		if len(f.policies) > 0 {
-			engCfg.Admit = f.admitFunc(r)
-		}
-		r.eng = serve.NewEngine(spec.Model, engCfg)
-		f.replicas = append(f.replicas, r)
-		for _, key := range modelKeys(r.modelName) {
-			f.byModel[key] = append(f.byModel[key], r)
+		if _, err := f.buildReplica(spec, name, false); err != nil {
+			return nil, fmt.Errorf("cluster: replica %d: %w", i, err)
 		}
 	}
+	f.nextID = len(specs)
+	if cfg.Steal {
+		f.stealq = make(chan *stealJob, stealQueueCap)
+		f.mu.RLock()
+		for _, r := range f.replicas {
+			f.startStealer(r)
+		}
+		f.mu.RUnlock()
+	}
+	if cfg.Autoscale.Enabled {
+		a, err := newAutoscaler(f, cfg.Autoscale)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.auto = a
+	}
 	return f, nil
+}
+
+// buildReplica constructs, registers and starts one member. The name
+// must be unique; callers outside New must not hold f.mu.
+func (f *Fleet) buildReplica(spec ReplicaSpec, name string, scaled bool) (*Replica, error) {
+	if spec.Model == nil {
+		return nil, fmt.Errorf("no model")
+	}
+	if spec.Engine.Admit != nil {
+		return nil, fmt.Errorf("sets Engine.Admit (owned by the fleet)")
+	}
+	if spec.DefaultStrategy != "" {
+		if _, err := core.ResolveStrategy(spec.DefaultStrategy, false); err != nil {
+			return nil, err
+		}
+	}
+	r := &Replica{
+		name:            name,
+		modelName:       spec.Model.Config().Name,
+		scheme:          spec.Model.Scheme().String(),
+		defaultStrategy: spec.DefaultStrategy,
+		engCfg:          spec.Engine,
+		scaled:          scaled,
+		breaker:         newBreaker(f.cfg.BreakerThreshold, f.cfg.BreakerCooldown, nil),
+	}
+	engCfg := spec.Engine
+	if len(f.policies) > 0 {
+		engCfg.Admit = f.admitFunc(r)
+	}
+	r.eng.Store(serve.NewEngine(spec.Model, engCfg))
+	f.mu.Lock()
+	f.replicas = append(f.replicas, r)
+	for _, key := range modelKeys(r.modelName) {
+		f.byModel[key] = append(f.byModel[key], r)
+	}
+	f.mu.Unlock()
+	return r, nil
 }
 
 // modelKeys lists the spellings a replica's model answers to: the
@@ -179,16 +320,25 @@ func modelKeys(name string) []string {
 	return keys
 }
 
-// Replicas exposes the fleet members in construction order.
-func (f *Fleet) Replicas() []*Replica { return f.replicas }
+// Replicas snapshots the fleet members in construction order.
+func (f *Fleet) Replicas() []*Replica {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]*Replica, len(f.replicas))
+	copy(out, f.replicas)
+	return out
+}
 
 // Router reports the active routing policy's name.
 func (f *Fleet) Router() string { return f.router.Name() }
 
-// Close drains and stops every replica engine.
+// Close stops the background machinery (stealers, autoscaler, pending
+// scale-downs), then drains and stops every replica engine.
 func (f *Fleet) Close() {
-	for _, r := range f.replicas {
-		r.eng.Close()
+	close(f.quit)
+	f.wg.Wait()
+	for _, r := range f.Replicas() {
+		r.Engine().Close()
 	}
 }
 
@@ -212,14 +362,15 @@ func (f *Fleet) admitFunc(r *Replica) func(ctx context.Context, req serve.Reques
 
 // loadAt snapshots the admission Load for one replica.
 func (f *Fleet) loadAt(r *Replica) Load {
+	eng := r.Engine()
 	l := Load{
-		QueueDepth: r.eng.QueueDepth(),
-		QueueCap:   r.eng.QueueCap(),
-		Workers:    r.eng.Workers(),
+		QueueDepth: eng.QueueDepth(),
+		QueueCap:   eng.QueueCap(),
+		Workers:    eng.Workers(),
 		Inflight:   int(r.inflight.Load()),
 	}
-	for _, o := range f.replicas {
-		l.FleetQueueDepth += o.eng.QueueDepth()
+	for _, o := range f.Replicas() {
+		l.FleetQueueDepth += o.Engine().QueueDepth()
 		l.FleetInflight += int(o.inflight.Load())
 	}
 	f.st.mu.Lock()
@@ -231,11 +382,18 @@ func (f *Fleet) loadAt(r *Replica) Load {
 // candidates returns the replicas serving the request's model (all of
 // them for an empty model), or an ErrUnknownModel-wrapped error.
 func (f *Fleet) candidates(modelName string) ([]*Replica, error) {
+	f.mu.RLock()
+	var reps []*Replica
 	if modelName == "" {
-		return f.replicas, nil
+		reps = f.replicas
+	} else {
+		reps = f.byModel[strings.ToLower(modelName)]
 	}
-	if reps := f.byModel[strings.ToLower(modelName)]; len(reps) > 0 {
-		return reps, nil
+	cands := make([]*Replica, len(reps))
+	copy(cands, reps)
+	f.mu.RUnlock()
+	if len(cands) > 0 {
+		return cands, nil
 	}
 	f.st.mu.Lock()
 	f.st.unknownModel++
@@ -243,28 +401,50 @@ func (f *Fleet) candidates(modelName string) ([]*Replica, error) {
 	return nil, fmt.Errorf("%w: %q", serve.ErrUnknownModel, modelName)
 }
 
-// route picks the serving replica and applies its default-strategy
-// substitution to the request. The replica's inflight counter is
+// serveableOf filters candidates to members the router may use: active
+// and breaker-ready. When none qualify the full set comes back —
+// availability beats purity; a fleet of open breakers still serves.
+func serveableOf(cands []*Replica) []*Replica {
+	ok := make([]*Replica, 0, len(cands))
+	for _, r := range cands {
+		if r.serveable() {
+			ok = append(ok, r)
+		}
+	}
+	if len(ok) == 0 {
+		return cands
+	}
+	return ok
+}
+
+// route picks the serving replica. The replica's inflight counter is
 // incremented HERE, not at submission, so load-aware routers see each
 // routed-but-not-yet-submitted request — in particular, items earlier
 // in a batch raise the load later items are routed by. Every caller
 // must decrement after the engine answers.
-func (f *Fleet) route(req serve.Request) (*Replica, serve.Request, error) {
+func (f *Fleet) route(req serve.Request) (*Replica, error) {
 	f.st.mu.Lock()
 	f.st.requests++
 	f.st.mu.Unlock()
 	cands, err := f.candidates(req.Model)
 	if err != nil {
-		return nil, req, err
+		return nil, err
 	}
-	r := f.router.Pick(affinityKey(req.Prompt), cands)
+	r := f.router.Pick(affinityKey(req.Prompt), serveableOf(cands))
+	r.routed.Add(1)
+	r.inflight.Add(1)
+	return r, nil
+}
+
+// withDefaultStrategy applies the serving replica's default-strategy
+// substitution — at send time, not route time, because hedges and
+// failovers may serve on a different replica than the routed one.
+func withDefaultStrategy(req serve.Request, r *Replica) serve.Request {
 	if r.defaultStrategy != "" && req.NoExplicitStrategy {
 		req.Options.Strategy = r.defaultStrategy
 		req.Options.Mode = 0
 	}
-	r.routed.Add(1)
-	r.inflight.Add(1)
-	return r, req, nil
+	return req
 }
 
 // observe folds one outcome into the fleet's decode-time EWMA.
@@ -307,25 +487,21 @@ func (f *Fleet) TryGenerate(ctx context.Context, req serve.Request) (*serve.Resp
 }
 
 func (f *Fleet) generate(ctx context.Context, req serve.Request, wait bool) (*serve.Response, error) {
-	r, req, err := f.route(req)
+	r, err := f.route(req)
 	if err != nil {
 		return nil, err
 	}
 	defer r.inflight.Add(-1)
-	var resp *serve.Response
-	if wait {
-		resp, err = r.eng.Generate(ctx, req)
-	} else {
-		resp, err = r.eng.TryGenerate(ctx, req)
-	}
+	resp, served, err := f.serveRouted(ctx, req, r, wait)
 	f.observe(resp)
-	return tag(resp, r), err
+	return tag(resp, served), err
 }
 
 // GenerateBatch routes every item, dispatches the per-replica groups
 // concurrently (each through the engine's own batch path, so items
 // within a group are in flight together), and reassembles responses
-// index-for-index.
+// index-for-index. Batches are not hedged — they are the bench/bulk
+// path; per-request hedging covers the interactive tail.
 func (f *Fleet) GenerateBatch(ctx context.Context, reqs []serve.Request) []*serve.Response {
 	return f.generateBatch(ctx, reqs, true)
 }
@@ -339,14 +515,12 @@ func (f *Fleet) TryGenerateBatch(ctx context.Context, reqs []serve.Request) []*s
 func (f *Fleet) generateBatch(ctx context.Context, reqs []serve.Request, wait bool) []*serve.Response {
 	out := make([]*serve.Response, len(reqs))
 	groups := map[*Replica][]int{}
-	routed := make([]serve.Request, len(reqs))
 	for i, req := range reqs {
-		r, rr, err := f.route(req)
+		r, err := f.route(req)
 		if err != nil {
 			out[i] = &serve.Response{Err: err}
 			continue
 		}
-		routed[i] = rr
 		groups[r] = append(groups[r], i)
 	}
 	var wg sync.WaitGroup
@@ -358,15 +532,17 @@ func (f *Fleet) generateBatch(ctx context.Context, reqs []serve.Request, wait bo
 			defer r.inflight.Add(int64(-len(idxs)))
 			sub := make([]serve.Request, len(idxs))
 			for j, i := range idxs {
-				sub[j] = routed[i]
+				sub[j] = withDefaultStrategy(reqs[i], r)
 			}
+			eng := r.Engine()
 			var resps []*serve.Response
 			if wait {
-				resps = r.eng.GenerateBatch(ctx, sub)
+				resps = eng.GenerateBatch(ctx, sub)
 			} else {
-				resps = r.eng.TryGenerateBatch(ctx, sub)
+				resps = eng.TryGenerateBatch(ctx, sub)
 			}
 			for j, i := range idxs {
+				f.recordBreaker(r, resps[j], nil)
 				f.observe(resps[j])
 				out[i] = tag(resps[j], r)
 			}

@@ -1,0 +1,543 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// --- fault plane for in-package tests ---
+
+// faultKind is the injectable failure mode of one replica's engine.
+type faultKind int32
+
+const (
+	faultNone  faultKind = iota
+	faultKill            // every decode fails immediately
+	faultWedge           // every decode blocks until its context dies
+)
+
+// testFault is one replica's controllable fault, wired in as the
+// engine's StepFault hook.
+type testFault struct{ mode atomic.Int32 }
+
+func (tf *testFault) set(k faultKind) { tf.mode.Store(int32(k)) }
+
+func (tf *testFault) hook(ctx context.Context) error {
+	switch faultKind(tf.mode.Load()) {
+	case faultKill:
+		return errors.New("injected: replica fault")
+	case faultWedge:
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return nil
+}
+
+// newFaultyFleet builds n identical replicas whose engines each carry
+// a controllable fault hook.
+func newFaultyFleet(tb testing.TB, n int, cfg Config, engCfg serve.Config) (*Fleet, []*testFault) {
+	tb.Helper()
+	m, _ := fixture(tb)
+	faults := make([]*testFault, n)
+	specs := make([]ReplicaSpec, n)
+	for i := range specs {
+		faults[i] = &testFault{}
+		ec := engCfg
+		ec.StepFault = faults[i].hook
+		specs[i] = ReplicaSpec{Model: m, Engine: ec}
+	}
+	f, err := New(specs, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(f.Close)
+	return f, faults
+}
+
+// replicaByName finds a fleet member and its fault handle.
+func replicaByName(tb testing.TB, f *Fleet, faults []*testFault, name string) (*Replica, *testFault) {
+	tb.Helper()
+	for i, r := range f.Replicas() {
+		if r.Name() == name {
+			return r, faults[i]
+		}
+	}
+	tb.Fatalf("no replica named %q", name)
+	return nil, nil
+}
+
+// eventually polls cond until it holds or the deadline passes.
+func eventually(tb testing.TB, d time.Duration, what string, cond func() bool) {
+	tb.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	tb.Fatalf("timed out waiting for %s", what)
+}
+
+// --- circuit breaker ---
+
+// TestBreakerStateMachine drives the closed/open/half-open cycle with
+// an injected clock: consecutive failures trip the circuit, the
+// cooldown gates the probe, the probe's outcome decides recovery, and
+// neutral outcomes release the probe without judging the replica.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(3, time.Second, func() time.Time { return now })
+
+	if !b.ready() || !b.allow() {
+		t.Fatal("fresh breaker must pass traffic")
+	}
+	b.onSuccess()
+
+	// Two failures: still closed (threshold 3); an interleaved success
+	// resets the streak.
+	b.onFailure()
+	b.onFailure()
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", st)
+	}
+	b.onSuccess()
+	b.onFailure()
+	b.onFailure()
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatal("success must reset the consecutive-failure streak")
+	}
+
+	// Third consecutive failure trips it.
+	b.onFailure()
+	if st, opens := b.snapshot(); st != BreakerOpen || opens != 1 {
+		t.Fatalf("state=%v opens=%d, want open/1", st, opens)
+	}
+	if b.ready() || b.allow() {
+		t.Fatal("open breaker inside cooldown must fail fast")
+	}
+
+	// Cooldown elapses: exactly one probe passes.
+	now = now.Add(time.Second)
+	if !b.ready() {
+		t.Fatal("cooled-down breaker must offer a probe")
+	}
+	if !b.allow() {
+		t.Fatal("first probe must be admitted")
+	}
+	if b.ready() || b.allow() {
+		t.Fatal("half-open breaker must admit only one probe at a time")
+	}
+	// Neutral outcome (the probe was shed): slot released, state held.
+	b.onNeutral()
+	if st, _ := b.snapshot(); st != BreakerHalfOpen {
+		t.Fatalf("state after neutral probe = %v, want half-open", st)
+	}
+	if !b.allow() {
+		t.Fatal("released probe slot must re-admit")
+	}
+	// Failed probe: straight back to open.
+	b.onFailure()
+	if st, opens := b.snapshot(); st != BreakerOpen || opens != 2 {
+		t.Fatalf("state=%v opens=%d after failed probe, want open/2", st, opens)
+	}
+
+	// Second recovery: successful probe closes it for good.
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("second probe must be admitted")
+	}
+	b.onSuccess()
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if !b.ready() || !b.allow() {
+		t.Fatal("recovered breaker must pass traffic")
+	}
+}
+
+// TestBreakerRoutesAround: a killed replica's circuit opens after the
+// failure threshold and the router stops sending it traffic; every
+// client request still succeeds via failover. After the fault heals
+// and the cooldown elapses, a probe closes the circuit and affinity
+// resumes.
+func TestBreakerRoutesAround(t *testing.T) {
+	_, prompts := fixture(t)
+	f, faults := newFaultyFleet(t, 3,
+		Config{BreakerThreshold: 2, BreakerCooldown: 300 * time.Millisecond},
+		serve.Config{Workers: 1, CacheSize: -1})
+
+	// Discover the affine replica for this prompt family.
+	first, err := f.Generate(context.Background(), serve.Request{Prompt: prompts[0], Options: testOptions(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	affine, fault := replicaByName(t, f, faults, first.Replica)
+	fault.set(faultKill)
+
+	for seed := int64(1); seed <= 6; seed++ {
+		resp, err := f.Generate(context.Background(), serve.Request{Prompt: prompts[0], Options: testOptions(seed)})
+		if err != nil {
+			t.Fatalf("seed %d: client saw fault: %v", seed, err)
+		}
+		if resp.Replica == affine.Name() {
+			t.Fatalf("seed %d: served by the killed replica", seed)
+		}
+	}
+	if _, opens := affine.breaker.snapshot(); opens == 0 {
+		t.Error("killed replica breaker never tripped")
+	}
+	m := f.Metrics()
+	if m.Failovers < 2 {
+		t.Errorf("failovers=%d, want >=2 (threshold failures before the trip)", m.Failovers)
+	}
+	// Once open, traffic routes around the dead member — at most the
+	// occasional half-open probe (which fails over transparently) may
+	// still land there.
+	routedBefore := affine.routed.Load()
+	for seed := int64(7); seed <= 9; seed++ {
+		if _, err := f.Generate(context.Background(), serve.Request{Prompt: prompts[0], Options: testOptions(seed)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := affine.routed.Load(); got > routedBefore+2 {
+		t.Errorf("open-circuit replica still taking traffic (%d -> %d)", routedBefore, got)
+	}
+
+	// Heal, wait out the cooldown, and confirm the probe closes the
+	// circuit and affinity returns.
+	fault.set(faultNone)
+	time.Sleep(320 * time.Millisecond)
+	eventually(t, 2*time.Second, "breaker to close and affinity to resume", func() bool {
+		resp, err := f.Generate(context.Background(), serve.Request{Prompt: prompts[0], Options: testOptions(99)})
+		if err != nil {
+			return false
+		}
+		st, _ := affine.breaker.snapshot()
+		return st == BreakerClosed && resp.Replica == affine.Name()
+	})
+}
+
+// TestHedgeCoversWedgedReplica: a wedged replica (decodes hang until
+// cancelled) never answers, but clients don't wait for it — the hedge
+// fires after HedgeAfter, a sibling serves the request, and the
+// hedge-win-by-timeout signal opens the wedged member's circuit.
+func TestHedgeCoversWedgedReplica(t *testing.T) {
+	_, prompts := fixture(t)
+	f, faults := newFaultyFleet(t, 3,
+		Config{HedgeAfter: 20 * time.Millisecond, BreakerThreshold: 2, BreakerCooldown: 150 * time.Millisecond},
+		serve.Config{Workers: 1, CacheSize: -1})
+
+	first, err := f.Generate(context.Background(), serve.Request{Prompt: prompts[1], Options: testOptions(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wedged, fault := replicaByName(t, f, faults, first.Replica)
+	fault.set(faultWedge)
+
+	for seed := int64(1); seed <= 4; seed++ {
+		start := time.Now()
+		resp, err := f.Generate(context.Background(), serve.Request{Prompt: prompts[1], Options: testOptions(seed)})
+		if err != nil {
+			t.Fatalf("seed %d: client saw wedge: %v", seed, err)
+		}
+		if resp.Replica == wedged.Name() {
+			t.Fatalf("seed %d: answered by the wedged replica", seed)
+		}
+		if waited := time.Since(start); waited > 5*time.Second {
+			t.Fatalf("seed %d: hedge did not cover the wedge (waited %s)", seed, waited)
+		}
+	}
+	m := f.Metrics()
+	if m.Hedges == 0 || m.HedgeWins == 0 {
+		t.Errorf("hedges=%d hedge_wins=%d, want both > 0", m.Hedges, m.HedgeWins)
+	}
+	// The circuit must have tripped on the wedge-timeout signals. (It
+	// may already be half-open again at snapshot time if a cooldown
+	// elapsed — probing is allowed, judging is what matters.)
+	if st, opens := wedged.breaker.snapshot(); opens == 0 || st == BreakerClosed {
+		t.Errorf("wedged replica breaker state=%v opens=%d, want tripped", st, opens)
+	}
+
+	// Heal and recover: after the cooldown a probe closes the circuit.
+	fault.set(faultNone)
+	eventually(t, 3*time.Second, "wedged replica to rejoin", func() bool {
+		resp, err := f.Generate(context.Background(), serve.Request{Prompt: prompts[1], Options: testOptions(50)})
+		if err != nil {
+			return false
+		}
+		return resp.Replica == wedged.Name()
+	})
+}
+
+// --- autoscaler ---
+
+// TestAutoscaleUpAndDown drives the controller with manual ticks:
+// sustained per-replica backlog adds a member (after UpPatience ticks
+// and not during cooldown), a sustained idle fleet removes the
+// autoscaled member again, and the configured floor holds.
+func TestAutoscaleUpAndDown(t *testing.T) {
+	f, _ := newFaultyFleet(t, 1, Config{Autoscale: AutoscaleConfig{
+		Enabled:      true,
+		Min:          1,
+		Max:          2,
+		Interval:     -1, // manual ticks only
+		UpLoad:       2,
+		UpPatience:   2,
+		DownPatience: 2,
+		Cooldown:     1,
+	}}, serve.Config{Workers: 1, CacheSize: -1})
+
+	base := f.Replicas()[0]
+	base.inflight.Add(4) // synthetic sustained backlog
+
+	f.AutoscaleTick() // vote 1
+	if got := len(f.Replicas()); got != 1 {
+		t.Fatalf("scaled up after one tick (%d replicas) — no hysteresis", got)
+	}
+	f.AutoscaleTick() // vote 2 -> scale up
+	if got := len(f.Replicas()); got != 2 {
+		t.Fatalf("replicas=%d after sustained pressure, want 2", got)
+	}
+	if m := f.Metrics(); m.ScaleUps != 1 {
+		t.Errorf("scale_ups=%d, want 1", m.ScaleUps)
+	}
+	added := f.Replicas()[1]
+	if !added.scaled {
+		t.Error("added replica not marked autoscaled")
+	}
+
+	// At Max: further pressure must not add more.
+	f.AutoscaleTick() // cooldown tick
+	f.AutoscaleTick()
+	f.AutoscaleTick()
+	if got := len(f.Replicas()); got != 2 {
+		t.Fatalf("replicas=%d, autoscaler exceeded Max=2", got)
+	}
+
+	// Idle: the autoscaled member drains away; the floor member stays.
+	base.inflight.Add(-4)
+	for i := 0; i < 6; i++ {
+		f.AutoscaleTick()
+	}
+	eventually(t, 2*time.Second, "scale-down drain to finish", func() bool {
+		return len(f.Replicas()) == 1
+	})
+	if f.Replicas()[0] != base {
+		t.Error("scale-down removed the configured replica, not the autoscaled one")
+	}
+	if m := f.Metrics(); m.ScaleDowns != 1 {
+		t.Errorf("scale_downs=%d, want 1", m.ScaleDowns)
+	}
+	// Fully idle forever: never dips below Min.
+	for i := 0; i < 8; i++ {
+		f.AutoscaleTick()
+	}
+	if got := len(f.Replicas()); got != 1 {
+		t.Errorf("replicas=%d, autoscaler violated Min=1", got)
+	}
+}
+
+// --- drain and rolling swap ---
+
+// TestDrainExcludesFromRouting: a draining replica receives no new
+// routes, and Activate returns it to the candidate set.
+func TestDrainExcludesFromRouting(t *testing.T) {
+	_, prompts := fixture(t)
+	f := newFleet(t, 2, nil, nil, serve.Config{Workers: 1, CacheSize: -1})
+	r0 := f.Replicas()[0]
+
+	if err := f.Drain(context.Background(), r0); err != nil {
+		t.Fatalf("drain of an idle replica: %v", err)
+	}
+	routedBefore := r0.routed.Load()
+	for seed := int64(0); seed < 6; seed++ {
+		for p := 0; p < 4; p++ {
+			if _, err := f.Generate(context.Background(), serve.Request{Prompt: prompts[p], Options: testOptions(seed)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := r0.routed.Load(); got != routedBefore {
+		t.Errorf("draining replica routed %d new requests", got-routedBefore)
+	}
+	if m := f.Metrics(); m.Drains != 1 || m.PerReplica[0].State != "draining" {
+		t.Errorf("drains=%d state=%q, want 1/draining", m.Drains, m.PerReplica[0].State)
+	}
+
+	f.Activate(r0)
+	eventually(t, 2*time.Second, "reactivated replica to route", func() bool {
+		for p := 0; p < 8; p++ {
+			if _, err := f.Generate(context.Background(), serve.Request{Prompt: prompts[p], Options: testOptions(123)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r0.routed.Load() > routedBefore
+	})
+}
+
+// TestRollingSwapZeroErrors is the rolling-upgrade guarantee: with
+// client traffic in flight, SwapModel drains and restarts each replica
+// on the new model one at a time, and no client ever sees an error
+// (the other replica absorbs routed work; races onto a closing engine
+// fail over transparently).
+func TestRollingSwapZeroErrors(t *testing.T) {
+	_, prompts := fixture(t)
+	m2 := fixNTP // same backbone name, different training scheme
+	f := newFleet(t, 2, nil, nil, serve.Config{Workers: 2, CacheSize: -1})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var clientErrs atomic.Uint64
+	var served atomic.Uint64
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for seed := int64(0); ; seed++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Explicit strategy: valid under both training schemes.
+				_, err := f.Generate(context.Background(), serve.Request{
+					Prompt:  prompts[c%8],
+					Options: testOptions(seed*4 + int64(c)),
+				})
+				if err != nil {
+					clientErrs.Add(1)
+				} else {
+					served.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	// Let traffic establish, then roll the fleet onto the new model.
+	time.Sleep(30 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := f.SwapModel(ctx, m2); err != nil {
+		t.Fatalf("rolling swap: %v", err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n := clientErrs.Load(); n != 0 {
+		t.Errorf("%d client-visible errors during the rolling swap, want 0", n)
+	}
+	if served.Load() == 0 {
+		t.Fatal("no requests served around the swap")
+	}
+	fm := f.Metrics()
+	if fm.Swaps != 2 {
+		t.Errorf("swaps=%d, want 2", fm.Swaps)
+	}
+	for _, pr := range fm.PerReplica {
+		if pr.Scheme != "NTP" {
+			t.Errorf("replica %s still on scheme %s after swap", pr.Name, pr.Scheme)
+		}
+		if pr.State != "active" {
+			t.Errorf("replica %s left %s after swap", pr.Name, pr.State)
+		}
+	}
+	// The swapped fleet still serves its model aliases.
+	if _, err := f.Generate(context.Background(), serve.Request{Prompt: prompts[0], Model: "codet5p", Options: testOptions(7)}); err != nil {
+		t.Errorf("model alias broken after swap: %v", err)
+	}
+}
+
+// --- work stealing ---
+
+// TestStealRebalances: when prefix affinity concentrates a burst on
+// one replica, idle siblings pull the overflow — some requests are
+// served by a replica other than the routed one, and all succeed.
+func TestStealRebalances(t *testing.T) {
+	_, prompts := fixture(t)
+	f, _ := newFaultyFleet(t, 3, Config{Steal: true}, serve.Config{Workers: 1, CacheSize: -1})
+
+	const burst = 18
+	var wg sync.WaitGroup
+	errs := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// One prompt family, distinct seeds: all affinity-routed to
+			// one replica, none collapsible by single-flight.
+			_, errs[i] = f.Generate(context.Background(), serve.Request{Prompt: prompts[2], Options: testOptions(int64(i))})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	m := f.Metrics()
+	if m.Steals == 0 {
+		t.Fatal("hot burst produced zero steals — idle siblings never helped")
+	}
+	var stolen uint64
+	for _, pr := range m.PerReplica {
+		stolen += pr.Stolen
+	}
+	if stolen != m.Steals {
+		t.Errorf("per-replica stolen sum %d != fleet steals %d", stolen, m.Steals)
+	}
+}
+
+// TestStealJobContextCancel: a job parked on the steal queue whose
+// client gives up is answered with the context error, exactly once.
+func TestStealJobContextCancel(t *testing.T) {
+	_, prompts := fixture(t)
+	f, faults := newFaultyFleet(t, 1, Config{Steal: true}, serve.Config{Workers: 1, QueueSize: 8, CacheSize: -1})
+	// Wedge the only replica so nothing drains and jobs pile up.
+	faults[0].set(faultWedge)
+
+	var wg sync.WaitGroup
+	outcomes := make([]error, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := range outcomes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, outcomes[i] = f.Generate(ctx, serve.Request{Prompt: prompts[3], Options: testOptions(int64(i))})
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled steal jobs never unblocked their clients")
+	}
+	for i, err := range outcomes {
+		if err == nil {
+			t.Errorf("request %d: nil error from a wedged single-replica fleet", i)
+		} else if !errors.Is(err, context.Canceled) {
+			t.Errorf("request %d: %v, want context.Canceled", i, err)
+		}
+	}
+	faults[0].set(faultNone)
+}
+
+// TestSwapUnknownModelRejected documents the SwapModel contract.
+func TestSwapUnknownModelRejected(t *testing.T) {
+	f := newFleet(t, 1, nil, nil, serve.Config{Workers: 1, CacheSize: -1})
+	if err := f.SwapModel(context.Background(), nil); err == nil {
+		t.Error("nil-model swap accepted")
+	}
+	_ = fmt.Sprintf("%v", f.Metrics().Swaps)
+}

@@ -17,9 +17,17 @@ type ReplicaMetrics struct {
 	// named no strategy (empty = fleet default).
 	DefaultStrategy string `json:"default_strategy,omitempty"`
 	// Routed counts requests the router sent here; Inflight is how many
-	// of them are not yet answered.
+	// of them are not yet answered; Stolen counts requests served here
+	// that were routed elsewhere (work stealing).
 	Routed   uint64 `json:"routed"`
 	Inflight int64  `json:"inflight"`
+	Stolen   uint64 `json:"stolen"`
+	// State is the lifecycle state ("active" or "draining");
+	// BreakerState is the circuit state ("closed", "open",
+	// "half-open") and BreakerOpens counts its trips.
+	State        string `json:"state"`
+	BreakerState string `json:"breaker_state"`
+	BreakerOpens uint64 `json:"breaker_opens"`
 	// Engine is the replica engine's own snapshot.
 	Engine serve.Metrics `json:"engine"`
 }
@@ -42,6 +50,21 @@ type Metrics struct {
 	SpillPicks    uint64 `json:"spill_picks"`
 	// MeanDecodeMS is the decode-time EWMA admission math runs on.
 	MeanDecodeMS float64 `json:"mean_decode_ms"`
+	// Resilience counters: hedges launched/won, failovers to a sibling
+	// after a fault, requests served by a non-routed replica (steals),
+	// drains started and model swaps completed.
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	Failovers uint64 `json:"failovers"`
+	Steals    uint64 `json:"steals"`
+	Drains    uint64 `json:"drains"`
+	Swaps     uint64 `json:"swaps"`
+	// Autoscaler actions and bounds (bounds zero when autoscaling is
+	// off).
+	ScaleUps     uint64 `json:"scale_ups"`
+	ScaleDowns   uint64 `json:"scale_downs"`
+	AutoscaleMin int    `json:"autoscale_min,omitempty"`
+	AutoscaleMax int    `json:"autoscale_max,omitempty"`
 	// Fleet aggregates every replica engine's counters (rates
 	// recomputed over the sums).
 	Fleet serve.Metrics `json:"fleet"`
@@ -57,12 +80,22 @@ type routerStats interface {
 
 // Metrics snapshots the fleet.
 func (f *Fleet) Metrics() Metrics {
+	replicas := f.Replicas()
 	m := Metrics{
 		Router:         f.router.Name(),
-		Replicas:       len(f.replicas),
+		Replicas:       len(replicas),
 		ShedByPolicy:   map[string]uint64{},
 		ShedByPriority: map[string]uint64{},
+		Hedges:         f.elastic.hedges.Load(),
+		HedgeWins:      f.elastic.hedgeWins.Load(),
+		Failovers:      f.elastic.failovers.Load(),
+		Steals:         f.elastic.steals.Load(),
+		Drains:         f.elastic.drains.Load(),
+		Swaps:          f.elastic.swaps.Load(),
+		ScaleUps:       f.elastic.scaleUps.Load(),
+		ScaleDowns:     f.elastic.scaleDowns.Load(),
 	}
+	m.AutoscaleMin, m.AutoscaleMax = f.AutoscaleBounds()
 	f.st.mu.Lock()
 	m.Requests = f.st.requests
 	m.UnknownModel = f.st.unknownModel
@@ -78,17 +111,26 @@ func (f *Fleet) Metrics() Metrics {
 	if rs, ok := f.router.(routerStats); ok {
 		m.AffinityPicks, m.SpillPicks = rs.Stats()
 	}
-	engines := make([]serve.Metrics, 0, len(f.replicas))
-	for _, r := range f.replicas {
-		em := r.eng.Metrics()
+	engines := make([]serve.Metrics, 0, len(replicas))
+	for _, r := range replicas {
+		em := r.Engine().Metrics()
 		engines = append(engines, em)
+		state := "active"
+		if r.Draining() {
+			state = "draining"
+		}
+		bst, opens := r.breaker.snapshot()
 		m.PerReplica = append(m.PerReplica, ReplicaMetrics{
 			Name:            r.name,
-			Model:           r.modelName,
-			Scheme:          r.scheme,
+			Model:           r.ModelName(),
+			Scheme:          r.schemeName(),
 			DefaultStrategy: r.defaultStrategy,
 			Routed:          r.routed.Load(),
 			Inflight:        r.inflight.Load(),
+			Stolen:          r.stolen.Load(),
+			State:           state,
+			BreakerState:    bst.String(),
+			BreakerOpens:    opens,
 			Engine:          em,
 		})
 	}
@@ -289,22 +331,32 @@ func aggregate(ms []serve.Metrics) serve.Metrics {
 // Healthz implements serve.Backend: fleet liveness with per-replica
 // identity (the uptime key is added by the handler).
 func (f *Fleet) Healthz() map[string]any {
-	replicas := make([]map[string]any, 0, len(f.replicas))
-	for _, r := range f.replicas {
+	members := f.Replicas()
+	replicas := make([]map[string]any, 0, len(members))
+	for _, r := range members {
+		eng := r.Engine()
+		state := "active"
+		if r.Draining() {
+			state = "draining"
+		}
+		bst, _ := r.breaker.snapshot()
 		replicas = append(replicas, map[string]any{
 			"name":        r.name,
-			"model":       r.modelName,
-			"scheme":      r.scheme,
-			"workers":     r.eng.Workers(),
-			"queue_depth": r.eng.QueueDepth(),
+			"model":       r.ModelName(),
+			"scheme":      r.schemeName(),
+			"workers":     eng.Workers(),
+			"queue_depth": eng.QueueDepth(),
+			"state":       state,
+			"breaker":     bst.String(),
 		})
 	}
 	seen := map[string]bool{}
 	var models []string
-	for _, r := range f.replicas {
-		if !seen[r.modelName] {
-			seen[r.modelName] = true
-			models = append(models, r.modelName)
+	for _, r := range members {
+		name := r.ModelName()
+		if !seen[name] {
+			seen[name] = true
+			models = append(models, name)
 		}
 	}
 	sort.Strings(models)
@@ -351,6 +403,21 @@ func (f *Fleet) WritePrometheusTo(w io.Writer, uptimeS float64) {
 	c("affinity_picks_total", "Prefix-affinity picks kept on the affine replica.", m.AffinityPicks)
 	c("spill_picks_total", "Prefix-affinity picks spilled to least-loaded.", m.SpillPicks)
 	g("mean_decode_ms", "EWMA of decode wall time (admission estimate).", m.MeanDecodeMS)
+	// Resilience families.
+	c("hedges_total", "Hedged attempts launched against a second replica.", m.Hedges)
+	c("hedge_wins_total", "Hedges that answered before the primary replica.", m.HedgeWins)
+	c("failovers_total", "Retries on a sibling after a replica fault.", m.Failovers)
+	c("steals_total", "Requests served by a non-routed replica (work stealing).", m.Steals)
+	c("drains_total", "Replica drains started.", m.Drains)
+	c("swaps_total", "Rolling model swaps completed.", m.Swaps)
+	// Autoscaler family (vgend_fleet_scale_*).
+	c("scale_ups_total", "Replicas added by the autoscaler.", m.ScaleUps)
+	c("scale_downs_total", "Replicas removed by the autoscaler.", m.ScaleDowns)
+	g("scale_replicas", "Current fleet size as the autoscaler sees it.", float64(m.Replicas))
+	if m.AutoscaleMax > 0 {
+		g("scale_min_replicas", "Autoscaler fleet-size floor.", float64(m.AutoscaleMin))
+		g("scale_max_replicas", "Autoscaler fleet-size ceiling.", float64(m.AutoscaleMax))
+	}
 
 	labelled := func(name, help, labelKey string, vals map[string]uint64) {
 		if len(vals) == 0 {
@@ -372,6 +439,34 @@ func (f *Fleet) WritePrometheusTo(w io.Writer, uptimeS float64) {
 	fmt.Fprintf(w, "# HELP vgend_replica_routed_total Requests routed per replica.\n# TYPE vgend_replica_routed_total counter\n")
 	for _, r := range m.PerReplica {
 		fmt.Fprintf(w, "vgend_replica_routed_total{replica=%q,model=%q} %d\n", r.Name, r.Model, r.Routed)
+	}
+	// Breaker and lifecycle families (vgend_replica_breaker_*).
+	fmt.Fprintf(w, "# HELP vgend_replica_breaker_state Circuit state per replica (0 closed, 1 open, 2 half-open).\n# TYPE vgend_replica_breaker_state gauge\n")
+	for _, r := range m.PerReplica {
+		v := 0
+		switch r.BreakerState {
+		case "open":
+			v = 1
+		case "half-open":
+			v = 2
+		}
+		fmt.Fprintf(w, "vgend_replica_breaker_state{replica=%q,state=%q} %d\n", r.Name, r.BreakerState, v)
+	}
+	fmt.Fprintf(w, "# HELP vgend_replica_breaker_opens_total Circuit trips per replica.\n# TYPE vgend_replica_breaker_opens_total counter\n")
+	for _, r := range m.PerReplica {
+		fmt.Fprintf(w, "vgend_replica_breaker_opens_total{replica=%q} %d\n", r.Name, r.BreakerOpens)
+	}
+	fmt.Fprintf(w, "# HELP vgend_replica_draining Replica lifecycle state (1 = draining).\n# TYPE vgend_replica_draining gauge\n")
+	for _, r := range m.PerReplica {
+		v := 0
+		if r.State == "draining" {
+			v = 1
+		}
+		fmt.Fprintf(w, "vgend_replica_draining{replica=%q} %d\n", r.Name, v)
+	}
+	fmt.Fprintf(w, "# HELP vgend_replica_stolen_total Requests served here that were routed elsewhere.\n# TYPE vgend_replica_stolen_total counter\n")
+	for _, r := range m.PerReplica {
+		fmt.Fprintf(w, "vgend_replica_stolen_total{replica=%q} %d\n", r.Name, r.Stolen)
 	}
 	fmt.Fprintf(w, "# HELP vgend_replica_queue_depth Queued requests per replica.\n# TYPE vgend_replica_queue_depth gauge\n")
 	for _, r := range m.PerReplica {

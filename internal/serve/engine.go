@@ -227,6 +227,17 @@ type Config struct {
 	// flight with the shed error and followers retry on their own
 	// behalf (see resolve).
 	Admit func(ctx context.Context, req Request) error
+	// StepFault, if set, is the fault-injection plane: it is consulted
+	// once per verification sweep of every running decode (continuous
+	// scheduler) or once per decode (micro-batch pool). A returned
+	// error aborts the decode with that error (a crashed replica); a
+	// hook that blocks wedges the decode — and, because sweeps are
+	// synchronous, the whole scheduler — until it returns (a hung
+	// replica); a hook that sleeps models a slow one. Hooks MUST honour
+	// ctx and return once it dies, or Close can wedge behind them. Used
+	// by the chaos/fault-injection tier (internal/experiments) to prove
+	// the fleet's breakers and hedges recover; nil in production.
+	StepFault func(ctx context.Context) error
 }
 
 func (c Config) withDefaults() Config {
@@ -1109,7 +1120,17 @@ func (e *Engine) serveTask(dec *core.Decoder, t *task) {
 		return
 	}
 	start := time.Now()
-	res, err := dec.GenerateStreamFrom(t.ctx, t.promptIDs, t.req.Options, t.req.OnStep)
+	var res *core.Result
+	var err error
+	if e.cfg.StepFault != nil {
+		// Fault-injection plane (micro-batch path): the pool has no
+		// per-sweep boundary, so the hook is consulted once per decode.
+		err = e.cfg.StepFault(t.ctx)
+		res = &core.Result{}
+	}
+	if err == nil {
+		res, err = dec.GenerateStreamFrom(t.ctx, t.promptIDs, t.req.Options, t.req.OnStep)
+	}
 	wall := time.Since(start)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

@@ -47,6 +47,10 @@ type schedTask struct {
 	// beginErr is a terminal pre-decode outcome: the task's context
 	// was already dead, or its options named an unknown strategy.
 	beginErr error
+	// faultErr is a mid-decode abort injected by Config.StepFault (the
+	// chaos plane): the decode has live state that must be dropped, not
+	// finished.
+	faultErr error
 	// done latches Step reporting completion (set from sweep workers,
 	// read by the scheduler after the sweep barrier).
 	done bool
@@ -248,6 +252,16 @@ func (e *Engine) stepOne(dec *core.Decoder, x *schedTask) bool {
 		}
 		x.st = st
 	}
+	if e.cfg.StepFault != nil {
+		// Fault-injection plane: consulted every sweep so a fault
+		// (crash, wedge, slowdown) lands mid-decode, where real replica
+		// failures land. A wedging hook blocks the sweep worker here,
+		// exactly like a hung forward pass would.
+		if err := e.cfg.StepFault(x.t.ctx); err != nil {
+			x.faultErr = err
+			return true
+		}
+	}
 	x.residency++
 	return x.st.Step()
 }
@@ -265,6 +279,18 @@ func (e *Engine) retire(x *schedTask) {
 		}
 		e.st.fail()
 		e.finish(x.t, &Response{Result: &core.Result{}, Err: x.beginErr, Wall: x.wall, Strategy: x.label})
+		return
+	}
+	if x.faultErr != nil {
+		// Injected fault mid-decode: the state is abandoned, not
+		// finished — Drop releases its pinned session pages.
+		x.st.Drop()
+		if errors.Is(x.faultErr, context.Canceled) || errors.Is(x.faultErr, context.DeadlineExceeded) {
+			e.st.cancel()
+		} else {
+			e.st.fail()
+		}
+		e.finish(x.t, &Response{Result: &core.Result{}, Err: x.faultErr, Wall: x.wall, Strategy: x.label})
 		return
 	}
 	res, err := x.st.Finish()
