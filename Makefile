@@ -15,7 +15,7 @@ COVER_PKGS := ./internal/model/ ./internal/serve/
 # elasticity tier landed.
 CLUSTER_COVER_FLOOR := 80.0
 
-.PHONY: build test race sched-soak golden differential adapt-gate grammar-gate cover fuzz bench loadgate chaos-gate chaos-soak fmt fmt-check vet serve ci
+.PHONY: build test race sched-soak golden differential adapt-gate grammar-gate cover fuzz bench loadgate chaos-gate chaos-soak trace-gate fmt fmt-check vet serve ci
 
 build:
 	$(GO) build ./...
@@ -105,6 +105,20 @@ chaos-soak:
 		-run 'TestChaosChurnSoak|TestBreaker|TestHedge|TestSteal|TestAutoscale|TestDrain|TestRollingSwap|TestSwapUnknownModelRejected' \
 		-v ./internal/experiments/ ./internal/cluster/
 
+# The tracing gate: decode throughput with the span layer live must
+# stay within 5% of tracing-off (tracing defaults on in vgend, so this
+# is what keeps the default honest), tracing must not change a single
+# generated byte, the span-tree shape and debug surface run under the
+# race detector, and evalbench regenerates BENCH_10.json (the on/off
+# throughput rows) for the CI artifact.
+trace-gate:
+	$(GO) test -run 'TestTraceOverheadGate|TestTraceByteIdentity' -v -timeout 600s ./internal/experiments/
+	$(GO) test -race -timeout 600s \
+		-run 'TestSpanTreeShape|TestRequestIDEchoedOnErrorPaths|TestDebugSurfaceHedgedWedgedPrimary|TestPhaseMetricsExposed' \
+		-v ./internal/serve/ ./internal/cluster/
+	$(GO) test -race -timeout 600s ./internal/trace/ ./internal/promtest/
+	set -o pipefail; $(GO) run ./cmd/evalbench -quick -exp trace -json BENCH_10.json | tee trace_gate_output.txt
+
 # Coverage gate over the prefix-cache packages: fails if total coverage
 # of internal/model + internal/serve drops below COVER_FLOOR — then the
 # same for the cluster layer against CLUSTER_COVER_FLOOR.
@@ -163,4 +177,4 @@ serve:
 serve-fleet:
 	$(GO) run ./cmd/vgend -replicas 4 -shed-policy deadline,priority,budget
 
-ci: build fmt-check vet race sched-soak golden differential adapt-gate grammar-gate cover fuzz loadgate chaos-gate chaos-soak bench
+ci: build fmt-check vet race sched-soak golden differential adapt-gate grammar-gate cover fuzz loadgate chaos-gate chaos-soak trace-gate bench

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	evalbench -exp table1|table2|matrix|tree|grammar|sim|fleet|prefix|load|sweep|diff|fig1|fig5|fig6|all
+//	evalbench -exp table1|table2|matrix|tree|grammar|sim|fleet|prefix|load|sweep|diff|trace|fig1|fig5|fig6|all
 //	          [-quick] [-items N] [-samples N] [-seed N] [-json BENCH_8.json]
 //
 // -quick selects the scaled-down setup (one model, one data size, few
@@ -29,11 +29,15 @@
 // losslessness proof). "sweep" runs the adaptive-speculation load
 // sweep: offered load swept over every static (strategy, budget)
 // configuration and over the live self-tuning controller, on decode
-// profiles measured from real decodes.
+// profiles measured from real decodes. "trace" prices the tracing
+// layer: the same decode workload runs with tracing off and on, the
+// rows report best-of-N throughput for each, and the run fails if the
+// two modes' generations are not byte-identical.
 //
 // -json writes the structured rows of the tree, grammar, sim, prefix,
-// load and sweep experiments (whichever ran) as one JSON document —
-// CI writes BENCH_8.json this way and uploads it as an artifact.
+// load, sweep and trace experiments (whichever ran) as one JSON
+// document — CI writes BENCH_8.json and BENCH_10.json this way and
+// uploads them as artifacts.
 package main
 
 import (
@@ -57,10 +61,11 @@ type benchDoc struct {
 	Load          []experiments.LoadBenchRow    `json:"load,omitempty"`
 	SweepProfiles []*experiments.SweepProfile   `json:"sweep_profiles,omitempty"`
 	Sweep         []experiments.LoadSweepRow    `json:"sweep,omitempty"`
+	Trace         []experiments.TraceBenchRow   `json:"trace,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, matrix, tree, grammar, sim, fleet, prefix, load, sweep, diff, fig1, fig5, fig6 or all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, matrix, tree, grammar, sim, fleet, prefix, load, sweep, diff, trace, fig1, fig5, fig6 or all")
 	quick := flag.Bool("quick", false, "scaled-down setup (fast smoke run)")
 	items := flag.Int("items", 0, "override corpus item count")
 	samples := flag.Int("samples", 0, "override samples per prompt per temperature")
@@ -192,6 +197,31 @@ func main() {
 		doc.Sweep, doc.SweepProfiles = rows, profiles
 		printLoadSweep(rows, profiles)
 	}
+	if want("trace") {
+		fmt.Println("## Trace bench — decode throughput with tracing off vs on, plus byte-identity")
+		rows, texts, err := runner.RunTraceBench(experiments.TraceBenchConfig{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace bench: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Trace = rows
+		for _, row := range rows {
+			fmt.Printf("  tracing=%-3s requests=%3d  repeats=%d  best=%8.2fms  tok/s=%8.1f  spans=%5d  dropped=%d\n",
+				row.Tracing, row.Requests, row.Repeats, row.BestWallMS, row.TokensPerSec, row.Spans, row.Dropped)
+		}
+		if len(texts) == 2 {
+			identical := len(texts[0]) == len(texts[1])
+			for i := 0; identical && i < len(texts[0]); i++ {
+				identical = texts[0][i] == texts[1][i]
+			}
+			fmt.Printf("  byte-identity: %d generations, identical=%v\n", len(texts[0]), identical)
+			if !identical {
+				fmt.Fprintln(os.Stderr, "trace bench: tracing changed generated bytes")
+				os.Exit(1)
+			}
+		}
+		fmt.Println()
+	}
 	if want("diff") {
 		fmt.Println("## Differential — byte-identity of {off, whole, trie} session caches across the strategy matrix")
 		report, err := runner.RunDiffTest(experiments.DiffConfig{})
@@ -234,7 +264,8 @@ func main() {
 	fmt.Printf("# total %v\n", time.Since(t0).Round(time.Second))
 	known := map[string]bool{"all": true, "table1": true, "table2": true, "matrix": true,
 		"tree": true, "grammar": true, "sim": true, "fleet": true, "prefix": true,
-		"load": true, "sweep": true, "diff": true, "fig1": true, "fig5": true, "fig6": true}
+		"load": true, "sweep": true, "diff": true, "trace": true,
+		"fig1": true, "fig5": true, "fig6": true}
 	for name := range wanted {
 		if !known[name] {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)

@@ -66,6 +66,27 @@ type ndjsonLine struct {
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
+// generateResult is the subset of the server's per-generation timing
+// the client folds into its load summary: queue wait vs decode wall.
+type generateResult struct {
+	WallMS  float64 `json:"wall_ms"`
+	QueueMS float64 `json:"queue_ms"`
+}
+
+// requestIDHeader is echoed by the server on every response — including
+// sheds — and keys the request's trace in the server's flight recorder,
+// so a failure printed with its ID is debuggable server-side via
+// /debug/requests?id=<ID>.
+const requestIDHeader = "X-Request-ID"
+
+// reqID formats a response's request ID for failure diagnostics.
+func reqID(id string) string {
+	if id == "" {
+		return ""
+	}
+	return " (request " + id + ")"
+}
+
 // defaultBackoff is the wait applied when a shed response carries no
 // parseable Retry-After header (the daemon always sends one, but the
 // client must not spin if a proxy strips it).
@@ -121,6 +142,10 @@ type result struct {
 	retries int
 	hedges  int
 	wall    time.Duration
+	// queueMS/decodeMS are the server-reported phase split for the
+	// winning attempt (zero against servers that predate queue_ms).
+	queueMS  float64
+	decodeMS float64
 }
 
 // attemptOutcome classifies one HTTP exchange.
@@ -140,32 +165,50 @@ func retryableStreamError(msg string) bool {
 	return strings.Contains(msg, "queue full") || strings.Contains(msg, "request shed")
 }
 
+// attemptResult is one HTTP exchange's verdict: the outcome, the
+// backoff hint for sheds, the server-echoed request ID (printed with
+// failures so the operator can pull the request's trace from the
+// daemon's /debug/requests?id=), and the server-reported phase timings
+// on success.
+type attemptResult struct {
+	outcome  attemptOutcome
+	backoff  time.Duration
+	id       string
+	queueMS  float64
+	decodeMS float64
+}
+
 // attemptOnce performs one HTTP exchange and classifies it. For
 // streaming requests the verdict must look past partial output: step
 // lines already received do NOT make the attempt a success — a 429/503
 // status, a final NDJSON error line, or a stream that ends without a
 // result line all mean the generation was not delivered, however many
 // bytes preceded the failure. Only an explicit final result line counts.
-func attemptOnce(client *http.Client, addr string, req generateRequest) (attemptOutcome, time.Duration) {
+func attemptOnce(client *http.Client, addr string, req generateRequest) attemptResult {
 	body, _ := json.Marshal(req)
 	resp, err := client.Post(addr+"/v1/generate", "application/json", bytes.NewReader(body))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vgenc: %v\n", err)
-		return attemptFail, 0
+		return attemptResult{outcome: attemptFail}
 	}
 	defer resp.Body.Close()
+	id := resp.Header.Get(requestIDHeader)
 	backoff := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now(), defaultBackoff)
 
 	if !req.Stream {
-		_, _ = io.Copy(io.Discard, resp.Body)
 		switch resp.StatusCode {
 		case http.StatusOK:
-			return attemptOK, 0
+			var out generateResult
+			_ = json.NewDecoder(resp.Body).Decode(&out)
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return attemptResult{outcome: attemptOK, id: id, queueMS: out.QueueMS, decodeMS: out.WallMS}
 		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
-			return attemptShed, backoff
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return attemptResult{outcome: attemptShed, backoff: backoff, id: id}
 		default:
-			fmt.Fprintf(os.Stderr, "vgenc: status %d\n", resp.StatusCode)
-			return attemptFail, 0
+			_, _ = io.Copy(io.Discard, resp.Body)
+			fmt.Fprintf(os.Stderr, "vgenc: status %d%s\n", resp.StatusCode, reqID(id))
+			return attemptResult{outcome: attemptFail, id: id}
 		}
 	}
 
@@ -196,32 +239,28 @@ func attemptOnce(client *http.Client, addr string, req generateRequest) (attempt
 		// Shed after partial stream output is still a shed: the attempt
 		// failed, whatever fragment of the decode made it onto the wire.
 		if steps > 0 {
-			fmt.Fprintf(os.Stderr, "vgenc: shed (status %d) after %d streamed steps; retrying\n", resp.StatusCode, steps)
+			fmt.Fprintf(os.Stderr, "vgenc: shed (status %d) after %d streamed steps; retrying%s\n", resp.StatusCode, steps, reqID(id))
 		}
-		return attemptShed, backoff
+		return attemptResult{outcome: attemptShed, backoff: backoff, id: id}
 	case resp.StatusCode != http.StatusOK:
-		fmt.Fprintf(os.Stderr, "vgenc: status %d\n", resp.StatusCode)
-		return attemptFail, 0
+		fmt.Fprintf(os.Stderr, "vgenc: status %d%s\n", resp.StatusCode, reqID(id))
+		return attemptResult{outcome: attemptFail, id: id}
 	case sawDone && final.Error == "" && final.Result != nil:
-		return attemptOK, 0
+		var out generateResult
+		_ = json.Unmarshal(final.Result, &out)
+		return attemptResult{outcome: attemptOK, id: id, queueMS: out.QueueMS, decodeMS: out.WallMS}
 	case sawDone && retryableStreamError(final.Error):
 		if steps > 0 {
-			fmt.Fprintf(os.Stderr, "vgenc: shed in-stream after %d steps (%s); retrying\n", steps, final.Error)
+			fmt.Fprintf(os.Stderr, "vgenc: shed in-stream after %d steps (%s); retrying%s\n", steps, final.Error, reqID(id))
 		}
-		return attemptShed, backoff
+		return attemptResult{outcome: attemptShed, backoff: backoff, id: id}
 	case sawDone:
-		fmt.Fprintf(os.Stderr, "vgenc: stream error: %s\n", final.Error)
-		return attemptFail, 0
+		fmt.Fprintf(os.Stderr, "vgenc: stream error: %s%s\n", final.Error, reqID(id))
+		return attemptResult{outcome: attemptFail, id: id}
 	default:
-		fmt.Fprintf(os.Stderr, "vgenc: stream ended after %d steps without a result line\n", steps)
-		return attemptFail, 0
+		fmt.Fprintf(os.Stderr, "vgenc: stream ended after %d steps without a result line%s\n", steps, reqID(id))
+		return attemptResult{outcome: attemptFail, id: id}
 	}
-}
-
-// attemptResult pairs an attempt's verdict with its backoff hint.
-type attemptResult struct {
-	outcome attemptOutcome
-	backoff time.Duration
 }
 
 // attemptHedged performs one logical attempt with optional client-side
@@ -233,20 +272,18 @@ type attemptResult struct {
 // not cancelled: it carries the same (prompt, seed) request, so the
 // server's single-flight dedup rides it on the winner's decode. The
 // `after` timer is injectable so tests can fire the hedge without real
-// sleeps; nil means time.After. Returns the verdict, the backoff hint
-// for sheds, and whether a hedge was launched.
-func attemptHedged(client *http.Client, addr string, req generateRequest, hedgeAfter time.Duration, after func(time.Duration) <-chan time.Time) (attemptOutcome, time.Duration, bool) {
+// sleeps; nil means time.After. Returns the winning attempt's verdict
+// and whether a hedge was launched.
+func attemptHedged(client *http.Client, addr string, req generateRequest, hedgeAfter time.Duration, after func(time.Duration) <-chan time.Time) (attemptResult, bool) {
 	if hedgeAfter <= 0 {
-		o, b := attemptOnce(client, addr, req)
-		return o, b, false
+		return attemptOnce(client, addr, req), false
 	}
 	if after == nil {
 		after = time.After
 	}
 	ch := make(chan attemptResult, 2)
 	run := func() {
-		o, b := attemptOnce(client, addr, req)
-		ch <- attemptResult{o, b}
+		ch <- attemptOnce(client, addr, req)
 	}
 	go run()
 	pending, hedged := 1, false
@@ -257,7 +294,7 @@ func attemptHedged(client *http.Client, addr string, req generateRequest, hedgeA
 		case r := <-ch:
 			pending--
 			if r.outcome == attemptOK {
-				return attemptOK, 0, hedged
+				return r, hedged
 			}
 			// Prefer reporting the retryable verdict: if one exchange
 			// shed and the other failed terminally, the request is
@@ -268,7 +305,7 @@ func attemptHedged(client *http.Client, addr string, req generateRequest, hedgeA
 			if pending > 0 {
 				continue // the other exchange may still deliver
 			}
-			return last.outcome, last.backoff, hedged
+			return last, hedged
 		case <-timer:
 			timer = nil // time.After fires once; a nil channel blocks
 			hedged = true
@@ -286,20 +323,21 @@ func replayOne(client *http.Client, addr string, req generateRequest, maxRetries
 	start := time.Now()
 	var res result
 	for {
-		outcome, backoff, hedged := attemptHedged(client, addr, req, hedgeAfter, after)
+		a, hedged := attemptHedged(client, addr, req, hedgeAfter, after)
 		if hedged {
 			res.hedges++
 		}
-		switch outcome {
+		switch a.outcome {
 		case attemptOK:
 			res.ok = true
+			res.queueMS, res.decodeMS = a.queueMS, a.decodeMS
 		case attemptShed:
 			if res.retries < maxRetries {
 				res.retries++
-				time.Sleep(backoff)
+				time.Sleep(a.backoff)
 				continue
 			}
-			fmt.Fprintf(os.Stderr, "vgenc: gave up after %d retries\n", res.retries)
+			fmt.Fprintf(os.Stderr, "vgenc: gave up after %d retries%s\n", res.retries, reqID(a.id))
 		}
 		res.wall = time.Since(start)
 		return res
@@ -312,6 +350,13 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	}
 	i := int(p * float64(len(sorted)-1))
 	return sorted[i]
+}
+
+func percentileF(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
 }
 
 func main() {
@@ -373,10 +418,13 @@ func main() {
 	var ok, failed int
 	var retries, hedges atomic.Int64
 	var walls []time.Duration
+	var queueMS, decodeMS []float64
 	for _, r := range results {
 		if r.ok {
 			ok++
 			walls = append(walls, r.wall)
+			queueMS = append(queueMS, r.queueMS)
+			decodeMS = append(decodeMS, r.decodeMS)
 		} else {
 			failed++
 		}
@@ -384,10 +432,19 @@ func main() {
 		hedges.Add(int64(r.hedges))
 	}
 	sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
-	fmt.Printf("requests=%d ok=%d failed=%d retries=%d hedges=%d elapsed=%s rps=%.1f p50=%s p95=%s\n",
+	sort.Float64s(queueMS)
+	sort.Float64s(decodeMS)
+	fmt.Printf("requests=%d ok=%d failed=%d retries=%d hedges=%d elapsed=%s rps=%.1f p50=%s p95=%s p99=%s\n",
 		len(reqs), ok, failed, retries.Load(), hedges.Load(), elapsed.Round(time.Millisecond),
 		float64(ok)/elapsed.Seconds(),
-		percentile(walls, 0.50).Round(time.Millisecond), percentile(walls, 0.95).Round(time.Millisecond))
+		percentile(walls, 0.50).Round(time.Millisecond), percentile(walls, 0.95).Round(time.Millisecond),
+		percentile(walls, 0.99).Round(time.Millisecond))
+	// The server-reported phase split: where successful requests spent
+	// their time — queued behind the batch, or decoding. Zeros mean the
+	// server predates the queue_ms response field.
+	fmt.Printf("phases: queue p50=%.2fms p95=%.2fms | decode p50=%.2fms p95=%.2fms\n",
+		percentileF(queueMS, 0.50), percentileF(queueMS, 0.95),
+		percentileF(decodeMS, 0.50), percentileF(decodeMS, 0.95))
 	if failed > 0 {
 		os.Exit(1)
 	}

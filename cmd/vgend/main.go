@@ -21,6 +21,17 @@
 //	                     detail, shed and routing counters). JSON by
 //	                     default; ?format=prometheus (or a Prometheus
 //	                     Accept header) selects the text exposition.
+//	                     Tracing mode adds vgend_phase_seconds_total.
+//	GET  /debug/requests — flight recorder: the last traces plus the
+//	                     always-retained slowest ones; ?id= returns one
+//	                     request's full span tree (-trace mode).
+//	GET  /debug/trace  — one recorded trace as a raw JSON snapshot.
+//	GET  /debug/pprof/ — net/http/pprof profiles (behind -pprof).
+//
+// Every response carries an X-Request-ID header (echoing the caller's,
+// or minted); in tracing mode that ID keys the request's trace in the
+// flight recorder, so a slow or failed request is debuggable from
+// /debug/requests?id=<X-Request-ID> alone.
 //
 // Fleet mode starts when -replicas > 1, -models lists more than one
 // spec (or one with a default strategy), a -shed-policy is set, a
@@ -59,6 +70,7 @@
 // [-shed-policy none|deadline,priority,budget] [-budget-tps N]
 // [-budget-burst N] [-hedge-after D] [-steal] [-autoscale]
 // [-min-replicas N] [-max-replicas N] [-list-strategies]
+// [-trace] [-pprof] [-log text|json|off]
 //
 // Dispatch defaults to the continuous scheduler: requests join and
 // leave the running batch at every verification sweep, and a decode
@@ -89,6 +101,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -103,6 +116,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/serve"
 	"repro/internal/tokenizer"
+	"repro/internal/trace"
 )
 
 // replicaSpec is one parsed -models entry.
@@ -161,6 +175,20 @@ func fail(err error) {
 	os.Exit(2)
 }
 
+// newLogger maps -log onto a slog handler; "off" yields nil (no
+// startup chatter, no request lines).
+func newLogger(mode string) (*slog.Logger, error) {
+	switch mode {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "off":
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unknown -log mode %q (want text, json or off)", mode)
+}
+
 // parsePrefixCache maps the -prefix-cache flag onto the serve config:
 // the mode names trie/whole/off, or — for pre-trie deployments that
 // passed an entry count — a bare integer selecting whole-prompt mode
@@ -214,7 +242,19 @@ func main() {
 	autoscale := flag.Bool("autoscale", false, "fleet: scale the replica count with load, between -min-replicas and -max-replicas")
 	minReplicas := flag.Int("min-replicas", 0, "autoscaler floor (0 = the starting replica count; requires -autoscale)")
 	maxReplicas := flag.Int("max-replicas", 0, "autoscaler ceiling (0 = twice the floor; requires -autoscale)")
+	traceOn := flag.Bool("trace", true, "per-request tracing: flight recorder behind /debug/requests and /debug/trace, vgend_phase_seconds_total in /metrics")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logMode := flag.String("log", "text", "structured logging: text, json or off")
 	flag.Parse()
+	logger, err := newLogger(*logMode)
+	if err != nil {
+		fail(err)
+	}
+	logInfo := func(msg string, args ...any) {
+		if logger != nil {
+			logger.Info(msg, args...)
+		}
+	}
 	if *listStrategies {
 		fmt.Print(core.StrategyListing())
 		return
@@ -289,7 +329,7 @@ func main() {
 	// One corpus; one tokenizer per backbone; one trained model per
 	// distinct (backbone, scheme) pair — replicas sharing a pair share
 	// the immutable trained model but keep their own engine and caches.
-	fmt.Fprintf(os.Stderr, "# building corpus (%d items)...\n", *items)
+	logInfo("building corpus", "items", *items)
 	start := time.Now()
 	examples, stats := dataset.BuildCorpus(dataset.CorpusOptions{Seed: *seed, Items: *items})
 	var corpus []string
@@ -309,10 +349,10 @@ func main() {
 			tk = tokenizer.Train(corpus, spec.cfg.VocabSize)
 			toks[spec.model] = tk
 		}
-		fmt.Fprintf(os.Stderr, "# training %s/%v...\n", spec.cfg.Name, spec.sch)
+		logInfo("training model", "model", spec.cfg.Name, "scheme", spec.sch.String())
 		trained[key] = model.Train(tk, spec.cfg, spec.sch, examples)
 	}
-	fmt.Fprintf(os.Stderr, "# %s\n# trained in %s\n", stats, time.Since(start).Round(time.Millisecond))
+	logInfo("training done", "corpus", fmt.Sprint(stats), "elapsed", time.Since(start).Round(time.Millisecond).String())
 
 	engCfg := serve.Config{
 		Workers:           *workers,
@@ -338,8 +378,9 @@ func main() {
 		// cluster layer in the request path at all.
 		eng := serve.NewEngine(trained[resolved[0].model+"/"+resolved[0].sch.String()], engCfg)
 		backend, closeBackend = eng, eng.Close
-		fmt.Fprintf(os.Stderr, "# vgend serving %s/%s on %s (%d workers)\n",
-			resolved[0].model, resolved[0].scheme, *addr, eng.Workers())
+		logInfo("serving",
+			"model", resolved[0].model, "scheme", resolved[0].scheme,
+			"addr", *addr, "workers", eng.Workers())
 	} else {
 		replicaSpecs := make([]cluster.ReplicaSpec, n)
 		for i := range replicaSpecs {
@@ -385,11 +426,19 @@ func main() {
 			lo, hi := fleet.AutoscaleBounds()
 			elastic += fmt.Sprintf(", autoscale %d..%d", lo, hi)
 		}
-		fmt.Fprintf(os.Stderr, "# vgend fleet: %d replicas, router %s, shed %s%s, serving on %s\n",
-			n, router.Name(), shed, elastic, *addr)
+		logInfo("serving fleet",
+			"replicas", n, "router", router.Name(), "shed", shed,
+			"elasticity", strings.TrimPrefix(elastic, ", "), "addr", *addr)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewBackendServer(backend).Handler()}
+	server := serve.NewBackendServer(backend).WithPprof(*pprofOn)
+	if *traceOn {
+		server = server.WithTracer(trace.New(trace.Config{}))
+	}
+	if logger != nil {
+		server = server.WithLogger(logger)
+	}
+	srv := &http.Server{Addr: *addr, Handler: server.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -397,7 +446,7 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
-		fmt.Fprintln(os.Stderr, "# shutting down...")
+		logInfo("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(shutdownCtx)

@@ -48,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 // ReplicaSpec describes one fleet member before construction.
@@ -422,15 +423,24 @@ func serveableOf(cands []*Replica) []*Replica {
 // routed-but-not-yet-submitted request — in particular, items earlier
 // in a batch raise the load later items are routed by. Every caller
 // must decrement after the engine answers.
-func (f *Fleet) route(req serve.Request) (*Replica, error) {
+func (f *Fleet) route(ctx context.Context, req serve.Request) (*Replica, error) {
 	f.st.mu.Lock()
 	f.st.requests++
 	f.st.mu.Unlock()
+	var sp *trace.Span
+	if tr := trace.FromContext(ctx); tr != nil {
+		sp = tr.Start(trace.SpanFromContext(ctx), trace.KindRouter, f.router.Name())
+	}
 	cands, err := f.candidates(req.Model)
 	if err != nil {
+		sp.SetAttr("outcome", "unknown_model")
+		sp.End()
 		return nil, err
 	}
 	r := f.router.Pick(affinityKey(req.Prompt), serveableOf(cands))
+	sp.SetAttr("replica", r.name)
+	sp.SetAttrInt("candidates", int64(len(cands)))
+	sp.End()
 	r.routed.Add(1)
 	r.inflight.Add(1)
 	return r, nil
@@ -487,7 +497,7 @@ func (f *Fleet) TryGenerate(ctx context.Context, req serve.Request) (*serve.Resp
 }
 
 func (f *Fleet) generate(ctx context.Context, req serve.Request, wait bool) (*serve.Response, error) {
-	r, err := f.route(req)
+	r, err := f.route(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -516,7 +526,7 @@ func (f *Fleet) generateBatch(ctx context.Context, reqs []serve.Request, wait bo
 	out := make([]*serve.Response, len(reqs))
 	groups := map[*Replica][]int{}
 	for i, req := range reqs {
-		r, err := f.route(req)
+		r, err := f.route(ctx, req)
 		if err != nil {
 			out[i] = &serve.Response{Err: err}
 			continue

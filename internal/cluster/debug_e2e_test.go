@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// This file is the end-to-end proof of the debug surface's core
+// promise: a hedged request whose primary replica wedged must be fully
+// debuggable from GET /debug/requests?id=<X-Request-ID> alone — the
+// losing primary attempt, the winning hedge attempt, and the queue and
+// decode phases of the request, all in one recorded span tree.
+
+// postGen submits one generation over HTTP, echoing back the decoded
+// body and the raw response (body already closed; headers/status only).
+func postGen(t *testing.T, url, id, prompt string, seed int64) (map[string]any, *http.Response) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{
+		"prompt": prompt, "mode": "ours", "temperature": 0.6,
+		"max_new_tokens": 48, "seed": seed,
+	})
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/generate", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return out, resp
+}
+
+// fetchTrace pulls one recorded trace from the flight recorder.
+func fetchTrace(t *testing.T, url, id string) (trace.Snapshot, string, int) {
+	t.Helper()
+	resp, err := http.Get(url + "/debug/requests?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Trace trace.Snapshot `json:"trace"`
+		Tree  string         `json:"tree"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	return body.Trace, body.Tree, resp.StatusCode
+}
+
+// attr returns a span attribute's value ("" when absent).
+func attr(sp trace.SpanSnapshot, key string) string {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// descendsFrom walks the parent chain of spans[i] looking for anc.
+func descendsFrom(spans []trace.SpanSnapshot, i, anc int) bool {
+	for i >= 0 && i < len(spans) {
+		if i == anc {
+			return true
+		}
+		i = spans[i].Parent
+	}
+	return false
+}
+
+func TestDebugSurfaceHedgedWedgedPrimary(t *testing.T) {
+	_, prompts := fixture(t)
+	f, faults := newFaultyFleet(t, 2,
+		Config{HedgeAfter: 15 * time.Millisecond},
+		serve.Config{Workers: 1, CacheSize: -1})
+	tracer := trace.New(trace.Config{})
+	ts := httptest.NewServer(serve.NewBackendServer(f).WithTracer(tracer).Handler())
+	defer ts.Close()
+
+	// Warmup probe: learn where affinity routes this prompt, then wedge
+	// exactly that replica so the next request's primary attempt hangs.
+	warm, wresp := postGen(t, ts.URL, "warmup", prompts[1], 0)
+	if wresp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup status = %d", wresp.StatusCode)
+	}
+	routed, _ := warm["replica"].(string)
+	if routed == "" {
+		t.Fatal("warmup response named no replica")
+	}
+	_, fault := replicaByName(t, f, faults, routed)
+	fault.set(faultWedge)
+
+	const id = "e2e-wedged-primary"
+	out, resp := postGen(t, ts.URL, id, prompts[1], 1)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hedged request status = %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != id {
+		t.Fatalf("X-Request-ID echoed %q, want %q", got, id)
+	}
+	if served, _ := out["replica"].(string); served == routed || served == "" {
+		t.Fatalf("served by %q, want a hedge sibling of wedged %q", served, routed)
+	}
+
+	// The losing primary's span closes only when the request context
+	// dies and its wedged decode unwinds; the recorder snapshots live
+	// traces, so poll until the full story is visible.
+	var snap trace.Snapshot
+	var tree string
+	var primary, winner *trace.SpanSnapshot
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap, tree, _ = fetchTrace(t, ts.URL, id)
+		primary, winner = nil, nil
+		for i := range snap.Spans {
+			sp := snap.Spans[i]
+			if sp.Kind != trace.KindAttempt {
+				continue
+			}
+			if attr(sp, "role") == "primary" && sp.EndMS >= 0 {
+				primary = &snap.Spans[i]
+			}
+			if attr(sp, "won") == "true" {
+				winner = &snap.Spans[i]
+			}
+		}
+		if (primary != nil && winner != nil) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if snap.ID != id {
+		t.Fatalf("recorded trace id = %q, want %q", snap.ID, id)
+	}
+	if snap.Status != "200" {
+		t.Errorf("trace status = %q, want %q\n%s", snap.Status, "200", tree)
+	}
+	if len(snap.Spans) == 0 || snap.Spans[0].Kind != trace.KindRequest {
+		t.Fatalf("root span kind = %v, want request\n%s", snap.Spans, tree)
+	}
+	if got := attr(snap.Spans[0], "status"); got != "200" {
+		t.Errorf("root status attr = %q, want 200\n%s", got, tree)
+	}
+	var router *trace.SpanSnapshot
+	for i := range snap.Spans {
+		if snap.Spans[i].Kind == trace.KindRouter {
+			router = &snap.Spans[i]
+		}
+	}
+	if router == nil {
+		t.Fatalf("no router span recorded\n%s", tree)
+	}
+	if got := attr(*router, "replica"); got != routed {
+		t.Errorf("router chose %q, warmup said %q\n%s", got, routed, tree)
+	}
+
+	// The losing primary attempt: on the wedged replica, closed, and
+	// not OK — its decode died with the request context.
+	if primary == nil {
+		t.Fatalf("no closed primary attempt span\n%s", tree)
+	}
+	if got := attr(*primary, "replica"); got != routed {
+		t.Errorf("primary attempt on %q, want wedged %q\n%s", got, routed, tree)
+	}
+	if got := attr(*primary, "outcome"); got == "" || got == "ok" {
+		t.Errorf("primary outcome = %q, want a non-ok verdict\n%s", got, tree)
+	}
+	if attr(*primary, "won") == "true" {
+		t.Errorf("wedged primary marked as winner\n%s", tree)
+	}
+
+	// The winning hedge attempt: a sibling replica, outcome ok.
+	if winner == nil {
+		t.Fatalf("no attempt span marked won=true\n%s", tree)
+	}
+	if got := attr(*winner, "role"); got != "hedge" {
+		t.Errorf("winner role = %q, want hedge\n%s", got, tree)
+	}
+	if got := attr(*winner, "outcome"); got != "ok" {
+		t.Errorf("winner outcome = %q, want ok\n%s", got, tree)
+	}
+	if got := attr(*winner, "replica"); got == routed {
+		t.Errorf("winner on the wedged replica %q\n%s", got, tree)
+	}
+
+	// Queue and decode phases nested under the winning attempt: the
+	// request's time split, readable from the debug endpoint alone.
+	var queue, decode *trace.SpanSnapshot
+	for i := range snap.Spans {
+		sp := snap.Spans[i]
+		if !descendsFrom(snap.Spans, i, winner.Index) {
+			continue
+		}
+		switch sp.Kind {
+		case trace.KindQueue:
+			queue = &snap.Spans[i]
+		case trace.KindDecode:
+			decode = &snap.Spans[i]
+		}
+	}
+	if queue == nil {
+		t.Fatalf("no queue span under the winning attempt\n%s", tree)
+	}
+	if attr(*queue, "wait_us") == "" {
+		t.Errorf("queue span carries no wait_us attr\n%s", tree)
+	}
+	if decode == nil {
+		t.Fatalf("no decode span under the winning attempt\n%s", tree)
+	}
+	if attr(*decode, "tokens") == "" || attr(*decode, "sweeps") == "" {
+		t.Errorf("decode span missing tokens/sweeps attrs\n%s", tree)
+	}
+	if decode.DurMS < 0 {
+		t.Errorf("decode span still open\n%s", tree)
+	}
+
+	// The raw-trace endpoint serves the same snapshot.
+	rresp, err := http.Get(ts.URL + "/debug/trace?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/trace status = %d", rresp.StatusCode)
+	}
+	var raw trace.Snapshot
+	if err := json.NewDecoder(rresp.Body).Decode(&raw); err != nil {
+		t.Fatalf("/debug/trace body: %v", err)
+	}
+	if raw.ID != id || len(raw.Spans) != len(snap.Spans) {
+		t.Errorf("/debug/trace snapshot diverges: id=%q spans=%d, want id=%q spans=%d",
+			raw.ID, len(raw.Spans), id, len(snap.Spans))
+	}
+}

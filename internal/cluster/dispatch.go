@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/trace"
 )
 
 // This file is the resilient dispatch path between routing and the
@@ -34,6 +35,62 @@ type outcome struct {
 	resp *serve.Response
 	err  error
 	r    *Replica
+	// span is the attempt's trace span (nil untraced); the dispatch
+	// loop marks the winner on it. Attr writes stay safe after End.
+	span *trace.Span
+}
+
+// Attempt roles, recorded on attempt spans so a flight-recorder entry
+// names why each replica was tried.
+const (
+	rolePrimary  = "primary"
+	roleHedge    = "hedge"
+	roleFailover = "failover"
+	roleSteal    = "steal"
+)
+
+// outcomeLabel classifies one attempt's result for its span.
+func outcomeLabel(resp *serve.Response, err error) string {
+	e := firstErr(resp, err)
+	var shed *serve.ShedError
+	switch {
+	case e == nil:
+		return "ok"
+	case errors.As(e, &shed):
+		return "shed"
+	case errors.Is(e, serve.ErrQueueFull):
+		return "queue_full"
+	case errors.Is(e, context.Canceled), errors.Is(e, context.DeadlineExceeded):
+		return "canceled"
+	case errors.Is(e, serve.ErrClosed):
+		return "closed"
+	default:
+		return "fault"
+	}
+}
+
+// sendTraced wraps send in an attempt span: replica, role and outcome
+// attrs, with the span threaded into the engine's context so queue and
+// decode spans nest under the attempt that caused them. Each attempt
+// goroutine owns its span end-to-end — a hedged loser ends its span
+// after the trace finished, which the recorder renders correctly.
+func (f *Fleet) sendTraced(ctx context.Context, req serve.Request, r *Replica, wait bool, role string) (*serve.Response, error, *trace.Span) {
+	var sp *trace.Span
+	if tr := trace.FromContext(ctx); tr != nil {
+		sp = tr.Start(trace.SpanFromContext(ctx), trace.KindAttempt, r.name)
+		sp.SetAttr("replica", r.name)
+		sp.SetAttr("role", role)
+		ctx = trace.ContextWithSpan(ctx, sp)
+	}
+	resp, err := f.send(ctx, req, r, wait)
+	if sp != nil {
+		sp.SetAttr("outcome", outcomeLabel(resp, err))
+		if resp != nil && resp.Cached {
+			sp.SetAttr("cached", "true")
+		}
+		sp.End()
+	}
+	return resp, err, sp
 }
 
 // send submits req to one replica's engine with its default-strategy
@@ -182,17 +239,19 @@ func (f *Fleet) exhausted(primary *Replica, err error) error {
 }
 
 // dispatch runs one routed request with hedging and failover. It
-// reports the winning response and the replica that produced it.
-// The primary's inflight counter is owned by the caller (route
-// incremented it); alternates are accounted here.
-func (f *Fleet) dispatch(ctx context.Context, req serve.Request, primary *Replica, wait bool) (*serve.Response, *Replica, error) {
+// reports the winning response and the replica that produced it; role
+// names the first attempt on its span (primary, or steal when a
+// stealer serves work routed elsewhere). The primary's inflight
+// counter is owned by the caller (route incremented it); alternates
+// are accounted here.
+func (f *Fleet) dispatch(ctx context.Context, req serve.Request, primary *Replica, wait bool, role string) (*serve.Response, *Replica, error) {
 	key := affinityKey(req.Prompt)
 	tried := map[string]bool{primary.name: true}
 
 	if f.cfg.HedgeAfter <= 0 {
 		// Sequential path: no goroutines, no timers. A lone replica
 		// sees exactly one engine call — byte-identical to pre-fleet.
-		resp, err := f.send(ctx, req, primary, wait)
+		resp, err, sp := f.sendTraced(ctx, req, primary, wait, role)
 		f.recordBreaker(primary, resp, err)
 		served := primary
 		attempts := 1
@@ -214,11 +273,12 @@ func (f *Fleet) dispatch(ctx context.Context, req serve.Request, primary *Replic
 			attempts++
 			f.elastic.failovers.Add(1)
 			alt.inflight.Add(1)
-			resp, err = f.send(ctx, req, alt, wait)
+			resp, err, sp = f.sendTraced(ctx, req, alt, wait, roleFailover)
 			alt.inflight.Add(-1)
 			f.recordBreaker(alt, resp, err)
 			served = alt
 		}
+		sp.SetAttr("won", "true")
 		return resp, served, err
 	}
 
@@ -227,18 +287,18 @@ func (f *Fleet) dispatch(ctx context.Context, req serve.Request, primary *Replic
 	actx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ch := make(chan outcome, maxDispatchReplicas+1)
-	launch := func(r *Replica, counted bool) {
+	launch := func(r *Replica, counted bool, role string) {
 		go func() {
 			if counted {
 				r.inflight.Add(1)
 				defer r.inflight.Add(-1)
 			}
-			resp, err := f.send(actx, req, r, wait)
+			resp, err, sp := f.sendTraced(actx, req, r, wait, role)
 			f.recordBreaker(r, resp, err)
-			ch <- outcome{resp, err, r}
+			ch <- outcome{resp, err, r, sp}
 		}()
 	}
-	launch(primary, false)
+	launch(primary, false, role)
 	pending := 1
 	attempts := 1
 	primaryDone := false
@@ -256,6 +316,7 @@ func (f *Fleet) dispatch(ctx context.Context, req serve.Request, primary *Replic
 				primaryDone = true
 			}
 			if !retryable(o.resp, o.err, ctx) {
+				o.span.SetAttr("won", "true")
 				if o.r != primary && hedgeLaunched[o.r.name] {
 					f.elastic.hedgeWins.Add(1)
 				}
@@ -291,7 +352,7 @@ func (f *Fleet) dispatch(ctx context.Context, req serve.Request, primary *Replic
 			outstanding[alt.name] = true
 			attempts++
 			f.elastic.failovers.Add(1)
-			launch(alt, true)
+			launch(alt, true, roleFailover)
 			pending++
 		case <-timer.C:
 			// Each firing may race one more replica, bounded by the
@@ -315,7 +376,7 @@ func (f *Fleet) dispatch(ctx context.Context, req serve.Request, primary *Replic
 					hedgeLaunched[alt.name] = true
 					attempts++
 					f.elastic.hedges.Add(1)
-					launch(alt, true)
+					launch(alt, true, roleHedge)
 					pending++
 				}
 			}
@@ -374,7 +435,7 @@ func stealCapacity(r *Replica) int {
 // the fallback) hedged dispatch.
 func (f *Fleet) serveRouted(ctx context.Context, req serve.Request, r *Replica, wait bool) (*serve.Response, *Replica, error) {
 	if f.stealq == nil || r.load() <= stealThreshold(r) {
-		return f.dispatch(ctx, req, r, wait)
+		return f.dispatch(ctx, req, r, wait, rolePrimary)
 	}
 	job := &stealJob{ctx: ctx, req: req, routed: r, wait: wait, done: make(chan outcome, 1)}
 	select {
@@ -382,7 +443,7 @@ func (f *Fleet) serveRouted(ctx context.Context, req serve.Request, r *Replica, 
 	default:
 		// Overflow queue full: the fleet is saturated everywhere,
 		// queue on the routed replica as usual.
-		return f.dispatch(ctx, req, r, wait)
+		return f.dispatch(ctx, req, r, wait, rolePrimary)
 	}
 	select {
 	case o := <-job.done:
@@ -395,7 +456,7 @@ func (f *Fleet) serveRouted(ctx context.Context, req serve.Request, r *Replica, 
 		return o.resp, o.r, o.err
 	case <-f.quit:
 		if job.claim() {
-			return f.dispatch(ctx, req, r, wait)
+			return f.dispatch(ctx, req, r, wait, rolePrimary)
 		}
 		o := <-job.done
 		return o.resp, o.r, o.err
@@ -442,14 +503,18 @@ func (f *Fleet) stealer(r *Replica) {
 			if !job.claim() {
 				continue
 			}
+			role := rolePrimary
+			if r != job.routed {
+				role = roleSteal
+			}
 			r.inflight.Add(1)
-			resp, served, err := f.dispatch(job.ctx, job.req, r, job.wait)
+			resp, served, err := f.dispatch(job.ctx, job.req, r, job.wait, role)
 			r.inflight.Add(-1)
 			if served != job.routed {
 				f.elastic.steals.Add(1)
 				served.stolen.Add(1)
 			}
-			job.done <- outcome{resp, err, served}
+			job.done <- outcome{resp, err, served, nil}
 		case <-tick.C:
 		}
 	}

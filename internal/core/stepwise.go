@@ -4,10 +4,12 @@ import (
 	"context"
 	"math/rand"
 	"strings"
+	"time"
 
 	"repro/internal/core/spec"
 	"repro/internal/model"
 	"repro/internal/tokenizer"
+	"repro/internal/trace"
 )
 
 // This file is the step-wise decode API: the same loop generate() runs
@@ -54,6 +56,15 @@ type DecodeState struct {
 	finished bool
 	parked   bool
 	err      error
+
+	// Tracing state: nil when the request context carries no trace, in
+	// which case every use below is a single nil check. Draft/verify
+	// time is accumulated locally per sweep and folded into the
+	// tracer's phase sums once, at Finish.
+	tr       *trace.Trace
+	span     *trace.Span
+	draftDur time.Duration
+	verifDur time.Duration
 }
 
 // BeginDecode prepares a resumable decode from explicit prompt token
@@ -83,7 +94,19 @@ func (d *Decoder) BeginDecode(ctx context.Context, promptIDs []int, opts Options
 		stepCost:  d.stepCostMS(strat),
 		rep:       &repState{seen: map[uint64]bool{}},
 	}
-	s.gen, s.lease = d.acquireGen(promptIDs)
+	if tr := trace.FromContext(ctx); tr != nil {
+		s.tr = tr
+		s.span = tr.Start(trace.SpanFromContext(ctx), trace.KindDecode, opts.Strategy)
+		prep := tr.Start(s.span, trace.KindSessionPrep, "")
+		s.gen, s.lease = d.acquireGen(promptIDs)
+		prep.SetAttrInt("prompt_tokens", int64(len(promptIDs)))
+		if pc, ok := d.genCache.(interface{ CachedPrefixLen([]int) int }); ok {
+			prep.SetAttrInt("trie_hit_depth", int64(pc.CachedPrefixLen(promptIDs)))
+		}
+		prep.End()
+	} else {
+		s.gen, s.lease = d.acquireGen(promptIDs)
+	}
 	s.maxLen = len(promptIDs) + opts.MaxNewTokens
 	if cfgMax := d.m.Config().MaxTokens; s.maxLen > cfgMax+len(promptIDs) {
 		s.maxLen = cfgMax + len(promptIDs)
@@ -117,6 +140,13 @@ func (s *DecodeState) Step() bool {
 	}
 	d, gen, opts, res, tk := s.d, s.gen, s.opts, s.res, s.d.m.Tokenizer()
 
+	var sweep *trace.Span
+	var phaseT0 time.Time
+	if s.tr != nil {
+		sweep = s.tr.Start(s.span, trace.KindSweep, "")
+		phaseT0 = time.Now()
+	}
+
 	// Head distributions cost work to build; strategies that do not
 	// draft from them (NTP, prompt lookup) get a base-only pass.
 	var fw model.Forward
@@ -128,10 +158,18 @@ func (s *DecodeState) Step() bool {
 	res.Steps++
 	res.SimulatedMS += s.stepCost
 
+	var verif time.Duration
+	if sweep != nil {
+		verif = time.Since(phaseT0)
+		s.verifDur += verif
+		phaseT0 = time.Now()
+	}
+
 	// The base model's own prediction is always kept.
 	base := d.sampleBase(fw.Base, opts, s.rng, s.rep)
 	accepted := []int{base}
 
+	prunedBefore := res.GrammarPruned
 	if base != tokenizer.EosID {
 		if td, ok := s.strat.Drafter.(spec.TreeDrafter); ok {
 			drafts, nodes, gs := d.acceptTree(gen, s.seq, accepted, fw, s.strat, td, opts)
@@ -142,6 +180,15 @@ func (s *DecodeState) Step() bool {
 			accepted = append(accepted, drafts...)
 		} else {
 			accepted = append(accepted, d.acceptDrafts(gen, s.seq, accepted, fw, s.strat, opts)...)
+		}
+	}
+	if sweep != nil {
+		draft := time.Since(phaseT0)
+		s.draftDur += draft
+		sweep.SetAttrInt("verify_us", verif.Microseconds())
+		sweep.SetAttrInt("draft_us", draft.Microseconds())
+		if pruned := res.GrammarPruned - prunedBefore; pruned > 0 {
+			sweep.SetAttrInt("grammar_pruned", int64(pruned))
 		}
 	}
 	// Drafts that would extend a repeated n-gram are cut too.
@@ -191,6 +238,10 @@ func (s *DecodeState) Step() bool {
 		}
 	}
 	res.AcceptedPerStep = append(res.AcceptedPerStep, len(accepted))
+	if sweep != nil {
+		sweep.SetAttrInt("accepted", int64(len(accepted)))
+		sweep.End()
+	}
 	if s.onStep != nil {
 		step := res.Tokens[emittedAt:]
 		s.onStep(StepEvent{Step: res.Steps, Tokens: step, Text: tk.DecodeClean(step)})
@@ -208,6 +259,19 @@ func (s *DecodeState) Finish() (*Result, error) {
 		s.res.Text = s.d.m.Tokenizer().DecodeClean(s.res.Tokens)
 		s.lease.Release()
 		s.lease = nil
+		if s.span != nil {
+			s.span.SetAttrInt("sweeps", int64(s.res.Steps))
+			s.span.SetAttrInt("tokens", int64(len(s.res.Tokens)))
+			if s.res.GrammarPruned > 0 {
+				s.span.SetAttrInt("grammar_pruned", int64(s.res.GrammarPruned))
+			}
+			if s.err != nil {
+				s.span.SetAttr("error", s.err.Error())
+			}
+			s.span.End()
+			s.tr.AddPhase(trace.KindDraft, s.draftDur)
+			s.tr.AddPhase(trace.KindVerify, s.verifDur)
+		}
 	}
 	return s.res, s.err
 }
@@ -240,6 +304,10 @@ func (s *DecodeState) Resume() {
 		s.gen, s.lease = s.d.acquireGen(s.promptIDs)
 	}
 }
+
+// TraceSpan exposes the decode's span (nil when untraced) so the
+// scheduler can nest park/resume spans under it.
+func (s *DecodeState) TraceSpan() *trace.Span { return s.span }
 
 // Steps reports the forward passes taken so far (scheduler quantum
 // accounting).

@@ -1,0 +1,271 @@
+// Package promtest validates Prometheus text exposition (version
+// 0.0.4) bodies in tests: metric-name and label-name validity, label
+// value quoting/escaping, sample value syntax, and the presence of one
+// HELP/TYPE pair per family before its first sample. It is a test
+// helper, not a scraper — it checks the contract a real Prometheus
+// server would enforce, so a malformed family fails CI instead of
+// silently dropping from dashboards.
+package promtest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// metricNameValid reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func metricNameValid(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// labelNameValid reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func labelNameValid(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// family is one metric family's declared metadata.
+type family struct {
+	help, typ string
+	samples   int
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// Lint checks a full exposition body and returns every violation
+// found (nil for a clean body).
+func Lint(text string) []error {
+	var errs []error
+	fams := map[string]*family{}
+	fam := func(name string) *family {
+		f := fams[name]
+		if f == nil {
+			f = &family{}
+			fams[name] = f
+		}
+		return f
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		bad := func(format string, args ...any) {
+			errs = append(errs, fmt.Errorf("line %d: %s: %q", ln+1, fmt.Sprintf(format, args...), line))
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				bad("comment is neither HELP nor TYPE")
+				continue
+			}
+			name := fields[2]
+			if !metricNameValid(name) {
+				bad("invalid metric name %q in %s", name, fields[1])
+				continue
+			}
+			f := fam(name)
+			if f.samples > 0 {
+				bad("%s for %s appears after its samples", fields[1], name)
+			}
+			switch fields[1] {
+			case "HELP":
+				if f.help != "" {
+					bad("duplicate HELP for %s", name)
+				}
+				if len(fields) < 4 || strings.TrimSpace(fields[3]) == "" {
+					bad("empty HELP text for %s", name)
+				} else {
+					f.help = fields[3]
+				}
+			case "TYPE":
+				if f.typ != "" {
+					bad("duplicate TYPE for %s", name)
+				}
+				if len(fields) < 4 || !validTypes[strings.TrimSpace(fields[3])] {
+					bad("invalid TYPE for %s", name)
+				} else {
+					f.typ = strings.TrimSpace(fields[3])
+				}
+			}
+			continue
+		}
+		name, rest, lerrs := parseSample(line)
+		for _, e := range lerrs {
+			errs = append(errs, fmt.Errorf("line %d: %w: %q", ln+1, e, line))
+		}
+		if name == "" {
+			continue
+		}
+		// Histograms/summaries declare the base family; _bucket/_sum/
+		// _count samples belong to it.
+		famName := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && fams[base] != nil {
+				famName = base
+				break
+			}
+		}
+		f := fam(famName)
+		f.samples++
+		_ = rest
+	}
+	for name, f := range fams {
+		if f.samples == 0 {
+			errs = append(errs, fmt.Errorf("family %s declared but has no samples", name))
+			continue
+		}
+		if f.help == "" {
+			errs = append(errs, fmt.Errorf("family %s has samples but no HELP", name))
+		}
+		if f.typ == "" {
+			errs = append(errs, fmt.Errorf("family %s has samples but no TYPE", name))
+		}
+	}
+	return errs
+}
+
+// Families returns the family names that carry at least one sample.
+func Families(text string) []string {
+	fams := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, _, _ := parseSample(line)
+		if name != "" {
+			fams[name] = true
+		}
+	}
+	out := make([]string, 0, len(fams))
+	for name := range fams {
+		out = append(out, name)
+	}
+	return out
+}
+
+// parseSample splits one sample line into metric name and the
+// remainder, validating the label block and the value.
+func parseSample(line string) (name, rest string, errs []error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", []error{fmt.Errorf("sample has no value")}
+	}
+	name = line[:i]
+	if !metricNameValid(name) {
+		errs = append(errs, fmt.Errorf("invalid metric name %q", name))
+	}
+	rest = line[i:]
+	if strings.HasPrefix(rest, "{") {
+		var lerrs []error
+		rest, lerrs = parseLabels(rest)
+		errs = append(errs, lerrs...)
+	}
+	value := strings.TrimSpace(rest)
+	// A trailing timestamp is legal: "value timestamp".
+	if sp := strings.IndexByte(value, ' '); sp >= 0 {
+		ts := value[sp+1:]
+		value = value[:sp]
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			errs = append(errs, fmt.Errorf("invalid timestamp %q", ts))
+		}
+	}
+	switch value {
+	case "+Inf", "-Inf", "NaN":
+	default:
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			errs = append(errs, fmt.Errorf("invalid sample value %q", value))
+		}
+	}
+	return name, rest, errs
+}
+
+// parseLabels consumes a {name="value",...} block, validating label
+// names and the \\, \" and \n escapes inside quoted values. Returns
+// what follows the closing brace.
+func parseLabels(s string) (rest string, errs []error) {
+	s = s[1:] // consume '{'
+	for {
+		if s == "" {
+			return "", append(errs, fmt.Errorf("unterminated label block"))
+		}
+		if s[0] == '}' {
+			return s[1:], errs
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return "", append(errs, fmt.Errorf("label without '='"))
+		}
+		lname := strings.TrimSuffix(s[:eq], " ")
+		if !labelNameValid(lname) {
+			errs = append(errs, fmt.Errorf("invalid label name %q", lname))
+		}
+		s = s[eq+1:]
+		if s == "" || s[0] != '"' {
+			return "", append(errs, fmt.Errorf("label value for %q not quoted", lname))
+		}
+		s = s[1:]
+		closed := false
+		for i := 0; i < len(s); i++ {
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return "", append(errs, fmt.Errorf("dangling escape in label %q", lname))
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+					i++ // escaped character consumed
+				default:
+					errs = append(errs, fmt.Errorf("invalid escape \\%c in label %q", s[i+1], lname))
+					i++
+				}
+				continue
+			}
+			if s[i] == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+		}
+		if !closed {
+			return "", append(errs, fmt.Errorf("unterminated value for label %q", lname))
+		}
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			s = strings.TrimPrefix(s, " ")
+			continue
+		}
+		if !strings.HasPrefix(s, "}") {
+			return "", append(errs, fmt.Errorf("junk after label %q", lname))
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package promtest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintAcceptsWellFormedExposition(t *testing.T) {
+	text := strings.Join([]string{
+		`# HELP vgend_requests_total Total requests.`,
+		`# TYPE vgend_requests_total counter`,
+		`vgend_requests_total 42`,
+		`# HELP vgend_info Identity.`,
+		`# TYPE vgend_info gauge`,
+		`vgend_info{model="code\"llama\\sim",scheme="ours"} 1`,
+		`# HELP vgend_phase_seconds_total Phase seconds.`,
+		`# TYPE vgend_phase_seconds_total counter`,
+		`vgend_phase_seconds_total{phase="decode"} 0.25`,
+		`vgend_phase_seconds_total{phase="queue"} 1e-05`,
+		``,
+	}, "\n")
+	if errs := Lint(text); len(errs) != 0 {
+		t.Fatalf("clean exposition flagged: %v", errs)
+	}
+	fams := Families(text)
+	if len(fams) != 3 {
+		t.Fatalf("families = %v, want 3", fams)
+	}
+}
+
+func TestLintFlagsViolations(t *testing.T) {
+	cases := map[string]string{
+		"sample without HELP/TYPE": `orphan_total 1`,
+		"invalid metric name": strings.Join([]string{
+			`# HELP 9bad Bad.`,
+			`# TYPE 9bad counter`,
+			`9bad 1`}, "\n"),
+		"invalid TYPE": strings.Join([]string{
+			`# HELP x_total X.`,
+			`# TYPE x_total speedometer`,
+			`x_total 1`}, "\n"),
+		"unescaped quote in label": strings.Join([]string{
+			`# HELP x_info X.`,
+			`# TYPE x_info gauge`,
+			`x_info{name="a"b"} 1`}, "\n"),
+		"unquoted label value": strings.Join([]string{
+			`# HELP x_info X.`,
+			`# TYPE x_info gauge`,
+			`x_info{name=abc} 1`}, "\n"),
+		"invalid escape": strings.Join([]string{
+			`# HELP x_info X.`,
+			`# TYPE x_info gauge`,
+			`x_info{name="a\q"} 1`}, "\n"),
+		"bad sample value": strings.Join([]string{
+			`# HELP x_total X.`,
+			`# TYPE x_total counter`,
+			`x_total banana`}, "\n"),
+		"bad label name": strings.Join([]string{
+			`# HELP x_info X.`,
+			`# TYPE x_info gauge`,
+			`x_info{9name="a"} 1`}, "\n"),
+		"metadata after samples": strings.Join([]string{
+			`# HELP x_total X.`,
+			`x_total 1`,
+			`# TYPE x_total counter`}, "\n"),
+		"duplicate HELP": strings.Join([]string{
+			`# HELP x_total X.`,
+			`# HELP x_total Y.`,
+			`# TYPE x_total counter`,
+			`x_total 1`}, "\n"),
+	}
+	for name, text := range cases {
+		if errs := Lint(text); len(errs) == 0 {
+			t.Errorf("%s: lint found nothing wrong in %q", name, text)
+		}
+	}
+}

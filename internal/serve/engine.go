@@ -46,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/core/spec/adapt"
 	"repro/internal/model"
+	"repro/internal/trace"
 )
 
 // Errors reported by Engine submission.
@@ -403,6 +404,11 @@ type Response struct {
 	// Wall is the worker's decode time (zero for cached responses; the
 	// leader's decode time for deduplicated ones).
 	Wall time.Duration
+	// QueueWait is how long the request sat in the bounded queue before
+	// a scheduler slot picked it up (zero for cache hits; the leader's
+	// wait for deduplicated responses). Always recorded — it needs no
+	// tracer — so clients can split wall time into queue vs decode.
+	QueueWait time.Duration
 	// Strategy is the canonical display name of the strategy that
 	// decoded this response ("NTP", "Medusa", "Ours", "PromptLookup").
 	// It reflects per-replica default-strategy substitution, which the
@@ -425,6 +431,10 @@ type task struct {
 	// enqueued is when the task entered the queue; the worker accounts
 	// the pickup delay as queue-wait time.
 	enqueued time.Time
+	// wait is the measured queue wait, recorded at pickup and echoed on
+	// the Response; qspan is the queue span when the request is traced.
+	wait  time.Duration
+	qspan *trace.Span
 	// key is the request's canonical cache key (always set); fl carries
 	// the single-flight registration when this task leads one, and the
 	// worker resolves the flight on completion.
@@ -941,12 +951,17 @@ func (e *Engine) resolveFlight(key cacheKey, f *flight, resp *Response) {
 // flagged Deduped; a follower whose own context dies first detaches
 // with the context error.
 func waitFlight(ctx context.Context, f *flight) *Response {
+	sp := trace.FromContext(ctx).Start(trace.SpanFromContext(ctx), trace.KindSingleFlight, "")
 	select {
 	case <-f.done:
 		r := *f.resp
 		r.Deduped = true
+		sp.SetAttr("outcome", "shared")
+		sp.End()
 		return &r
 	case <-ctx.Done():
+		sp.SetAttr("outcome", "canceled")
+		sp.End()
 		return &Response{Err: ctx.Err()}
 	}
 }
@@ -976,22 +991,36 @@ func (e *Engine) enqueue(ctx context.Context, req Request, ids []int, wait bool,
 	if e.closed {
 		return nil, ErrClosed
 	}
+	tr, parent := trace.FromContext(ctx), trace.SpanFromContext(ctx)
 	// Admission control sits in front of the queue: a shed request
 	// never holds a slot, and because the single-flight registration
 	// already happened, a shed leader publishes its drop to followers
 	// (who then retry for themselves — see leaderShed).
 	if e.cfg.Admit != nil {
+		adm := tr.Start(parent, trace.KindAdmission, "")
 		if err := e.cfg.Admit(ctx, req); err != nil {
+			var shed *ShedError
+			if errors.As(err, &shed) {
+				adm.SetAttr("outcome", "shed")
+				adm.SetAttr("policy", shed.Policy)
+			} else {
+				adm.SetAttr("outcome", "rejected")
+			}
+			adm.End()
 			e.st.shed()
 			return nil, err
 		}
+		adm.End()
 	}
+	t.qspan = tr.Start(parent, trace.KindQueue, "")
 	t.enqueued = time.Now()
 	if wait {
 		select {
 		case e.queue <- t:
 			return t, nil
 		case <-ctx.Done():
+			t.qspan.SetAttr("outcome", "canceled")
+			t.qspan.End()
 			return nil, ctx.Err()
 		}
 	}
@@ -999,6 +1028,8 @@ func (e *Engine) enqueue(ctx context.Context, req Request, ids []int, wait bool,
 	case e.queue <- t:
 		return t, nil
 	default:
+		t.qspan.SetAttr("outcome", "queue_full")
+		t.qspan.End()
 		e.st.reject()
 		return nil, ErrQueueFull
 	}
@@ -1109,6 +1140,8 @@ func (e *Engine) worker() {
 // follower sharing it.
 func (e *Engine) serveTask(dec *core.Decoder, t *task) {
 	wait := time.Since(t.enqueued)
+	t.wait = wait
+	t.pickedUp()
 	e.st.queueWait(wait)
 	if e.ctrl != nil {
 		e.ctrl.ObserveQueueWait(wait.Seconds() * 1000)
@@ -1116,7 +1149,7 @@ func (e *Engine) serveTask(dec *core.Decoder, t *task) {
 	label := t.req.Options.StrategyLabel()
 	if err := t.ctx.Err(); err != nil {
 		e.st.cancel()
-		e.finish(t, &Response{Err: err, Strategy: label})
+		e.finish(t, &Response{Err: err, Strategy: label, QueueWait: wait})
 		return
 	}
 	start := time.Now()
@@ -1138,7 +1171,7 @@ func (e *Engine) serveTask(dec *core.Decoder, t *task) {
 		} else {
 			e.st.fail()
 		}
-		e.finish(t, &Response{Result: res, Err: err, Wall: wall, Strategy: label})
+		e.finish(t, &Response{Result: res, Err: err, Wall: wall, Strategy: label, QueueWait: wait})
 		return
 	}
 	if e.cache != nil && t.req.OnStep == nil {
@@ -1146,7 +1179,16 @@ func (e *Engine) serveTask(dec *core.Decoder, t *task) {
 	}
 	e.st.complete(label, res, wall)
 	e.observeResult(t.req, label, res)
-	e.finish(t, &Response{Result: res, Wall: wall, Strategy: label})
+	e.finish(t, &Response{Result: res, Wall: wall, Strategy: label, QueueWait: wait})
+}
+
+// pickedUp closes the task's queue span at scheduler/worker pickup.
+func (t *task) pickedUp() {
+	if t.qspan != nil {
+		t.qspan.SetAttrInt("wait_us", t.wait.Microseconds())
+		t.qspan.End()
+		t.qspan = nil
+	}
 }
 
 // finish delivers a task's response, resolving its single-flight first

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/promtest"
+	"repro/internal/trace"
+)
+
+// TestPrometheusExpositionWellFormed sweeps the engine server's full
+// text exposition — tracing on, after real traffic across strategies —
+// through the promtest linter: every family must declare HELP and TYPE
+// before its samples, every metric and label name must be valid, and
+// every label value must be a correctly escaped quoted string. A
+// malformed family silently vanishes from a real scraper; here it
+// fails the build.
+func TestPrometheusExpositionWellFormed(t *testing.T) {
+	m, prompts := fixture(t)
+	e := NewEngine(m, Config{Workers: 2, CacheSize: 8})
+	defer e.Close()
+	ts := httptest.NewServer(NewServer(e).WithTracer(trace.New(trace.Config{})).Handler())
+	defer ts.Close()
+
+	// Traffic across strategies (and one repeat for a cache hit) so the
+	// per-strategy and cache families all materialize.
+	for i, strat := range []string{"ours", "ntp", "medusa", "ours"} {
+		resp := postBody(t, ts.URL, "", map[string]any{
+			"prompt": prompts[i%2], "strategy": strat, "temperature": 0.6,
+			"max_new_tokens": 32, "seed": 1,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("traffic %s: status %d", strat, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	text := buf.String()
+
+	for _, lintErr := range promtest.Lint(text) {
+		t.Error(lintErr)
+	}
+	fams := promtest.Families(text)
+	if len(fams) < 10 {
+		t.Errorf("exposition has only %d families (%v); expected the full engine surface", len(fams), fams)
+	}
+	for _, fam := range fams {
+		if !strings.HasPrefix(fam, "vgend_") {
+			t.Errorf("family %s outside the vgend_ namespace", fam)
+		}
+	}
+	for _, want := range []string{"vgend_requests_total", "vgend_info", "vgend_phase_seconds_total"} {
+		found := false
+		for _, fam := range fams {
+			if fam == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("family %s missing from the exposition", want)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // This file is the continuous scheduler (Config.Scheduler =
@@ -61,6 +62,11 @@ type schedTask struct {
 	// residency counts sweeps since admission or last resume — the
 	// preemption clock.
 	residency int
+	// park is the open preemption span while the decode sits parked
+	// (nil untraced or running); parks counts preemptions for the
+	// decode span's attrs.
+	park  *trace.Span
+	parks int
 }
 
 // scheduler is the continuous dispatch loop. It exits once quit is
@@ -75,6 +81,8 @@ func (e *Engine) scheduler() {
 
 	admit := func(t *task) {
 		wait := time.Since(t.enqueued)
+		t.wait = wait
+		t.pickedUp()
 		e.st.queueWait(wait)
 		if e.ctrl != nil {
 			e.ctrl.ObserveQueueWait(wait.Seconds() * 1000)
@@ -86,6 +94,8 @@ func (e *Engine) scheduler() {
 		parked = parked[1:]
 		x.residency = 0
 		x.st.Resume()
+		x.park.End()
+		x.park = nil
 		e.st.resume()
 		running = append(running, x)
 	}
@@ -166,6 +176,11 @@ func (e *Engine) scheduler() {
 				retired = append(retired, x)
 			case waiters && e.cfg.PreemptQuantum > 0 && x.residency >= e.cfg.PreemptQuantum:
 				x.st.Park()
+				x.parks++
+				if tr := trace.FromContext(x.t.ctx); tr != nil {
+					x.park = tr.Start(x.st.TraceSpan(), trace.KindPark, "")
+					x.park.SetAttrInt("residency", int64(x.residency))
+				}
 				e.st.preempt()
 				parked = append(parked, x)
 			default:
@@ -274,23 +289,30 @@ func (e *Engine) retire(x *schedTask) {
 		// Never began: cancelled while queued, or an unknown strategy.
 		if errors.Is(x.beginErr, context.Canceled) || errors.Is(x.beginErr, context.DeadlineExceeded) {
 			e.st.cancel()
-			e.finish(x.t, &Response{Err: x.beginErr, Strategy: x.label})
+			e.finish(x.t, &Response{Err: x.beginErr, Strategy: x.label, QueueWait: x.t.wait})
 			return
 		}
 		e.st.fail()
-		e.finish(x.t, &Response{Result: &core.Result{}, Err: x.beginErr, Wall: x.wall, Strategy: x.label})
+		e.finish(x.t, &Response{Result: &core.Result{}, Err: x.beginErr, Wall: x.wall, Strategy: x.label, QueueWait: x.t.wait})
 		return
+	}
+	if sp := x.st.TraceSpan(); sp != nil && x.parks > 0 {
+		sp.SetAttrInt("parks", int64(x.parks))
 	}
 	if x.faultErr != nil {
 		// Injected fault mid-decode: the state is abandoned, not
 		// finished — Drop releases its pinned session pages.
 		x.st.Drop()
+		if sp := x.st.TraceSpan(); sp != nil {
+			sp.SetAttr("error", x.faultErr.Error())
+			sp.End()
+		}
 		if errors.Is(x.faultErr, context.Canceled) || errors.Is(x.faultErr, context.DeadlineExceeded) {
 			e.st.cancel()
 		} else {
 			e.st.fail()
 		}
-		e.finish(x.t, &Response{Result: &core.Result{}, Err: x.faultErr, Wall: x.wall, Strategy: x.label})
+		e.finish(x.t, &Response{Result: &core.Result{}, Err: x.faultErr, Wall: x.wall, Strategy: x.label, QueueWait: x.t.wait})
 		return
 	}
 	res, err := x.st.Finish()
@@ -300,7 +322,7 @@ func (e *Engine) retire(x *schedTask) {
 		} else {
 			e.st.fail()
 		}
-		e.finish(x.t, &Response{Result: res, Err: err, Wall: x.wall, Strategy: x.label})
+		e.finish(x.t, &Response{Result: res, Err: err, Wall: x.wall, Strategy: x.label, QueueWait: x.t.wait})
 		return
 	}
 	if e.cache != nil && x.t.req.OnStep == nil {
@@ -308,7 +330,7 @@ func (e *Engine) retire(x *schedTask) {
 	}
 	e.st.complete(x.label, res, x.wall)
 	e.observeResult(x.t.req, x.label, res)
-	e.finish(x.t, &Response{Result: res, Wall: x.wall, Strategy: x.label})
+	e.finish(x.t, &Response{Result: res, Wall: x.wall, Strategy: x.label, QueueWait: x.t.wait})
 }
 
 // observeSweep is the scheduler's per-sweep consultation of the

@@ -6,11 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // maxBatchPrompts bounds one POST /v1/generate batch; bigger requests
@@ -36,11 +39,15 @@ type Backend interface {
 }
 
 // Server exposes a Backend over HTTP: POST /v1/generate (single, batch
-// and NDJSON streaming), GET /healthz and GET /metrics. It is the
-// handler core of cmd/vgend, kept here so httptest can exercise it.
+// and NDJSON streaming), GET /healthz, GET /metrics and — when tracing
+// or pprof are enabled — the GET /debug/* surface. It is the handler
+// core of cmd/vgend, kept here so httptest can exercise it.
 type Server struct {
 	backend Backend
 	start   time.Time
+	tracer  *trace.Tracer
+	logger  *slog.Logger
+	pprof   bool
 }
 
 // NewServer wraps a single engine for HTTP serving.
@@ -54,13 +61,51 @@ func NewBackendServer(b Backend) *Server {
 	return &Server{backend: b, start: time.Now()}
 }
 
-// Handler returns the route mux.
+// WithTracer enables request tracing: every /v1/generate request is
+// assembled into a span tree, recorded in the tracer's flight
+// recorder, and exposed at /debug/requests and /debug/trace; per-kind
+// phase sums feed the vgend_phase_seconds_total metric family.
+func (s *Server) WithTracer(t *trace.Tracer) *Server {
+	s.tracer = t
+	return s
+}
+
+// WithLogger enables structured request logging (one slog line per
+// HTTP request, carrying the request ID).
+func (s *Server) WithLogger(l *slog.Logger) *Server {
+	s.logger = l
+	return s
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/.
+func (s *Server) WithPprof(on bool) *Server {
+	s.pprof = on
+	return s
+}
+
+// Tracer exposes the server's tracer (nil when tracing is off).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
+// Handler returns the route mux, wrapped in the request-ID/logging
+// middleware so every response path — including 429 sheds and 503
+// backpressure — carries the X-Request-ID header.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/generate", s.handleGenerate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	if s.tracer != nil {
+		mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+		mux.HandleFunc("/debug/trace", s.handleDebugTrace)
+	}
+	if s.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.middleware(mux)
 }
 
 // GenerateRequest is the POST /v1/generate body. Exactly one of Prompt
@@ -117,6 +162,11 @@ type GenerateResult struct {
 	TokensPerSec float64 `json:"tokens_per_sec"`
 	Cached       bool    `json:"cached"`
 	WallMS       float64 `json:"wall_ms"`
+	// QueueMS is the time this request spent queued before a batch slot
+	// picked it up — with wall_ms it splits latency into queue vs
+	// decode, which vgenc surfaces in its load summary. Omitted when the
+	// backend recorded no wait (cache hits, refusals).
+	QueueMS float64 `json:"queue_ms,omitempty"`
 	// Replica names the fleet replica that served this generation
 	// (omitted outside fleet mode, so single-engine responses are
 	// byte-identical to the pre-fleet daemon's).
@@ -192,6 +242,7 @@ func resultJSON(resp *Response, requestLabel string) GenerateResult {
 		TokensPerSec: res.TokensPerSecond(),
 		Cached:       resp.Cached,
 		WallMS:       float64(resp.Wall) / float64(time.Millisecond),
+		QueueMS:      float64(resp.QueueWait) / float64(time.Millisecond),
 		Replica:      resp.Replica,
 	}
 }
@@ -384,9 +435,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
 		s.backend.WritePrometheusTo(w, uptime)
+		s.writePhasePrometheus(w)
 		return
 	}
 	body := s.backend.MetricsBody()
 	body["uptime_s"] = uptime
+	if s.tracer != nil {
+		body["phase_seconds"] = s.tracer.PhaseSeconds()
+		body["traces_started"] = s.tracer.TracesStarted()
+	}
 	writeJSON(w, http.StatusOK, body)
 }
